@@ -1,0 +1,21 @@
+"""Figure 6: co-partition hash tables in shared vs device memory."""
+
+from repro.bench.figures import fig06
+
+
+def test_fig06(regenerate):
+    result = regenerate(fig06)
+    shared_total = result.get("Shared mem - total")
+    device_total = result.get("Device mem - total")
+    shared_co = result.get("Shared mem - join co-partitions")
+    device_co = result.get("Device mem - join co-partitions")
+
+    # Shared memory wins at every size, and by >30% at the largest
+    # (paper: "more than 30% faster for the largest relation size").
+    for x in (1, 8, 64, 128):
+        assert shared_total.y_at(x) >= device_total.y_at(x)
+        assert shared_co.y_at(x) > device_co.y_at(x)
+    assert shared_total.y_at(128) > 1.30 * device_total.y_at(128)
+
+    # Co-partition throughput grows with size (utilization improves).
+    assert shared_co.y_at(128) > shared_co.y_at(1)

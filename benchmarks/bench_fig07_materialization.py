@@ -1,0 +1,19 @@
+"""Figure 7: output materialization vs aggregation (in-GPU)."""
+
+from repro.bench.figures import fig07
+
+
+def test_fig07(regenerate):
+    result = regenerate(fig07)
+    agg = result.get("Aggregation")
+    mat = result.get("Materialization")
+
+    for x in (1, 8, 64, 128):
+        # Materialization costs something but "does not degrade
+        # performance significantly" - the mat line traces the agg line.
+        assert mat.y_at(x) <= agg.y_at(x)
+        assert mat.y_at(x) > 0.7 * agg.y_at(x)
+
+    # Both improve with size as partitioning overheads amortize.
+    assert agg.y_at(128) > 2.5 * agg.y_at(1)
+    assert agg.y_at(128) > 3.5  # ~4-4.5 Btuples/s at the sweet spot

@@ -1,0 +1,38 @@
+"""Figure 8: join families across build:probe ratios."""
+
+from repro.bench.figures import fig08
+
+
+def test_fig08(regenerate):
+    result = regenerate(fig08)
+    part = result.get("GPU Partitioned (1:1)")
+    chain = result.get("GPU Non-partitioned (1:1)")
+    perfect = result.get("GPU Non-partitioned w/ perfect hash (1:1)")
+    pro = result.get("CPU PRO (1:1)")
+    npo = result.get("CPU NPO (1:1)")
+
+    # Non-partitioned starts high and deteriorates; partitioned starts
+    # low, benefits from size, and outperforms everything past ~8-16M.
+    assert chain.y_at(1) > part.y_at(1)
+    assert chain.y_at(128) < 0.5 * chain.y_at(1)
+    for x in (32, 64, 128):
+        assert part.y_at(x) > chain.y_at(x)
+        assert part.y_at(x) > perfect.y_at(x)
+        assert part.y_at(x) > pro.y_at(x)
+        assert part.y_at(x) > npo.y_at(x)
+
+    # GPU beats its CPU counterpart in every size/family (SV-D), with
+    # the partitioned speedup reaching ~4x.
+    for x in (1, 8, 64, 128):
+        assert part.y_at(x) > pro.y_at(x)
+    assert part.y_at(64) > 3.5 * pro.y_at(64)
+
+    # PRO overtakes the chaining GPU join at large sizes (SV-D).
+    assert pro.y_at(128) > chain.y_at(128)
+
+    # Larger probe ratios make the partitioned improvement steeper:
+    # crossover vs perfect hash happens at smaller build sizes.
+    part4 = result.get("GPU Partitioned (1:4)")
+    perfect4 = result.get("GPU Non-partitioned w/ perfect hash (1:4)")
+    assert part4.y_at(8) > perfect4.y_at(8)
+    assert perfect.y_at(8) > part.y_at(8) * 0.9  # 1:1 crossover is later

@@ -1,0 +1,19 @@
+"""Figure 9: probe-side late-materialized payload width."""
+
+from repro.bench.figures import fig09
+
+
+def test_fig09(regenerate):
+    result = regenerate(fig09)
+    part = result.get("GPU Partitioned")
+    nonpart = result.get("GPU Non-Partitioned")
+
+    # Partitioning reorders tuples, so wide probe payloads gather
+    # randomly; the non-partitioned join reads them sequentially and
+    # overtakes at large payload widths (paper's crossover).
+    assert part.y_at(16) > nonpart.y_at(16)
+    assert nonpart.y_at(128) > part.y_at(128)
+
+    # Both decline monotonically as payloads widen.
+    assert part.y_at(128) < part.y_at(16)
+    assert nonpart.y_at(128) < nonpart.y_at(16)

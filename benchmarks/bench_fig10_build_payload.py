@@ -1,0 +1,19 @@
+"""Figure 10: build-side late-materialized payload width."""
+
+from repro.bench.figures import fig10
+
+
+def test_fig10(regenerate):
+    result = regenerate(fig10)
+    part = result.get("GPU Partitioned")
+    nonpart = result.get("GPU Non-Partitioned")
+
+    # Build-side attributes gather randomly for *both* joins, so the
+    # partitioned join keeps its edge at every width...
+    for x in (16, 48, 96, 128):
+        assert part.y_at(x) > nonpart.y_at(x)
+
+    # ...but the relative gap narrows as random gathers dominate.
+    gap_16 = part.y_at(16) / nonpart.y_at(16)
+    gap_128 = part.y_at(128) / nonpart.y_at(128)
+    assert gap_128 < gap_16

@@ -1,0 +1,26 @@
+"""Figure 11: streamed probe side vs CPU PRO."""
+
+from repro.bench.figures import fig11
+
+
+def test_fig11(regenerate):
+    result = regenerate(fig11)
+    agg = result.get("GPU Partitioned (aggregation)")
+    mat = result.get("GPU Partitioned (materialization)")
+    pro = result.get("CPU PRO")
+
+    # Throughput grows with probe size toward the PCIe bound (~1.4-1.5).
+    assert agg.y_at(2048) > agg.y_at(64)
+    assert 1.3 <= agg.y_at(2048) <= 1.6
+
+    # Materialization introduces an overhead but no significant
+    # deterioration; the gap narrows as transfers dominate.
+    for x in (64, 512, 2048):
+        assert mat.y_at(x) <= agg.y_at(x)
+        assert mat.y_at(x) > 0.75 * agg.y_at(x)
+
+    # The GPU strategy beats the CPU join everywhere, and the speedup
+    # grows with the probe size (SV-D).
+    for x in (64, 256, 1024, 2048):
+        assert agg.y_at(x) > pro.y_at(x)
+    assert agg.y_at(2048) / pro.y_at(2048) > agg.y_at(64) / pro.y_at(64)

@@ -1,0 +1,21 @@
+"""Figure 13: scalability with CPU threads."""
+
+from repro.bench.figures import fig13
+
+
+def test_fig13(regenerate):
+    result = regenerate(fig13)
+    coproc = result.get("GPU Partitioned (co-processing)")
+    pro = result.get("CPU PRO")
+
+    # CPU PRO scales roughly linearly with threads.
+    assert pro.y_at(46) > 4 * pro.y_at(6)
+
+    # Co-processing rises rapidly and outperforms the fastest CPU setup
+    # with only 6 threads (SV-D).
+    assert coproc.y_at(6) > pro.y_at(46)
+
+    # Plateau after ~16 threads, small drop past ~26 (memory saturation).
+    assert coproc.y_at(18) > 0.95 * coproc.y_at(26)
+    assert coproc.y_at(46) < coproc.y_at(26)
+    assert coproc.y_at(46) > 0.8 * coproc.y_at(26)

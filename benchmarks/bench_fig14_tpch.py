@@ -1,0 +1,22 @@
+"""Figure 14: TPC-H joins vs DBMS-X and CoGaDB."""
+
+from repro.bench.figures import fig14
+
+
+def test_fig14(regenerate):
+    result = regenerate(fig14)
+    ours = result.get("GPU Partitioned")
+    dbmsx = result.get("DBMS-X")
+    cogadb = result.get("CoGaDB")
+
+    # SF10 (ticks 0-1): everything runs; we outperform both systems.
+    for tick in (0, 1):
+        assert ours.y_at(tick) > dbmsx.y_at(tick) > cogadb.y_at(tick)
+
+    # SF100 customer (tick 2): we and DBMS-X run; CoGaDB fails to load.
+    assert ours.y_at(2) > dbmsx.y_at(2)
+    assert cogadb.y_at(2) is None
+
+    # SF100 orders (tick 3): DBMS-X errors; we revert to streaming.
+    assert dbmsx.y_at(3) is None
+    assert ours.y_at(3) > 1.0

@@ -1,0 +1,27 @@
+"""Figure 15: state-of-the-art GPU systems across sizes."""
+
+from repro.bench.figures import fig15
+
+
+def test_fig15(regenerate):
+    result = regenerate(fig15)
+    ours = result.get("GPU Partitioned")
+    dbmsx = result.get("DBMS-X")
+    cogadb = result.get("CoGaDB")
+
+    # We outperform DBMS-X in all cases: 1.5-2x when GPU resident,
+    # stretching to ~10x+ when data falls out of the GPU.
+    for x in (1, 8, 32):
+        ratio = ours.y_at(x) / dbmsx.y_at(x)
+        assert 1.4 <= ratio <= 2.2
+    assert ours.y_at(512) / dbmsx.y_at(512) >= 8
+
+    # DBMS-X keeps data GPU-resident only up to 32M tuples; our
+    # implementation pushes that limit to 128M.
+    assert dbmsx.y_at(32) > 5 * dbmsx.y_at(64)
+    assert ours.y_at(128) > 0.8 * ours.y_at(64)
+    assert ours.y_at(256) < 0.6 * ours.y_at(128)  # out-of-GPU transition
+
+    # CoGaDB reaches 128M but cannot run the two bigger datasets.
+    assert cogadb.y_at(128) is not None
+    assert cogadb.y_at(256) is None and cogadb.y_at(512) is None

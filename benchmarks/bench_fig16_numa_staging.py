@@ -1,0 +1,18 @@
+"""Figure 16: NUMA staging vs direct far-socket copies."""
+
+from repro.bench.figures import fig16
+
+
+def test_fig16(regenerate):
+    result = regenerate(fig16)
+    staging = result.get("Staging")
+    direct = result.get("Direct copy")
+
+    # The intermediate copy to the near socket wins at every size
+    # (partitioning interferes with far-socket transfers over QPI).
+    for x in (256, 512, 1024, 2048):
+        assert staging.y_at(x) > direct.y_at(x)
+
+    # Both sustain high fractions of the PCIe-derived bound (GBps).
+    assert staging.y_at(1024) > 8.0
+    assert direct.y_at(1024) > 5.0

@@ -1,0 +1,25 @@
+"""Figure 17: skewed inputs, GPU-resident data."""
+
+from repro.bench.figures import fig17
+
+
+def test_fig17(regenerate):
+    result = regenerate(fig17)
+    probe = result.get("Skewed probe (aggregation)")
+    build = result.get("Skewed build (aggregation)")
+    identical = result.get("Identically skewed (aggregation)")
+    identical_mat = result.get("Identically skewed (materialization)")
+
+    # Probe-side skew has very low impact when the build is uniform.
+    assert probe.y_at(1.0) > 0.85 * probe.y_at(0.0)
+    # Build-side skew costs a little more but stays fast.
+    assert build.y_at(1.0) > 0.8 * build.y_at(0.0)
+
+    # Identical skew: fine through 0.5, collapse past 0.75 (hash tables
+    # stop fitting shared memory + all-against-all matches).
+    assert identical.y_at(0.5) > 0.75 * identical.y_at(0.0)
+    assert identical.y_at(0.75) < 0.25 * identical.y_at(0.5)
+    assert identical.y_at(1.0) < identical.y_at(0.75)
+
+    # Materialization adds only a small penalty at low skew.
+    assert identical_mat.y_at(0.25) > 0.8 * identical.y_at(0.25)

@@ -1,0 +1,25 @@
+"""Figure 18: skewed inputs, out-of-GPU (co-processing)."""
+
+from repro.bench.figures import fig18
+
+
+def test_fig18(regenerate):
+    result = regenerate(fig18)
+    probe = result.get("Skewed probe (aggregation)")
+    build = result.get("Skewed build (aggregation)")
+    identical = result.get("Identically skewed (aggregation)")
+    identical_mat = result.get("Identically skewed (materialization)")
+
+    # Out-of-GPU execution is much more resilient: the interconnect is
+    # slower than the in-GPU work, so one-sided skew is fully hidden.
+    for z in (0.25, 0.5, 0.75, 1.0):
+        assert probe.y_at(z) > 0.9 * probe.y_at(0.0)
+        assert build.y_at(z) > 0.9 * build.y_at(0.0)
+
+    # Identical skew eventually overwhelms even the PCIe bound.
+    assert identical.y_at(0.25) > 0.9 * identical.y_at(0.0)
+    assert identical.y_at(1.0) < 0.1 * identical.y_at(0.0)
+
+    # With materialization the exploded output crosses the bus too:
+    # the penalty at high identical skew is even larger.
+    assert identical_mat.y_at(0.5) < identical.y_at(0.5)

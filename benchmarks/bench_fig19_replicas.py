@@ -1,0 +1,22 @@
+"""Figure 19: uniform duplicates (1-4 replicas per key)."""
+
+from repro.bench.figures import fig19
+
+
+def test_fig19(regenerate):
+    result = regenerate(fig19)
+    gpu_agg = result.get("GPU resident (aggregation)")
+    gpu_mat = result.get("GPU resident (materialization)")
+    cpu_agg = result.get("CPU resident (aggregation)")
+    cpu_mat = result.get("CPU resident (materialization)")
+
+    # More replicas -> more matches -> throughput declines gently.
+    for series in (gpu_agg, gpu_mat, cpu_agg, cpu_mat):
+        assert series.y_at(1) >= series.y_at(2) >= series.y_at(4)
+        assert series.y_at(4) > 0.3 * series.y_at(1)
+
+    # Materialization suffers more as output multiplies.
+    assert gpu_mat.y_at(4) / gpu_agg.y_at(4) < gpu_mat.y_at(1) / gpu_agg.y_at(1)
+
+    # GPU-resident stays well above the out-of-GPU pipeline.
+    assert gpu_agg.y_at(4) > 2 * cpu_agg.y_at(1)

@@ -1,0 +1,24 @@
+"""Figure 20: input size x identical skew (co-processing)."""
+
+from repro.bench.figures import fig20
+
+
+def test_fig20(regenerate):
+    result = regenerate(fig20)
+    uniform = result.get("Uniform (aggregation)")
+    z25 = result.get("zipf 0.25 (aggregation)")
+    z50 = result.get("zipf 0.5 (aggregation)")
+    z50_mat = result.get("zipf 0.5 (materialization)")
+    uniform_mat = result.get("Uniform (materialization)")
+
+    # Up to zipf 0.25 aggregation sees no penalty at any size.
+    for x in (256, 512, 1024, 2048):
+        assert z25.y_at(x) > 0.9 * uniform.y_at(x)
+        # Uniform data are also unaffected by materialization.
+        assert uniform_mat.y_at(x) > 0.85 * uniform.y_at(x)
+
+    # At zipf 0.5 the exploding output hurts, and materialization makes
+    # it much worse (result tuples cross the PCIe bus).
+    for x in (512, 2048):
+        assert z50.y_at(x) < uniform.y_at(x)
+        assert z50_mat.y_at(x) < 0.7 * z50.y_at(x)

@@ -1,0 +1,16 @@
+"""Figure 21: UVA / Unified Memory for GPU-sized working sets."""
+
+from repro.bench.figures import fig21
+
+
+def test_fig21(regenerate):
+    result = regenerate(fig21)
+    bars = result.get("throughput")
+    gpu_load, uva_part, uva_join, uva_load, um = (bars.y_at(i) for i in range(5))
+
+    # Resident execution dominates every driver-managed alternative.
+    assert gpu_load > uva_part and gpu_load > uva_load
+    # Running the whole join over UVA is far worse than only loading.
+    assert uva_join < 0.5 * uva_load
+    # Unified Memory's fault overhead makes it the slowest load path.
+    assert um < uva_load

@@ -1,0 +1,16 @@
+"""Figure 22: UM vs UVA vs co-processing for out-of-GPU data."""
+
+from repro.bench.figures import fig22
+
+
+def test_fig22(regenerate):
+    result = regenerate(fig22)
+    bars = result.get("throughput")
+    um, uva, coproc = (bars.y_at(i) for i in range(3))
+
+    # Hand-managed co-processing is the only strategy near the PCIe
+    # bound; UVA re-reads every partitioning pass over the bus, and UM
+    # thrashes pages.
+    assert coproc > 3 * uva
+    assert uva > um
+    assert coproc >= 1.0

@@ -1,0 +1,90 @@
+"""Microbenchmarks of the functional kernels (real wall-clock timings).
+
+Unlike the figure benches (which time the *models*), these time the
+functional numpy kernels themselves, giving pytest-benchmark meaningful
+hot-loop numbers for regression tracking.
+"""
+
+import numpy as np
+
+from repro.cpu.radix_partition import cpu_radix_partition
+from repro.data import generate_join, unique_pair
+from repro.data.relation import Relation
+from repro.data.zipf import sample as zipf_sample
+from repro.gpusim.atomics import chain_insert
+from repro.gpusim.cost import GpuCostModel
+from repro.kernels.build_hash import build_copartition_tables
+from repro.kernels.probe_hash import probe_copartitions
+from repro.kernels.radix_partition import gpu_radix_partition
+
+MODEL = GpuCostModel()
+N = 1 << 20
+
+
+def _pair():
+    return generate_join(unique_pair(N), seed=42)
+
+
+def test_bench_radix_partition(benchmark):
+    build, _ = _pair()
+    partitioned, _ = benchmark(gpu_radix_partition, build, [8, 2], MODEL)
+    assert partitioned.num_tuples == N
+
+
+def test_bench_hash_build(benchmark):
+    build, _ = _pair()
+    partitioned, _ = gpu_radix_partition(build, [8, 2], MODEL)
+
+    def _build():
+        tables, _ = build_copartition_tables(
+            partitioned, nslots=256, elements_per_block=4096, cost_model=MODEL
+        )
+        return tables
+
+    tables = benchmark(_build)
+    assert tables.fanout == 1 << 10
+
+
+def test_bench_hash_probe(benchmark):
+    build, probe = _pair()
+    pb, _ = gpu_radix_partition(build, [8, 2], MODEL)
+    pp, _ = gpu_radix_partition(probe, [8, 2], MODEL)
+    tables, _ = build_copartition_tables(
+        pb, nslots=256, elements_per_block=4096, cost_model=MODEL
+    )
+    result = benchmark(
+        probe_copartitions,
+        tables,
+        pp,
+        elements_per_block=4096,
+        threads_per_block=512,
+        cost_model=MODEL,
+    )
+    assert result.matches == N
+
+
+def test_bench_chain_insert(benchmark):
+    rng = np.random.default_rng(0)
+    slots = rng.integers(0, 1 << 16, size=N)
+    table = benchmark(chain_insert, slots, 1 << 16)
+    assert table.num_entries == N
+
+
+def test_bench_cpu_radix_partition(benchmark):
+    build, _ = _pair()
+    partitioned = benchmark(cpu_radix_partition, build, 4)
+    assert partitioned.fanout == 16
+
+
+def test_bench_zipf_sampler(benchmark):
+    rng = np.random.default_rng(1)
+    out = benchmark(zipf_sample, 1 << 20, 0.9, 1 << 18, rng)
+    assert out.shape[0] == 1 << 18
+
+
+def test_bench_nonpartitioned_chaining(benchmark):
+    from repro.kernels.nonpartitioned import chaining_join
+
+    build, probe = generate_join(unique_pair(1 << 18), seed=7)
+    result = benchmark(chaining_join, build, probe, MODEL)
+    assert result.matches == 1 << 18

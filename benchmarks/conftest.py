@@ -1,0 +1,29 @@
+"""Shared helpers for the figure benchmarks.
+
+Every ``bench_figNN`` module regenerates one figure of the paper at the
+full workload sizes, prints the series table (the rows the paper plots),
+and asserts the figure's *shape* claims — who wins, by roughly what
+factor, where crossovers fall.  Absolute numbers are simulated seconds
+on the modelled GTX 1080 testbed and are not expected to match the
+authors' hardware exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture()
+def regenerate(benchmark, capsys):
+    """Run a figure function under pytest-benchmark and print its table."""
+
+    def _run(figure_fn, **kwargs):
+        result = benchmark.pedantic(
+            figure_fn, kwargs=kwargs, rounds=1, iterations=1
+        )
+        with capsys.disabled():
+            print()
+            print(result.table())
+        return result
+
+    return _run

@@ -1,0 +1,92 @@
+"""Reproduction of *Hardware-conscious Hash-Joins on GPUs* (ICDE 2019).
+
+The package implements the paper's full system on a simulated GPU
+substrate: the in-GPU partitioned radix join (SIII), the streaming-probe
+and CPU-GPU co-processing out-of-GPU strategies (SIV), skew-aware
+working-set packing (SIV-D), CPU baselines (PRO/NPO), behavioural models
+of the compared systems (DBMS-X, CoGaDB, UVA/UM transfer modes), and a
+harness regenerating every evaluation figure (Figs 5-22).
+
+Quick start::
+
+    from repro import GpuPartitionedJoin, generate_join, unique_pair
+
+    build, probe = generate_join(unique_pair(1 << 20))
+    result = GpuPartitionedJoin().run(build, probe)
+    print(result.metrics.throughput_billion, "billion tuples/s (simulated)")
+
+See ``examples/`` for end-to-end scenarios and ``python -m repro.bench``
+for the figure harness.
+"""
+
+from repro.baselines import CoGaDb, DbmsX, TransferStrategyComparison
+from repro.core import (
+    AdaptiveCoProcessingJoin,
+    CoProcessingJoin,
+    GpuJoinConfig,
+    GpuNonPartitionedJoin,
+    GpuPartitionedJoin,
+    JoinMetrics,
+    JoinRunResult,
+    StreamingProbeJoin,
+    choose_strategy_name,
+    estimate_with_planner,
+    plan_join,
+)
+from repro.cpu import NpoJoin, ProJoin
+from repro.data import (
+    Distribution,
+    JoinSpec,
+    Relation,
+    RelationSpec,
+    generate_join,
+    generate_relation,
+    naive_join_count,
+    naive_join_pairs,
+    replicated_pair,
+    unique_pair,
+    zipf_pair,
+)
+from repro.errors import ReproError
+from repro.query import QueryExecutor, Table
+from repro.gpusim import Calibration, GpuSpec, SystemSpec, gtx1080_system, v100_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveCoProcessingJoin",
+    "Calibration",
+    "CoGaDb",
+    "CoProcessingJoin",
+    "DbmsX",
+    "Distribution",
+    "GpuJoinConfig",
+    "GpuNonPartitionedJoin",
+    "GpuPartitionedJoin",
+    "GpuSpec",
+    "JoinMetrics",
+    "JoinRunResult",
+    "JoinSpec",
+    "NpoJoin",
+    "ProJoin",
+    "QueryExecutor",
+    "Relation",
+    "RelationSpec",
+    "ReproError",
+    "StreamingProbeJoin",
+    "SystemSpec",
+    "Table",
+    "TransferStrategyComparison",
+    "choose_strategy_name",
+    "estimate_with_planner",
+    "generate_join",
+    "generate_relation",
+    "gtx1080_system",
+    "naive_join_count",
+    "naive_join_pairs",
+    "plan_join",
+    "replicated_pair",
+    "unique_pair",
+    "v100_system",
+    "zipf_pair",
+]

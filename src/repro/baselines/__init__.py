@@ -1,0 +1,33 @@
+"""Modelled comparison systems: DBMS-X, CoGaDB, and UVA/UM transfer modes."""
+
+from repro.baselines.cogadb import CoGaDb
+from repro.baselines.dbmsx import DbmsX
+from repro.baselines.transfer_strategies import (
+    GPU_DATA_LOAD,
+    IN_GPU_MODES,
+    OOG_COPROCESSING,
+    OOG_MODES,
+    OOG_UM,
+    OOG_UVA,
+    UM_LOAD,
+    UVA_JOIN,
+    UVA_LOAD,
+    UVA_PARTITION,
+    TransferStrategyComparison,
+)
+
+__all__ = [
+    "CoGaDb",
+    "DbmsX",
+    "GPU_DATA_LOAD",
+    "IN_GPU_MODES",
+    "OOG_COPROCESSING",
+    "OOG_MODES",
+    "OOG_UM",
+    "OOG_UVA",
+    "TransferStrategyComparison",
+    "UM_LOAD",
+    "UVA_JOIN",
+    "UVA_LOAD",
+    "UVA_PARTITION",
+]

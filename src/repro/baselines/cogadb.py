@@ -1,0 +1,62 @@
+"""CoGaDB: behavioural model of the research GPU DBMS (§V-C).
+
+CoGaDB executes operator-at-a-time with full materialization between
+operators, which caps its join efficiency well below a fused,
+hardware-conscious kernel.  The paper additionally reports that it
+handles at most 128 M tuples ("not designed to operate on joins that do
+not fit one of the two sides in GPU memory") and fails to load TPC-H
+scale factor 100 ("failing to resize an internal data structure").
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import estimate_with_planner
+from repro.core.results import JoinMetrics
+from repro.data import stats as stats_mod
+from repro.data.spec import JoinSpec
+from repro.errors import BaselineUnsupportedError
+from repro.gpusim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.gpusim.spec import SystemSpec
+
+#: TPC-H scale factor beyond which loading failed (§V-C).
+_COGADB_MAX_SF_LINEITEM_ROWS = 100_000_000
+
+
+class CoGaDb:
+    """Behavioural stand-in for CoGaDB."""
+
+    name = "CoGaDB"
+
+    def __init__(
+        self,
+        system: SystemSpec | None = None,
+        calibration: Calibration | None = None,
+    ):
+        self.system = system or SystemSpec()
+        self.calib = calibration or DEFAULT_CALIBRATION
+        self._calibration = calibration
+
+    def estimate(self, spec: JoinSpec, *, materialize: bool = False) -> JoinMetrics:
+        calib = self.calib
+        if max(spec.build.n, spec.probe.n) > calib.cogadb_max_tuples:
+            raise BaselineUnsupportedError(
+                "CoGaDB cannot run joins beyond 128M tuples (one side must "
+                "fit in GPU memory; reproducing the paper's limit)"
+            )
+        if spec.probe.n > _COGADB_MAX_SF_LINEITEM_ROWS and spec.total_bytes > 4e9:
+            raise BaselineUnsupportedError(
+                "CoGaDB fails to resize an internal data structure while "
+                "loading this dataset (reproducing the paper's SF100 failure)"
+            )
+        reference = estimate_with_planner(
+            spec, self.system, self._calibration, materialize=materialize
+        )
+        seconds = reference.seconds / calib.cogadb_resident_efficiency
+        return JoinMetrics(
+            strategy=self.name,
+            seconds=seconds,
+            total_tuples=spec.total_tuples,
+            output_tuples=stats_mod.expected_join_cardinality(spec),
+            phases={"operator_at_a_time": seconds},
+            notes={"tuple_bytes": float(spec.build.tuple_bytes)},
+        )

@@ -1,0 +1,82 @@
+"""DBMS-X: behavioural model of the commercial GPU engine (§V-C).
+
+The paper compares against a closed-source, code-generating GPU DBMS.
+We cannot reimplement it; instead this model reproduces every behaviour
+the paper *reports* about it:
+
+* on GPU-resident data it runs 1.5–2x slower than the paper's
+  partitioned join (it uses a non-optimized join);
+* it only keeps datasets up to 32 M tuples GPU-resident (a key-width
+  limit the authors suspect); beyond that it falls back to an
+  out-of-GPU CPU-side join roughly 10x slower than ours;
+* it returns an error on the TPC-H SF100 orders join (Fig 14).
+"""
+
+from __future__ import annotations
+
+from repro.core.planner import estimate_with_planner
+from repro.core.results import JoinMetrics
+from repro.data import stats as stats_mod
+from repro.data.spec import JoinSpec
+from repro.errors import BaselineUnsupportedError
+from repro.gpusim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.gpusim.spec import SystemSpec
+
+#: Working-set bytes beyond which the SF100 orders join failed (§V-C).
+_DBMSX_ERROR_BYTES = 6_000_000_000
+
+
+class DbmsX:
+    """Behavioural stand-in for the commercial engine."""
+
+    name = "DBMS-X"
+
+    def __init__(
+        self,
+        system: SystemSpec | None = None,
+        calibration: Calibration | None = None,
+    ):
+        self.system = system or SystemSpec()
+        self.calib = calibration or DEFAULT_CALIBRATION
+        self._calibration = calibration
+
+    def estimate(self, spec: JoinSpec, *, materialize: bool = False) -> JoinMetrics:
+        """Modelled metrics, or :class:`BaselineUnsupportedError` for the
+        documented failure case."""
+        calib = self.calib
+        if (
+            spec.total_bytes >= _DBMSX_ERROR_BYTES
+            and spec.build.n > 100_000_000
+            and spec.probe.n >= 3 * spec.build.n
+        ):
+            # "On the join with the orders table, DBMS-X returns an error"
+            # (TPC-H SF100: 150 M-row build side, 4x larger probe side,
+            # ~6 GB working set).  Microbenchmark shapes (1:1) keep
+            # running via its out-of-GPU fallback.
+            raise BaselineUnsupportedError(
+                "DBMS-X returns an error on this working set "
+                "(reproducing the paper's SF100-orders failure)"
+            )
+        if spec.build.n <= calib.dbmsx_max_resident_tuples:
+            # DBMS-X keeps joins on the GPU while the build side stays
+            # under its 32 M-tuple limit (Fig 15's boundary), running
+            # 1.5-2x slower than our best strategy for the same data.
+            reference = estimate_with_planner(
+                spec, self.system, self._calibration, materialize=materialize
+            )
+            seconds = reference.seconds / calib.dbmsx_resident_efficiency
+            mode = "gpu_resident"
+        else:
+            # Beyond its residency limit DBMS-X "does not load data into
+            # GPU memory and simply executes an out-of-GPU join over
+            # CPU-memory resident tables".
+            seconds = spec.total_tuples / calib.dbmsx_oog_tuples_per_second
+            mode = "out_of_gpu"
+        return JoinMetrics(
+            strategy=self.name,
+            seconds=seconds,
+            total_tuples=spec.total_tuples,
+            output_tuples=stats_mod.expected_join_cardinality(spec),
+            phases={mode: seconds},
+            notes={"tuple_bytes": float(spec.build.tuple_bytes)},
+        )

@@ -1,0 +1,128 @@
+"""Alternative data-transfer mechanisms: UVA and Unified Memory.
+
+Figures 21 and 22 quantify why the paper builds its own transfer
+pipeline instead of relying on driver-managed mechanisms:
+
+* **Fig 21** (working set fits in GPU memory): bars show throughput when
+  progressively later pipeline steps read their input through UVA —
+  plain DMA load, partitioning over UVA, the whole join over UVA, UVA
+  used only to load, and Unified Memory loading.
+* **Fig 22** (out-of-GPU data): Unified Memory vs UVA vs the paper's
+  co-processing strategy.  UVA pays every partitioning pass over the
+  bus; UM additionally thrashes pages once the working set exceeds
+  device memory (§IV: "parts of the relation to be transferred over
+  multiple times").
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GpuJoinConfig
+from repro.core.coprocessing import CoProcessingJoin
+from repro.core.gpu_partitioned import GpuPartitionedJoin
+from repro.core.results import JoinMetrics
+from repro.data import stats as stats_mod
+from repro.data.spec import JoinSpec
+from repro.errors import InvalidConfigError
+from repro.gpusim.calibration import Calibration
+from repro.gpusim.spec import SystemSpec
+from repro.gpusim.transfer import TransferModel
+
+GPU_DATA_LOAD = "GPU data load"
+UVA_PARTITION = "UVA part."
+UVA_JOIN = "UVA join"
+UVA_LOAD = "UVA load"
+UM_LOAD = "UM"
+
+IN_GPU_MODES = (GPU_DATA_LOAD, UVA_PARTITION, UVA_JOIN, UVA_LOAD, UM_LOAD)
+
+OOG_UM = "UM"
+OOG_UVA = "UVA"
+OOG_COPROCESSING = "Co-processing"
+
+OOG_MODES = (OOG_UM, OOG_UVA, OOG_COPROCESSING)
+
+
+class TransferStrategyComparison:
+    """Throughput of each transfer mechanism for a given workload."""
+
+    def __init__(
+        self,
+        system: SystemSpec | None = None,
+        calibration: Calibration | None = None,
+        config: GpuJoinConfig | None = None,
+    ):
+        self.system = system or SystemSpec()
+        self.join = GpuPartitionedJoin(self.system, calibration, config)
+        self.transfer = TransferModel(self.system, self.join.cost_model.calib)
+        self.coprocessing = CoProcessingJoin(self.system, calibration, config)
+
+    # ------------------------------------------------------------------
+    def _metrics(self, name: str, spec: JoinSpec, seconds: float) -> JoinMetrics:
+        return JoinMetrics(
+            strategy=name,
+            seconds=seconds,
+            total_tuples=spec.total_tuples,
+            output_tuples=stats_mod.expected_join_cardinality(spec),
+            notes={"tuple_bytes": float(spec.build.tuple_bytes)},
+        )
+
+    def in_gpu(self, spec: JoinSpec, mode: str) -> JoinMetrics:
+        """Fig 21: GPU-sized working sets, varying how input arrives."""
+        resident = self.join.estimate(spec)
+        join_seconds = resident.seconds
+        partition_seconds = resident.phases["partition"]
+        compute_only = join_seconds - partition_seconds
+        nbytes = spec.total_bytes
+
+        if mode == GPU_DATA_LOAD:
+            # Data already GPU resident, "as in our in-GPU experiments"
+            # (§V-F) — the load is not part of the measured query.
+            seconds = join_seconds
+        elif mode == UVA_PARTITION:
+            # The first partitioning pass reads its input over the bus;
+            # everything after runs on device-resident buckets.
+            first_pass = max(
+                partition_seconds / 2.0, self.transfer.uva_sequential_seconds(nbytes)
+            )
+            seconds = first_pass + partition_seconds / 2.0 + compute_only
+        elif mode == UVA_JOIN:
+            # Both partitioning passes and the probe scan pull from host
+            # memory: three sequential traversals over the bus.
+            seconds = 3.0 * self.transfer.uva_sequential_seconds(nbytes) + compute_only
+        elif mode == UVA_LOAD:
+            # UVA used only to stage the input into device memory.
+            seconds = self.transfer.uva_sequential_seconds(nbytes) + join_seconds
+        elif mode == UM_LOAD:
+            # Unified Memory migrates pages on first touch.
+            seconds = self.transfer.um_migration_seconds(nbytes) + join_seconds
+        else:
+            raise InvalidConfigError(f"unknown Fig 21 mode: {mode!r}")
+        return self._metrics(mode, spec, seconds)
+
+    # ------------------------------------------------------------------
+    def out_of_gpu(self, spec: JoinSpec, mode: str) -> JoinMetrics:
+        """Fig 22: datasets larger than device memory."""
+        nbytes = spec.total_bytes
+        if mode == OOG_COPROCESSING:
+            return self.coprocessing.estimate(spec)
+        if mode == OOG_UVA:
+            # Every partitioning pass reads and writes host memory over
+            # the bus (two passes), and the probe pass reads once more:
+            # ~5 traversals of the combined input.
+            seconds = 5.0 * self.transfer.uva_sequential_seconds(nbytes)
+        elif mode == OOG_UM:
+            # Pages thrash: the partitioning passes' scattered writes
+            # evict and re-fault pages repeatedly (§IV-B: "the irregular
+            # access patterns ... cause parts of the relation to be
+            # transferred over multiple times").  The working set spans
+            # the inputs plus their partitioned copies.
+            from repro.core.gpu_partitioned import gpu_resident_bytes_needed
+
+            seconds = self.transfer.um_migration_seconds(
+                nbytes,
+                working_set_bytes=gpu_resident_bytes_needed(spec),
+                reuse_passes=4.0,
+            )
+        else:
+            raise InvalidConfigError(f"unknown Fig 22 mode: {mode!r}")
+        return self._metrics(mode, spec, seconds)

@@ -1,0 +1,6 @@
+"""Benchmark harness: figure regeneration and the CLI."""
+
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.harness import FigureResult, Series
+
+__all__ = ["ALL_FIGURES", "FigureResult", "Series"]

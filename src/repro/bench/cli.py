@@ -1,0 +1,101 @@
+"""Command line: regenerate the paper's figures as text tables.
+
+Usage::
+
+    python -m repro.bench --figure 8          # one figure
+    python -m repro.bench --all               # everything (Figs 5-22)
+    python -m repro.bench --list              # what exists
+    python -m repro.bench --figure 12 --scale 0.01   # quick smoke run
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import ALL_FIGURES
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the evaluation figures of 'Hardware-conscious "
+        "Hash-Joins on GPUs' (ICDE 2019) on the simulated testbed.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        help="figure number (5-22) or name (fig08); repeatable",
+    )
+    parser.add_argument("--all", action="store_true", help="run every figure")
+    parser.add_argument("--list", action="store_true", help="list figures")
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="shrink workload cardinalities by this factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--snapshot", metavar="FILE", help="store every figure's series as JSON"
+    )
+    parser.add_argument(
+        "--compare", metavar="FILE", help="diff figures against a stored snapshot"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="relative tolerance for --compare (default 0.05)",
+    )
+    parser.add_argument(
+        "--refresh-experiments",
+        metavar="FILE",
+        help="re-run the figures and splice fresh tables into EXPERIMENTS.md",
+    )
+    args = parser.parse_args(argv)
+
+    if args.refresh_experiments:
+        from repro.bench.report import refresh_experiments
+
+        refreshed = refresh_experiments(args.refresh_experiments, scale=args.scale)
+        print(f"refreshed {len(refreshed)} tables in {args.refresh_experiments}")
+        return 0
+
+    if args.snapshot:
+        from repro.bench.compare import snapshot
+
+        snapshot(args.snapshot, scale=args.scale)
+        print(f"snapshot written to {args.snapshot}")
+        return 0
+    if args.compare:
+        from repro.bench.compare import compare
+
+        deviations = compare(args.compare, tolerance=args.tolerance)
+        for deviation in deviations:
+            print(deviation)
+        print(f"{len(deviations)} deviation(s) beyond {args.tolerance:.0%}")
+        return 1 if deviations else 0
+
+    if args.list:
+        for name, fn in ALL_FIGURES.items():
+            print(f"{name}: {fn.__doc__ or ''}".rstrip(": "))
+        return 0
+
+    names: list[str] = []
+    if args.all or not args.figure:
+        names = list(ALL_FIGURES)
+    else:
+        for item in args.figure:
+            key = item if item.startswith("fig") else f"fig{int(item):02d}"
+            if key not in ALL_FIGURES:
+                parser.error(f"unknown figure: {item} (try --list)")
+            names.append(key)
+
+    for name in names:
+        print(ALL_FIGURES[name](scale=args.scale).table())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,537 @@
+"""Regeneration of every figure in the paper's evaluation (Figs 5–22).
+
+Each ``figNN()`` function returns a :class:`~repro.bench.harness.FigureResult`
+holding the same series the paper plots, computed with the analytic
+``estimate()`` paths at the paper's workload sizes.  A ``scale``
+parameter (default 1.0) shrinks cardinalities proportionally for quick
+smoke runs; shape assertions in ``benchmarks/`` use the full scale.
+
+Throughputs are reported in **billion tuples per second** over both
+inputs, matching the paper's metric (§V-A), except Fig 16 which uses
+GB/s of input data.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines import (
+    IN_GPU_MODES,
+    OOG_MODES,
+    CoGaDb,
+    DbmsX,
+    TransferStrategyComparison,
+)
+from repro.bench.harness import FigureResult
+from repro.core import (
+    CoProcessingJoin,
+    GpuJoinConfig,
+    GpuNonPartitionedJoin,
+    GpuPartitionedJoin,
+    StreamingProbeJoin,
+    estimate_with_planner,
+    fig5_config,
+)
+from repro.data import JoinSpec, RelationSpec, replicated_pair, unique_pair, zipf_pair
+from repro.data.spec import Distribution
+from repro.data.tpch import join_specs as tpch_join_specs
+from repro.errors import BaselineUnsupportedError, DeviceMemoryOverflowError
+from repro.gpusim.spec import SystemSpec
+from repro.kernels.nonpartitioned import PERFECT
+
+M = 1_000_000
+
+
+def _scaled(n_millions: float, scale: float) -> int:
+    return max(1024, int(n_millions * M * scale))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: hash join vs nested loops, by partition size
+# ---------------------------------------------------------------------------
+def fig05(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig05",
+        "Comparison of partitioned joins: hash join vs nested loops",
+        "partition size (#elements)",
+        "billion tuples/sec",
+    )
+    n = _scaled(2, scale)
+    series = {
+        ("hash", "total"): result.new_series("Hash join - total"),
+        ("hash", "join"): result.new_series("Hash join - join co-partitions"),
+        ("nlj", "total"): result.new_series("Nested loop - total"),
+        ("nlj", "join"): result.new_series("Nested loop - join co-partitions"),
+    }
+    for partition_size in (256, 512, 1024, 2048):
+        bits = max(1, round(math.log2(max(2, n / partition_size))))
+        for kernel in ("hash", "nlj"):
+            join = GpuPartitionedJoin(config=fig5_config(bits, kernel))
+            metrics = join.estimate(unique_pair(n))
+            series[(kernel, "total")].add(partition_size, metrics.throughput_billion)
+            series[(kernel, "join")].add(
+                partition_size, metrics.phase_throughput("join") / 1e9
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 6: shared vs device memory for the co-partition hash tables
+# ---------------------------------------------------------------------------
+def fig06(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig06",
+        "Hash table in device vs shared memory",
+        "build/probe relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    series = {
+        (True, "total"): result.new_series("Shared mem - total"),
+        (True, "join"): result.new_series("Shared mem - join co-partitions"),
+        (False, "total"): result.new_series("Device mem - total"),
+        (False, "join"): result.new_series("Device mem - join co-partitions"),
+    }
+    for millions in (1, 2, 4, 8, 16, 32, 64, 128):
+        spec = unique_pair(_scaled(millions, scale))
+        for shared in (True, False):
+            join = GpuPartitionedJoin(
+                config=GpuJoinConfig(use_shared_memory=shared)
+            )
+            metrics = join.estimate(spec)
+            series[(shared, "total")].add(millions, metrics.throughput_billion)
+            series[(shared, "join")].add(
+                millions, metrics.phase_throughput("join") / 1e9
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: aggregation vs materialization (in-GPU)
+# ---------------------------------------------------------------------------
+def fig07(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig07",
+        "Partitioned hash join with and without output materialization",
+        "build/probe relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    join = GpuPartitionedJoin()
+    agg = result.new_series("Aggregation")
+    mat = result.new_series("Materialization")
+    for millions in (1, 2, 4, 8, 16, 32, 64, 128):
+        spec = unique_pair(_scaled(millions, scale))
+        agg.add(millions, join.estimate(spec).throughput_billion)
+        mat.add(millions, join.estimate(spec, materialize=True).throughput_billion)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: partitioned vs non-partitioned vs CPU joins, by ratio
+# ---------------------------------------------------------------------------
+def fig08(scale: float = 1.0) -> FigureResult:
+    from repro.cpu import NpoJoin, ProJoin
+
+    result = FigureResult(
+        "fig08",
+        "Hash join families for different build-to-probe ratios",
+        "build relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    systems = {
+        "GPU Partitioned": GpuPartitionedJoin(),
+        "GPU Non-partitioned": GpuNonPartitionedJoin(),
+        "GPU Non-partitioned w/ perfect hash": GpuNonPartitionedJoin(variant=PERFECT),
+        "CPU PRO": ProJoin(),
+        "CPU NPO": NpoJoin(),
+    }
+    for ratio in (1, 2, 4):
+        for name, system in systems.items():
+            series = result.new_series(f"{name} (1:{ratio})")
+            for millions in (1, 2, 4, 8, 16, 32, 64, 128):
+                build_n = _scaled(millions, scale)
+                spec = unique_pair(build_n, build_n * ratio)
+                try:
+                    metrics = system.estimate(spec)
+                except DeviceMemoryOverflowError:
+                    series.add(millions, None)
+                    continue
+                throughput = metrics.throughput / 1e9
+                series.add(millions, throughput)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 9 & 10: payload-size sweeps
+# ---------------------------------------------------------------------------
+def _payload_figure(figure: str, side: str, scale: float) -> FigureResult:
+    result = FigureResult(
+        figure,
+        f"Effect of varying {side}-side payload size",
+        "payload size (bytes)",
+        "billion tuples/sec",
+    )
+    partitioned = result.new_series("GPU Partitioned")
+    nonpartitioned = result.new_series("GPU Non-Partitioned")
+    n = _scaled(32, scale)
+    for payload in (16, 32, 48, 64, 80, 96, 112, 128):
+        base = unique_pair(n)
+        if side == "probe":
+            spec = JoinSpec(
+                build=base.build, probe=base.probe.with_payload(late_payload_bytes=payload)
+            )
+        else:
+            spec = JoinSpec(
+                build=base.build.with_payload(late_payload_bytes=payload),
+                probe=base.probe,
+            )
+        partitioned.add(
+            payload, GpuPartitionedJoin().estimate(spec).throughput_billion
+        )
+        nonpartitioned.add(
+            payload, GpuNonPartitionedJoin().estimate(spec).throughput_billion
+        )
+    return result
+
+
+def fig09(scale: float = 1.0) -> FigureResult:
+    return _payload_figure("fig09", "probe", scale)
+
+
+def fig10(scale: float = 1.0) -> FigureResult:
+    return _payload_figure("fig10", "build", scale)
+
+
+# ---------------------------------------------------------------------------
+# Figure 11: streamed probe side vs CPU
+# ---------------------------------------------------------------------------
+def fig11(scale: float = 1.0) -> FigureResult:
+    from repro.cpu import ProJoin
+
+    result = FigureResult(
+        "fig11",
+        "Streamed probe-side vs CPU",
+        "probe relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    streaming = StreamingProbeJoin()
+    pro = ProJoin()
+    agg = result.new_series("GPU Partitioned (aggregation)")
+    mat = result.new_series("GPU Partitioned (materialization)")
+    cpu = result.new_series("CPU PRO")
+    build_n = _scaled(64, scale)
+    for millions in (64, 128, 256, 512, 1024, 2048):
+        probe_n = _scaled(millions, scale)
+        spec = JoinSpec(
+            build=RelationSpec(n=build_n),
+            probe=RelationSpec(
+                n=probe_n, distinct=build_n, distribution=Distribution.UNIFORM
+            ),
+        )
+        agg.add(millions, streaming.estimate(spec).throughput_billion)
+        mat.add(
+            millions, streaming.estimate(spec, materialize=True).throughput_billion
+        )
+        cpu.add(millions, pro.estimate(spec).throughput / 1e9)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: co-processing join vs CPU, by ratio
+# ---------------------------------------------------------------------------
+def fig12(scale: float = 1.0) -> FigureResult:
+    from repro.cpu import NpoJoin, ProJoin
+
+    result = FigureResult(
+        "fig12",
+        "Co-processing join vs CPU",
+        "build relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    coproc = CoProcessingJoin()
+    pro, npo = ProJoin(), NpoJoin()
+    # The paper stops at a total dataset of ~80 GB: "leaving insufficient
+    # memory space for the CPU-side processing" (SV-C) - inputs, their
+    # pinned partitioned copies, and OS headroom must coexist in 256 GB.
+    host_budget = SystemSpec().cpu.host_memory * 0.28
+    for ratio in (1, 2, 4):
+        gpu_series = result.new_series(f"GPU Partitioned (1:{ratio})")
+        pro_series = result.new_series(f"CPU PRO (1:{ratio})")
+        npo_series = result.new_series(f"CPU NPO (1:{ratio})")
+        for millions in (256, 512, 1024, 2048):
+            build_n = _scaled(millions, scale)
+            spec = unique_pair(build_n, build_n * ratio)
+            if spec.total_bytes > host_budget:
+                # The paper stops where "the total dataset size ...
+                # leav[es] insufficient memory space for the CPU-side
+                # processing" (§V-C).
+                gpu_series.add(millions, None)
+                pro_series.add(millions, None)
+                npo_series.add(millions, None)
+                continue
+            gpu_series.add(millions, coproc.estimate(spec).throughput_billion)
+            pro_series.add(millions, pro.estimate(spec).throughput / 1e9)
+            npo_series.add(millions, npo.estimate(spec).throughput / 1e9)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: scalability with CPU threads
+# ---------------------------------------------------------------------------
+def fig13(scale: float = 1.0) -> FigureResult:
+    from repro.cpu import ProJoin
+
+    result = FigureResult(
+        "fig13",
+        "Scalability with CPU threads",
+        "number of threads",
+        "billion tuples/sec",
+    )
+    coproc_series = result.new_series("GPU Partitioned (co-processing)")
+    pro_series = result.new_series("CPU PRO")
+    coproc, pro = CoProcessingJoin(), ProJoin()
+    spec = unique_pair(_scaled(512, scale))
+    for threads in range(2, 47, 4):
+        coproc_series.add(
+            threads, coproc.estimate(spec, threads=threads).throughput_billion
+        )
+        pro_series.add(threads, pro.estimate(spec, threads=threads).throughput / 1e9)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: TPC-H joins vs DBMS-X and CoGaDB
+# ---------------------------------------------------------------------------
+def fig14(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig14",
+        "Joins on TPC-H tables (lineitem x customer / orders)",
+        "query",
+        "billion tuples/sec",
+        x_ticks=[
+            "SF10 customer",
+            "SF10 orders",
+            "SF100 customer",
+            "SF100 orders",
+        ],
+    )
+    ours = result.new_series("GPU Partitioned")
+    dbmsx = result.new_series("DBMS-X")
+    cogadb = result.new_series("CoGaDB")
+    tick = 0
+    for sf in (10, 100):
+        specs = tpch_join_specs(sf * scale)
+        for query in ("customer", "orders"):
+            spec = specs[query]
+            ours.add(tick, estimate_with_planner(spec).throughput / 1e9)
+            for series, system in ((dbmsx, DbmsX()), (cogadb, CoGaDb())):
+                try:
+                    series.add(tick, system.estimate(spec).throughput / 1e9)
+                except BaselineUnsupportedError:
+                    series.add(tick, None)
+            tick += 1
+    result.notes.append(
+        "'fail' entries reproduce the paper's reported failures: DBMS-X "
+        "errors on SF100-orders; CoGaDB cannot load SF100."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15: state-of-the-art GPU systems by relation size
+# ---------------------------------------------------------------------------
+def fig15(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig15",
+        "State-of-the-art GPU systems",
+        "build/probe relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    ours = result.new_series("GPU Partitioned")
+    dbmsx_series = result.new_series("DBMS-X")
+    cogadb_series = result.new_series("CoGaDB")
+    dbmsx, cogadb = DbmsX(), CoGaDb()
+    for millions in (1, 2, 4, 8, 16, 32, 64, 128, 256, 512):
+        spec = unique_pair(_scaled(millions, scale))
+        ours.add(millions, estimate_with_planner(spec).throughput / 1e9)
+        try:
+            dbmsx_series.add(millions, dbmsx.estimate(spec).throughput / 1e9)
+        except BaselineUnsupportedError:
+            dbmsx_series.add(millions, None)
+        try:
+            cogadb_series.add(millions, cogadb.estimate(spec).throughput / 1e9)
+        except (BaselineUnsupportedError, DeviceMemoryOverflowError):
+            cogadb_series.add(millions, None)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 16: NUMA staging vs direct copies
+# ---------------------------------------------------------------------------
+def fig16(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig16",
+        "Staging vs direct copies",
+        "build/probe relation size (million tuples)",
+        "throughput (GBps)",
+    )
+    staged_series = result.new_series("Staging")
+    direct_series = result.new_series("Direct copy")
+    staged = CoProcessingJoin(staging=True)
+    direct = CoProcessingJoin(staging=False)
+    for millions in (256, 512, 1024, 2048):
+        spec = unique_pair(_scaled(millions, scale))
+        staged_series.add(millions, staged.estimate(spec).data_gbps)
+        direct_series.add(millions, direct.estimate(spec).data_gbps)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 17 & 18: skewed inputs, in-GPU and out-of-GPU
+# ---------------------------------------------------------------------------
+def _skew_figure(
+    figure: str, title: str, n: int, strategy_factory
+) -> FigureResult:
+    result = FigureResult(figure, title, "zipf factor", "billion tuples/sec")
+    for side, label in (
+        ("probe", "Skewed probe"),
+        ("build", "Skewed build"),
+        ("both", "Identically skewed"),
+    ):
+        for materialize in (False, True):
+            suffix = " (materialization)" if materialize else " (aggregation)"
+            series = result.new_series(label + suffix)
+            for z in (0.0, 0.25, 0.5, 0.75, 1.0):
+                spec = zipf_pair(n, z, skew_side=side)
+                strategy = strategy_factory()
+                series.add(
+                    z, strategy.estimate(spec, materialize=materialize).throughput_billion
+                )
+    return result
+
+
+def fig17(scale: float = 1.0) -> FigureResult:
+    return _skew_figure(
+        "fig17",
+        "Skew on GPU-resident data",
+        _scaled(32, scale),
+        GpuPartitionedJoin,
+    )
+
+
+def fig18(scale: float = 1.0) -> FigureResult:
+    return _skew_figure(
+        "fig18",
+        "Skew on CPU-resident data (co-processing)",
+        _scaled(512, scale),
+        CoProcessingJoin,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 19: uniform numbers of replicas
+# ---------------------------------------------------------------------------
+def fig19(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig19",
+        "Uniform number of replicas",
+        "avg. number of replicas",
+        "billion tuples/sec",
+    )
+    for resident, label, n_millions in (
+        (True, "GPU resident", 32),
+        (False, "CPU resident", 512),
+    ):
+        n = _scaled(n_millions, scale)
+        for materialize in (False, True):
+            suffix = " (materialization)" if materialize else " (aggregation)"
+            series = result.new_series(label + suffix)
+            for replicas in (1, 2, 3, 4):
+                spec = replicated_pair(n, replicas)
+                strategy = GpuPartitionedJoin() if resident else CoProcessingJoin()
+                series.add(
+                    replicas,
+                    strategy.estimate(spec, materialize=materialize).throughput_billion,
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 20: input size vs (identically) skewed inputs
+# ---------------------------------------------------------------------------
+def fig20(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig20",
+        "Input size vs skewed inputs (co-processing)",
+        "probe/build relation size (million tuples)",
+        "billion tuples/sec",
+    )
+    coproc = CoProcessingJoin()
+    for z, label in ((0.0, "Uniform"), (0.25, "zipf 0.25"), (0.5, "zipf 0.5")):
+        for materialize in (False, True):
+            suffix = " (materialization)" if materialize else " (aggregation)"
+            series = result.new_series(label + suffix)
+            for millions in (256, 512, 1024, 2048):
+                spec = zipf_pair(_scaled(millions, scale), z, skew_side="both")
+                series.add(
+                    millions,
+                    coproc.estimate(spec, materialize=materialize).throughput_billion,
+                )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 21 & 22: UVA / Unified Memory transfer mechanisms
+# ---------------------------------------------------------------------------
+def fig21(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig21",
+        "Effect of UVA and UM (GPU-sized working set)",
+        "last step using technique",
+        "billion tuples/sec",
+        x_ticks=list(IN_GPU_MODES),
+    )
+    comparison = TransferStrategyComparison()
+    spec = unique_pair(_scaled(32, scale))
+    series = result.new_series("throughput")
+    for index, mode in enumerate(IN_GPU_MODES):
+        series.add(index, comparison.in_gpu(spec, mode).throughput_billion)
+    return result
+
+
+def fig22(scale: float = 1.0) -> FigureResult:
+    result = FigureResult(
+        "fig22",
+        "Throughput with UVA/UM for out-of-GPU data",
+        "technique",
+        "billion tuples/sec",
+        x_ticks=list(OOG_MODES),
+    )
+    comparison = TransferStrategyComparison()
+    spec = unique_pair(_scaled(512, scale))
+    series = result.new_series("throughput")
+    for index, mode in enumerate(OOG_MODES):
+        series.add(index, comparison.out_of_gpu(spec, mode).throughput_billion)
+    return result
+
+
+#: Registry used by the CLI and the benchmark modules.
+ALL_FIGURES = {
+    "fig05": fig05,
+    "fig06": fig06,
+    "fig07": fig07,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+    "fig18": fig18,
+    "fig19": fig19,
+    "fig20": fig20,
+    "fig21": fig21,
+    "fig22": fig22,
+}

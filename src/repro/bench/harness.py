@@ -1,0 +1,114 @@
+"""Experiment harness: series containers and table rendering.
+
+Every figure of the paper's evaluation is regenerated as a
+:class:`FigureResult` — a set of named series over a shared x-axis —
+which renders as an aligned text table (the same rows/columns the
+paper plots).  Benchmarks assert shape properties against these series;
+the CLI (``python -m repro.bench``) prints them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidConfigError
+
+
+@dataclass
+class Series:
+    """One line (or bar group) of a figure."""
+
+    label: str
+    points: list[tuple[float, float | None]] = field(default_factory=list)
+
+    def add(self, x: float, y: float | None) -> None:
+        self.points.append((x, y))
+
+    def xs(self) -> list[float]:
+        return [x for x, _ in self.points]
+
+    def ys(self) -> list[float | None]:
+        return [y for _, y in self.points]
+
+    def y_at(self, x: float) -> float | None:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise InvalidConfigError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: title, axes, and series."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: list[Series] = field(default_factory=list)
+    #: Optional categorical x tick labels (bar charts: Figs 14, 21, 22).
+    x_ticks: list[str] | None = None
+    notes: list[str] = field(default_factory=list)
+
+    def new_series(self, label: str) -> Series:
+        series = Series(label)
+        self.series.append(series)
+        return series
+
+    def get(self, label: str) -> Series:
+        for series in self.series:
+            if series.label == label:
+                return series
+        raise InvalidConfigError(
+            f"{self.figure}: no series {label!r}; have "
+            f"{[s.label for s in self.series]}"
+        )
+
+    # ------------------------------------------------------------------
+    def table(self) -> str:
+        """Aligned text table: one row per x value, one column per series."""
+        xs: list[float] = []
+        for series in self.series:
+            for x in series.xs():
+                if x not in xs:
+                    xs.append(x)
+        xs.sort()
+
+        def fmt(value: float | None) -> str:
+            if value is None:
+                return "fail"
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:.0f}"
+            return f"{value:.3g}"
+
+        header = [self.x_label] + [s.label for s in self.series]
+        rows: list[list[str]] = []
+        for x in xs:
+            if self.x_ticks is not None and int(x) < len(self.x_ticks):
+                x_cell = self.x_ticks[int(x)]
+            else:
+                x_cell = fmt(x)
+            row = [x_cell]
+            for series in self.series:
+                try:
+                    row.append(fmt(series.y_at(x)))
+                except InvalidConfigError:
+                    row.append("-")
+            rows.append(row)
+
+        widths = [
+            max(len(header[c]), *(len(r[c]) for r in rows)) if rows else len(header[c])
+            for c in range(len(header))
+        ]
+        lines = [
+            f"{self.figure}: {self.title}   [y: {self.y_label}]",
+            "  ".join(h.ljust(widths[c]) for c, h in enumerate(header)),
+            "  ".join("-" * widths[c] for c in range(len(header))),
+        ]
+        for row in rows:
+            lines.append("  ".join(cell.ljust(widths[c]) for c, cell in enumerate(row)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)

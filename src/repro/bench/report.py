@@ -1,0 +1,42 @@
+"""Regenerate the tables section of ``EXPERIMENTS.md``.
+
+The commentary in ``EXPERIMENTS.md`` is hand-written (paper-vs-measured
+judgement), but every table in it is harness output.  This tool re-runs
+the figures and splices the fresh tables into the document in place, so
+the recorded results can never drift from what the code produces:
+
+    python -m repro.bench --refresh-experiments EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.bench.figures import ALL_FIGURES
+from repro.errors import InvalidConfigError
+
+#: A fenced block whose first line is "figNN: ..." is a harness table.
+_TABLE_BLOCK = re.compile(r"```\n(fig\d{2}):.*?\n```", re.DOTALL)
+
+
+def refresh_experiments(path: str | Path, *, scale: float = 1.0) -> list[str]:
+    """Replace every figure table in ``path`` with freshly computed ones.
+
+    Returns the list of figure names that were refreshed.  Raises if the
+    document references a figure the harness does not provide.
+    """
+    document = Path(path).read_text()
+    refreshed: list[str] = []
+
+    def _replace(match: re.Match) -> str:
+        name = match.group(1)
+        if name not in ALL_FIGURES:
+            raise InvalidConfigError(f"{path} references unknown figure {name!r}")
+        refreshed.append(name)
+        table = ALL_FIGURES[name](scale=scale).table()
+        return f"```\n{table}\n```"
+
+    updated = _TABLE_BLOCK.sub(_replace, document)
+    Path(path).write_text(updated)
+    return refreshed

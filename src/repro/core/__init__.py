@@ -1,0 +1,59 @@
+"""The paper's contribution: the hardware-conscious GPU join family."""
+
+from repro.core.adaptive import (
+    AdaptiveCoProcessingJoin,
+    recommend_partition_threads,
+    recommend_staging_threads,
+)
+from repro.core.config import (
+    HASH_PROBE,
+    NLJ_PROBE,
+    GpuJoinConfig,
+    default_config,
+    fig5_config,
+)
+from repro.core.coprocessing import CoProcessingJoin, CoProcessingPlan
+from repro.core.gpu_nonpartitioned import GpuNonPartitionedJoin
+from repro.core.gpu_partitioned import GpuPartitionedJoin
+from repro.core.planner import (
+    COPROCESSING,
+    GPU_RESIDENT,
+    STREAMING,
+    choose_strategy_name,
+    estimate_with_planner,
+    plan_join,
+)
+from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.streaming import StreamingProbeJoin
+from repro.core.working_set import (
+    WorkingSet,
+    knapsack_first_working_set,
+    pack_working_sets,
+)
+
+__all__ = [
+    "AdaptiveCoProcessingJoin",
+    "COPROCESSING",
+    "CoProcessingJoin",
+    "CoProcessingPlan",
+    "GPU_RESIDENT",
+    "GpuJoinConfig",
+    "GpuNonPartitionedJoin",
+    "GpuPartitionedJoin",
+    "HASH_PROBE",
+    "JoinMetrics",
+    "JoinRunResult",
+    "NLJ_PROBE",
+    "STREAMING",
+    "StreamingProbeJoin",
+    "WorkingSet",
+    "choose_strategy_name",
+    "default_config",
+    "estimate_with_planner",
+    "recommend_partition_threads",
+    "recommend_staging_threads",
+    "fig5_config",
+    "knapsack_first_working_set",
+    "pack_working_sets",
+    "plan_join",
+]

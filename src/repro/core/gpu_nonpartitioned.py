@@ -1,0 +1,158 @@
+"""The non-partitioned GPU hash join strategy (§V-B comparison point).
+
+Wraps the chaining and perfect-hash kernels behind the same strategy
+interface as :class:`~repro.core.gpu_partitioned.GpuPartitionedJoin` so
+the evaluation harness can sweep both families uniformly.
+"""
+
+from __future__ import annotations
+
+from repro.core.gpu_partitioned import OUT_TUPLE_BYTES, spec_from_relations
+from repro.core.results import JoinMetrics, JoinRunResult
+from repro.data import stats as stats_mod
+from repro.data.relation import Relation
+from repro.data.spec import JoinSpec
+from repro.errors import DeviceMemoryOverflowError, InvalidConfigError
+from repro.gpusim.calibration import Calibration
+from repro.gpusim.cost import GpuCostModel, KernelCost
+from repro.gpusim.spec import SystemSpec
+from repro.kernels.aggregate import aggregate_pairs
+from repro.kernels.nonpartitioned import CHAINING, PERFECT, chaining_join, perfect_hash_join
+
+
+class GpuNonPartitionedJoin:
+    """Single global hash table in device memory (chaining or perfect)."""
+
+    def __init__(
+        self,
+        system: SystemSpec | None = None,
+        calibration: Calibration | None = None,
+        *,
+        variant: str = CHAINING,
+    ):
+        if variant not in (CHAINING, PERFECT):
+            raise InvalidConfigError(f"unknown variant: {variant!r}")
+        self.system = system or SystemSpec()
+        self.cost_model = GpuCostModel(self.system, calibration)
+        self.variant = variant
+
+    @property
+    def name(self) -> str:
+        if self.variant == PERFECT:
+            return "GPU Non-partitioned w/ perfect hash"
+        return "GPU Non-partitioned"
+
+    # ------------------------------------------------------------------
+    def _check_device_memory(self, spec: JoinSpec) -> None:
+        # Inputs + the global hash table (slot array sized to the build).
+        needed = spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
+        if needed > self.system.gpu.device_memory:
+            raise DeviceMemoryOverflowError(
+                f"non-partitioned join needs {needed / 1e9:.2f} GB but the "
+                f"device has {self.system.gpu.device_memory / 1e9:.2f} GB"
+            )
+
+    def _gather_cost(self, spec: JoinSpec, matches: float) -> KernelCost:
+        """Late materialization: probe identifiers stay in scan order, so
+        probe-side attributes stream sequentially; build-side matches are
+        in hash order and gather randomly (§V-B, Figs 9–10)."""
+        cost = KernelCost.zero()
+        if spec.probe.late_payload_bytes:
+            cost = cost + self.cost_model.gather_payload(
+                matches, spec.probe.late_payload_bytes, random=False
+            )
+        if spec.build.late_payload_bytes:
+            cost = cost + self.cost_model.gather_payload(
+                matches, spec.build.late_payload_bytes, random=True
+            )
+        return cost
+
+    def _metrics(
+        self,
+        spec: JoinSpec,
+        build_cost: KernelCost,
+        probe_cost: KernelCost,
+        gather_cost: KernelCost,
+        matches: float,
+    ) -> JoinMetrics:
+        seconds = build_cost.seconds + probe_cost.seconds + gather_cost.seconds
+        return JoinMetrics(
+            strategy=self.name,
+            seconds=seconds,
+            total_tuples=spec.total_tuples,
+            output_tuples=matches,
+            phases={
+                "build": build_cost.seconds,
+                "probe": probe_cost.seconds,
+                "gather": gather_cost.seconds,
+            },
+            notes={"tuple_bytes": float(spec.build.tuple_bytes)},
+        )
+
+    # ------------------------------------------------------------------
+    def estimate(self, spec: JoinSpec, *, materialize: bool = False) -> JoinMetrics:
+        self._check_device_memory(spec)
+        calib = self.cost_model.calib
+        matches = stats_mod.expected_join_cardinality(spec)
+        if self.variant == PERFECT:
+            build_cost = KernelCost(
+                self.cost_model.scan_seconds(spec.build.nbytes)
+                + calib.kernel_launch_seconds
+            )
+            accesses = calib.perfect_hash_accesses_per_probe
+        else:
+            build_cost = self.cost_model.nonpartitioned_build(
+                spec.build.n, spec.build.tuple_bytes
+            )
+            accesses = calib.nonpartitioned_accesses_per_probe
+        probe_cost = self.cost_model.nonpartitioned_probe(
+            spec.probe.n,
+            spec.build.n,
+            spec.probe.tuple_bytes,
+            accesses_per_probe=accesses,
+            matches=matches,
+            materialize=materialize,
+            out_tuple_bytes=OUT_TUPLE_BYTES,
+        )
+        gather_cost = self._gather_cost(spec, matches)
+        return self._metrics(spec, build_cost, probe_cost, gather_cost, matches)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        build: Relation,
+        probe: Relation,
+        *,
+        materialize: bool = False,
+    ) -> JoinRunResult:
+        if self.variant == PERFECT:
+            result = perfect_hash_join(
+                build,
+                probe,
+                self.cost_model,
+                materialize=materialize,
+                out_tuple_bytes=OUT_TUPLE_BYTES,
+            )
+        else:
+            result = chaining_join(
+                build,
+                probe,
+                self.cost_model,
+                materialize=materialize,
+                out_tuple_bytes=OUT_TUPLE_BYTES,
+            )
+        spec = spec_from_relations(build, probe)
+        gather_cost = self._gather_cost(spec, float(result.matches))
+        metrics = self._metrics(
+            spec, result.build_cost, result.probe_cost, gather_cost, float(result.matches)
+        )
+        if materialize:
+            return JoinRunResult(
+                metrics=metrics,
+                build_payloads=result.build_payloads,
+                probe_payloads=result.probe_payloads,
+            )
+        return JoinRunResult(
+            metrics=metrics,
+            aggregate=aggregate_pairs(result.build_payloads, result.probe_payloads),
+        )

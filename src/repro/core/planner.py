@@ -1,0 +1,82 @@
+"""Location-based strategy selection.
+
+A central claim of the paper is that "a one-size-fits-all approach is
+not suitable for GPU joins": the right algorithm depends on where the
+data can live.  The planner encodes that decision:
+
+* both relations (plus partitioned copies) fit in device memory
+  → in-GPU partitioned join (§III);
+* only the build side fits (with room for double-buffered chunks)
+  → streaming probe join (§IV-A);
+* neither fits → CPU–GPU co-processing (§IV-B).
+"""
+
+from __future__ import annotations
+
+from repro.core.config import GpuJoinConfig
+from repro.core.coprocessing import CoProcessingJoin
+from repro.core.gpu_partitioned import GpuPartitionedJoin
+from repro.core.streaming import StreamingProbeJoin
+from repro.data.spec import JoinSpec
+from repro.errors import DeviceMemoryOverflowError
+from repro.gpusim.calibration import Calibration
+from repro.gpusim.spec import SystemSpec
+
+GPU_RESIDENT = "gpu_resident"
+STREAMING = "streaming"
+COPROCESSING = "coprocessing"
+
+
+def choose_strategy_name(spec: JoinSpec, system: SystemSpec | None = None) -> str:
+    """Which of the three execution strategies fits this workload."""
+    from repro.core.gpu_partitioned import gpu_resident_bytes_needed
+
+    system = system or SystemSpec()
+    device = system.gpu.device_memory
+    # In-GPU: inputs + partitioned copies + workspace.
+    if gpu_resident_bytes_needed(spec) <= device:
+        return GPU_RESIDENT
+    # Streaming: partitioned build + two chunk buffers + output buffers.
+    chunk_bytes = max(1, spec.build.n // 2) * spec.probe.tuple_bytes
+    if 2 * spec.build.nbytes + 6 * chunk_bytes <= device:
+        return STREAMING
+    return COPROCESSING
+
+
+def plan_join(
+    spec: JoinSpec,
+    system: SystemSpec | None = None,
+    calibration: Calibration | None = None,
+    config: GpuJoinConfig | None = None,
+):
+    """Instantiate the strategy the planner selects for ``spec``.
+
+    Returns an object exposing ``run(build, probe, ...)`` and
+    ``estimate(spec, ...)``; callers can inspect ``.name``.
+    """
+    system = system or SystemSpec()
+    name = choose_strategy_name(spec, system)
+    if name == GPU_RESIDENT:
+        return GpuPartitionedJoin(system, calibration, config)
+    if name == STREAMING:
+        return StreamingProbeJoin(system, calibration, config)
+    return CoProcessingJoin(system, calibration, config)
+
+
+def estimate_with_planner(
+    spec: JoinSpec,
+    system: SystemSpec | None = None,
+    calibration: Calibration | None = None,
+    config: GpuJoinConfig | None = None,
+    *,
+    materialize: bool = False,
+):
+    """Plan and estimate in one call; falls back down the strategy ladder
+    if a memory check fails despite the planner's coarse sizing."""
+    system = system or SystemSpec()
+    strategy = plan_join(spec, system, calibration, config)
+    try:
+        return strategy.estimate(spec, materialize=materialize)
+    except DeviceMemoryOverflowError:
+        fallback = CoProcessingJoin(system, calibration, config)
+        return fallback.estimate(spec, materialize=materialize)

@@ -1,0 +1,77 @@
+"""Result and metric types shared by all join strategies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernels.aggregate import JoinAggregate
+
+
+@dataclass
+class JoinMetrics:
+    """Modelled execution metrics of one join.
+
+    ``seconds`` is simulated wall time; ``phases`` attributes it to named
+    phases (not necessarily summing to ``seconds`` — overlapped phases
+    are reported with their own durations while ``seconds`` reflects the
+    pipeline makespan).  Throughput follows the paper's metric (§V-A):
+    combined input tuples divided by runtime.
+    """
+
+    strategy: str
+    seconds: float
+    total_tuples: int
+    output_tuples: float = 0.0
+    phases: dict[str, float] = field(default_factory=dict)
+    pcie_h2d_bytes: float = 0.0
+    pcie_d2h_bytes: float = 0.0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Tuples per second over both inputs."""
+        return self.total_tuples / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def throughput_billion(self) -> float:
+        return self.throughput / 1e9
+
+    @property
+    def data_gbps(self) -> float:
+        """Join throughput in GB of input per second (Fig 16's metric)."""
+        bytes_per_tuple = self.notes.get("tuple_bytes", 8.0)
+        return self.throughput * bytes_per_tuple / 1e9
+
+    def phase_throughput(self, phase: str) -> float:
+        """Tuples per second over one phase (e.g. Fig 5/6's
+        "join co-partitions" series)."""
+        seconds = self.phases.get(phase, 0.0)
+        return self.total_tuples / seconds if seconds > 0 else 0.0
+
+
+@dataclass
+class JoinRunResult:
+    """Output of a functional ``run()``: data plus modelled metrics."""
+
+    metrics: JoinMetrics
+    aggregate: JoinAggregate | None = None
+    build_payloads: np.ndarray | None = None
+    probe_payloads: np.ndarray | None = None
+
+    @property
+    def matches(self) -> int:
+        if self.build_payloads is not None:
+            return int(self.build_payloads.shape[0])
+        if self.aggregate is not None:
+            return self.aggregate.matches
+        return 0
+
+    def pairs(self) -> np.ndarray:
+        """Sorted ``(build_payload, probe_payload)`` pairs (materialized
+        runs only); used to compare against the naive-join oracle."""
+        if self.build_payloads is None or self.probe_payloads is None:
+            raise ValueError("join ran in aggregation mode; no pairs materialized")
+        out = np.stack([self.build_payloads, self.probe_payloads], axis=1)
+        return out[np.lexsort((out[:, 1], out[:, 0]))]

@@ -1,0 +1,151 @@
+"""Skew-aware packing of partitions into GPU-sized working sets (§IV-D).
+
+The co-processing join streams *working sets* of build-side partitions
+through the GPU.  Two constraints drive their composition:
+
+1. every working set must fit the GPU memory reserved for the build side
+   (padding included — partitions are bucket chains);
+2. the **first** working set overlaps with the CPU partitioning of the
+   probe chunks, so it should be as large as possible to hide that time.
+
+The paper's two-step approach is implemented directly: a knapsack over
+the partitions chooses the first working set (maximize total elements
+under the capacity), then the remaining partitions are packed greedily
+with at most one "oversized" partition per working set (oversized
+partitions need extra room for sub-partitioning intermediates).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WorkingSetPackingError
+
+#: Knapsack weight quantization: capacities are divided into this many
+#: units, bounding the DP table while staying well under bucket size.
+KNAPSACK_UNITS = 512
+
+
+@dataclass
+class WorkingSet:
+    """One set of build partitions co-resident in GPU memory."""
+
+    partition_ids: list[int] = field(default_factory=list)
+    total_bytes: int = 0
+    total_elements: int = 0
+    oversized: int = 0
+
+    def add(self, pid: int, nbytes: int, elements: int, *, oversized: bool) -> None:
+        self.partition_ids.append(int(pid))
+        self.total_bytes += int(nbytes)
+        self.total_elements += int(elements)
+        self.oversized += int(oversized)
+
+
+def knapsack_first_working_set(
+    padded_bytes: np.ndarray,
+    elements: np.ndarray,
+    capacity_bytes: int,
+) -> list[int]:
+    """0/1 knapsack: maximize elements subject to the byte capacity.
+
+    Weights are quantized to :data:`KNAPSACK_UNITS` units of the capacity
+    (rounded *up*, so the solution never overflows the true capacity).
+    """
+    n = padded_bytes.shape[0]
+    if capacity_bytes <= 0:
+        raise WorkingSetPackingError("working-set capacity must be positive")
+    unit = max(1, capacity_bytes // KNAPSACK_UNITS)
+    weights = np.ceil(padded_bytes / unit).astype(np.int64)
+    cap_units = capacity_bytes // unit
+
+    # dp[u] = best element total at weight u; choice tracking for recovery.
+    dp = np.zeros(cap_units + 1, dtype=np.float64)
+    take = np.zeros((n, cap_units + 1), dtype=bool)
+    for i in range(n):
+        w = int(weights[i])
+        if w > cap_units:
+            continue
+        candidate = dp[: cap_units - w + 1] + float(elements[i])
+        improved = candidate > dp[w:]
+        take[i, w:] = improved
+        dp[w:] = np.where(improved, candidate, dp[w:])
+
+    chosen: list[int] = []
+    u = int(np.argmax(dp))
+    for i in range(n - 1, -1, -1):
+        if u >= 0 and take[i, u]:
+            chosen.append(i)
+            u -= int(weights[i])
+    chosen.reverse()
+    return chosen
+
+
+def pack_working_sets(
+    padded_bytes: np.ndarray,
+    elements: np.ndarray,
+    capacity_bytes: int,
+    *,
+    oversize_threshold_bytes: int | None = None,
+) -> list[WorkingSet]:
+    """Pack all partitions into working sets per §IV-D.
+
+    The first set is the knapsack solution; the rest are packed greedily
+    in decreasing size order (first-fit), with at most one partition
+    above ``oversize_threshold_bytes`` per set.  A partition larger than
+    the capacity itself is placed alone in a working set — the executor
+    sub-partitions it on the fly (§IV-B: "if the aggregate size of two
+    co-partitions is larger than the GPU memory, they are further
+    partitioned").
+    """
+    padded_bytes = np.asarray(padded_bytes, dtype=np.int64)
+    elements = np.asarray(elements, dtype=np.int64)
+    if padded_bytes.shape != elements.shape:
+        raise WorkingSetPackingError("size arrays must align")
+    if capacity_bytes <= 0:
+        raise WorkingSetPackingError("working-set capacity must be positive")
+    threshold = (
+        capacity_bytes // 4
+        if oversize_threshold_bytes is None
+        else oversize_threshold_bytes
+    )
+
+    first_ids = knapsack_first_working_set(padded_bytes, elements, capacity_bytes)
+    first = WorkingSet()
+    for pid in first_ids:
+        first.add(
+            pid,
+            padded_bytes[pid],
+            elements[pid],
+            oversized=padded_bytes[pid] > threshold,
+        )
+
+    remaining = sorted(
+        (pid for pid in range(padded_bytes.shape[0]) if pid not in set(first_ids)),
+        key=lambda pid: -int(padded_bytes[pid]),
+    )
+    sets: list[WorkingSet] = [first] if first.partition_ids else []
+    open_sets: list[WorkingSet] = []
+    for pid in remaining:
+        nbytes = int(padded_bytes[pid])
+        oversized = nbytes > threshold
+        placed = False
+        for ws in open_sets:
+            if ws.total_bytes + nbytes > capacity_bytes:
+                continue
+            if oversized and ws.oversized >= 1:
+                continue
+            ws.add(pid, nbytes, elements[pid], oversized=oversized)
+            placed = True
+            break
+        if not placed:
+            fresh = WorkingSet()
+            fresh.add(pid, nbytes, elements[pid], oversized=oversized)
+            open_sets.append(fresh)
+    sets.extend(open_sets)
+
+    if not sets and padded_bytes.size:
+        raise WorkingSetPackingError("no working sets produced for non-empty input")
+    return sets

@@ -1,0 +1,21 @@
+"""CPU substrate: radix partitioning, PRO/NPO baselines, NUMA model."""
+
+from repro.cpu.npo import NpoJoin
+from repro.cpu.numa import NumaModel
+from repro.cpu.pro import CpuJoinMetrics, ProJoin, radix_passes_needed
+from repro.cpu.radix_partition import (
+    CPU_BUCKET_CAPACITY,
+    CpuPartitionModel,
+    cpu_radix_partition,
+)
+
+__all__ = [
+    "CPU_BUCKET_CAPACITY",
+    "CpuJoinMetrics",
+    "CpuPartitionModel",
+    "NpoJoin",
+    "NumaModel",
+    "ProJoin",
+    "cpu_radix_partition",
+    "radix_passes_needed",
+]

@@ -1,0 +1,100 @@
+"""NUMA topology effects on CPU→GPU transfers (§IV-B, Figs 13 & 16).
+
+On the dual-socket testbed, half of the partitioned data lands on the
+socket *far* from the GPU.  DMA reads crossing the QPI contend with
+cache-coherency traffic and partitioning, collapsing transfer rates; the
+paper's remedy is an explicit *staging copy* — CPU threads move far-
+socket data into pinned near-socket buffers as an extra pipeline phase.
+
+Two effects are modelled:
+
+* ``direct`` vs ``staged`` source placement for H2D transfers (Fig 16);
+* memory-bandwidth saturation when too many partitioning threads run
+  concurrently with DMA (Fig 13's drop past ~26 threads).  The paper
+  explains the drop qualitatively (saturated memory system); the
+  saturation point here is derived from the same bandwidth budget the
+  partitioning model uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.calibration import DEFAULT_CALIBRATION, Calibration
+from repro.gpusim.spec import SystemSpec
+
+
+@dataclass(frozen=True)
+class NumaModel:
+    """Effective transfer rates under NUMA placement and contention."""
+
+    system: SystemSpec
+    calibration: Calibration = DEFAULT_CALIBRATION
+
+    # ------------------------------------------------------------------
+    def partition_bandwidth_demand(self, threads: int) -> float:
+        """Memory bandwidth consumed by ``threads`` partitioning threads
+        (read + non-temporal write per tuple)."""
+        if threads < 0:
+            raise InvalidConfigError("threads must be non-negative")
+        calib = self.calibration
+        return (
+            threads
+            * calib.cpu_partition_bytes_per_thread
+            * calib.cpu_partition_traffic_factor
+        )
+
+    def dma_contention_factor(self, partition_threads: int) -> float:
+        """Fraction of the pipelined DMA rate that survives contention.
+
+        While partitioning runs (the pipeline's phase A), the near socket
+        serves both the DMA reads and each partitioning thread's
+        near-socket traffic share; past the saturation point transfers
+        degrade.  When no partitioning runs (``partition_threads == 0``,
+        the staging-only phases), the staging copy plus DMA never
+        saturate the socket.
+        """
+        cpu = self.system.cpu
+        calib = self.calibration
+        capacity = cpu.memory_bandwidth_per_socket
+        dma = self.system.interconnect.pinned_bandwidth * calib.pcie_stream_utilization
+        demand = dma + partition_threads * calib.numa_partition_near_bytes_per_thread
+        if partition_threads == 0:
+            demand = 2.0 * dma  # DMA reads + the staging copy feeding them
+        if demand <= capacity:
+            return 1.0
+        # Oversubscription degrades transfers, but DMA reads keep priority
+        # in the memory controller: the observed drop is bounded (the
+        # paper reports a *small* decline past the saturation point).
+        return max(0.85, capacity / demand)
+
+    # ------------------------------------------------------------------
+    def h2d_rate_staged(self, threads: int = 0) -> float:
+        """Sustained H2D bandwidth with the staging copy (near-socket
+        pinned buffers feed the DMA engine)."""
+        calib = self.calibration
+        base = self.system.interconnect.pinned_bandwidth * calib.pcie_stream_utilization
+        return base * self.dma_contention_factor(threads)
+
+    def h2d_rate_direct(self, threads: int = 0) -> float:
+        """Sustained H2D bandwidth reading far-socket halves over QPI.
+
+        Half the data streams at the near-socket rate and half at the
+        interference-degraded QPI rate; the sustained rate is their
+        harmonic combination (transfers are serialized on the bus).
+        """
+        calib = self.calibration
+        near = self.system.interconnect.pinned_bandwidth * calib.pcie_stream_utilization
+        far = min(
+            near, self.system.cpu.qpi_bandwidth * calib.qpi_transfer_utilization
+        )
+        rate = 2.0 / (1.0 / near + 1.0 / far)
+        return rate * self.dma_contention_factor(threads)
+
+    def staging_copy_rate(self, threads: int) -> float:
+        """Throughput of the explicit far→near copy (the CPU phase of the
+        pipeline after the first working set, §IV-B)."""
+        per_thread = self.calibration.cpu_thread_bandwidth / 2.0  # read+write
+        qpi = self.system.cpu.qpi_bandwidth
+        return min(max(1, threads) * per_thread, qpi)

@@ -1,0 +1,87 @@
+"""Columnar persistence for relations and tables.
+
+Binary save/load so workloads can be generated once and reused across
+benchmark runs (the paper's workloads are large enough that regenerating
+them dominates small experiments).  Format: one ``.npz`` archive holding
+the columns plus a JSON metadata entry (schema version, payload widths,
+table/column names).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import InvalidRelationError
+
+FORMAT_VERSION = 1
+
+
+def save_relation(relation: Relation, path: str | Path) -> None:
+    """Persist a relation's columns and metadata to ``path`` (.npz)."""
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "relation",
+        "name": relation.name,
+        "payload_bytes": relation.payload_bytes,
+        "late_payload_bytes": relation.late_payload_bytes,
+    }
+    np.savez_compressed(
+        Path(path),
+        key=relation.key,
+        payload=relation.payload,
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+    )
+
+
+def load_relation(path: str | Path) -> Relation:
+    """Load a relation written by :func:`save_relation`."""
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION or meta.get("kind") != "relation":
+            raise InvalidRelationError(
+                f"{path}: not a version-{FORMAT_VERSION} relation archive"
+            )
+        return Relation(
+            key=archive["key"],
+            payload=archive["payload"],
+            name=meta["name"],
+            payload_bytes=meta["payload_bytes"],
+            late_payload_bytes=meta["late_payload_bytes"],
+        )
+
+
+def save_table(table, path: str | Path) -> None:
+    """Persist a :class:`repro.query.Table` to ``path`` (.npz)."""
+    meta = {
+        "version": FORMAT_VERSION,
+        "kind": "table",
+        "name": table.name,
+        "columns": table.column_names,
+    }
+    np.savez_compressed(
+        Path(path),
+        meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        **{f"col_{i}": table.column(name) for i, name in enumerate(table.column_names)},
+    )
+
+
+def load_table(path: str | Path):
+    """Load a table written by :func:`save_table`."""
+    from repro.query.table import Table
+
+    with np.load(Path(path)) as archive:
+        meta = json.loads(bytes(archive["meta"]).decode())
+        if meta.get("version") != FORMAT_VERSION or meta.get("kind") != "table":
+            raise InvalidRelationError(
+                f"{path}: not a version-{FORMAT_VERSION} table archive"
+            )
+        return Table(
+            name=meta["name"],
+            columns={
+                name: archive[f"col_{i}"] for i, name in enumerate(meta["columns"])
+            },
+        )

@@ -1,0 +1,99 @@
+"""TPC-H-lite generator (dbgen substitute).
+
+The paper's Fig 14 joins the ``lineitem`` table with ``customer`` and with
+``orders`` at scale factors 10 and 100.  Only the join columns matter for
+those queries, so this module generates exactly those: dense primary keys
+for ``customer``/``orders`` and foreign-key columns on ``lineitem``
+(``l_orderkey`` plus a denormalized ``l_custkey``, the column the paper's
+customer join uses).
+
+Cardinalities follow the TPC-H specification: per scale factor,
+150 K customers, 1.5 M orders, and an average of four lineitems per order
+(1–7 uniform, ≈6 M rows).  As in TPC-H, one third of the customers have
+placed no orders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.data.spec import Distribution, JoinSpec, RelationSpec
+from repro.errors import InvalidConfigError
+
+CUSTOMERS_PER_SF = 150_000
+ORDERS_PER_SF = 1_500_000
+AVG_LINEITEMS_PER_ORDER = 4.0
+
+
+def lineitem_cardinality(scale_factor: float) -> int:
+    """Expected ``lineitem`` row count at a scale factor."""
+    return int(ORDERS_PER_SF * scale_factor * AVG_LINEITEMS_PER_ORDER)
+
+
+@dataclass(frozen=True)
+class TpchTables:
+    """Materialized join columns of the three tables."""
+
+    customer: Relation
+    orders: Relation
+    lineitem_orderkey: Relation
+    lineitem_custkey: Relation
+    scale_factor: float
+
+
+def generate(scale_factor: float, *, seed: int = 1) -> TpchTables:
+    """Materialize TPC-H join columns at ``scale_factor``.
+
+    Intended for small scale factors (tests and examples); the Fig 14
+    bench uses :func:`join_specs` at SF 10/100.
+    """
+    if scale_factor <= 0:
+        raise InvalidConfigError("scale factor must be positive")
+    rng = np.random.default_rng(seed)
+    n_cust = max(1, int(CUSTOMERS_PER_SF * scale_factor))
+    n_orders = max(1, int(ORDERS_PER_SF * scale_factor))
+
+    # One third of customers place no orders (TPC-H spec).
+    active_customers = rng.permutation(n_cust)[: max(1, (2 * n_cust) // 3)]
+    o_custkey = rng.choice(active_customers, size=n_orders)
+
+    lines_per_order = rng.integers(1, 8, size=n_orders)
+    l_orderkey = np.repeat(np.arange(n_orders, dtype=np.int64), lines_per_order)
+    l_custkey = np.repeat(o_custkey.astype(np.int64), lines_per_order)
+
+    return TpchTables(
+        customer=Relation.from_keys(np.arange(n_cust, dtype=np.int64), name="customer"),
+        orders=Relation.from_keys(np.arange(n_orders, dtype=np.int64), name="orders"),
+        lineitem_orderkey=Relation.from_keys(l_orderkey, name="lineitem(orderkey)"),
+        lineitem_custkey=Relation.from_keys(l_custkey, name="lineitem(custkey)"),
+        scale_factor=scale_factor,
+    )
+
+
+def join_specs(scale_factor: float) -> dict[str, JoinSpec]:
+    """Analytic :class:`JoinSpec` for the two Fig 14 joins.
+
+    ``customer``: build = customer primary keys (unique), probe = lineitem
+    custkeys (uniform over the active-customer domain).  ``orders``: build =
+    orders primary keys, probe = lineitem orderkeys (1–7 lines per order).
+    """
+    n_cust = int(CUSTOMERS_PER_SF * scale_factor)
+    n_orders = int(ORDERS_PER_SF * scale_factor)
+    n_line = lineitem_cardinality(scale_factor)
+    return {
+        "customer": JoinSpec(
+            build=RelationSpec(n=n_cust),
+            probe=RelationSpec(
+                n=n_line, distinct=n_cust, distribution=Distribution.UNIFORM
+            ),
+        ),
+        "orders": JoinSpec(
+            build=RelationSpec(n=n_orders),
+            probe=RelationSpec(
+                n=n_line, distinct=n_orders, distribution=Distribution.UNIFORM
+            ),
+        ),
+    }

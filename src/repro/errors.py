@@ -1,0 +1,53 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class InvalidRelationError(ReproError):
+    """A relation failed validation (mismatched columns, bad dtype...)."""
+
+
+class InvalidConfigError(ReproError):
+    """A configuration object has inconsistent or out-of-range values."""
+
+
+class CapacityError(ReproError):
+    """A simulated memory allocation exceeded the available capacity."""
+
+
+class SharedMemoryOverflowError(CapacityError):
+    """A co-partition working set does not fit in GPU shared memory."""
+
+
+class DeviceMemoryOverflowError(CapacityError):
+    """A working set or buffer does not fit in GPU device memory."""
+
+
+class PipelineError(ReproError):
+    """The discrete-event pipeline was given an inconsistent task graph."""
+
+
+class SchedulingError(PipelineError):
+    """A task graph contains a cycle or references an unknown dependency."""
+
+
+class WorkingSetPackingError(ReproError):
+    """No feasible packing of partitions into GPU-sized working sets exists."""
+
+
+class BaselineUnsupportedError(ReproError):
+    """A modelled baseline system cannot run the requested workload.
+
+    Used to reproduce documented failures of the comparison systems, e.g.
+    DBMS-X returning an error on the TPC-H SF100 orders join and CoGaDB
+    failing to load scale factor 100 (paper §V-C).
+    """

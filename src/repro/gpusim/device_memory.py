@@ -1,0 +1,56 @@
+"""Device (global) memory accounting.
+
+Tracks allocations against the GPU's capacity so the out-of-GPU
+strategies can size chunk buffers, working sets, and output buffers the
+way the paper does (§IV): the planner asks "does this working set plus
+two chunk buffers plus two output buffers fit?" and the answer gates the
+choice between the in-GPU, streaming and co-processing strategies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceMemoryOverflowError
+
+
+@dataclass
+class DeviceMemory:
+    """A capacity-checked allocator for simulated device memory."""
+
+    capacity_bytes: int
+    allocations: dict[str, int] = field(default_factory=dict)
+    peak_bytes: int = 0
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise DeviceMemoryOverflowError(f"negative allocation: {name}")
+        if name in self.allocations:
+            raise DeviceMemoryOverflowError(f"duplicate allocation: {name}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise DeviceMemoryOverflowError(
+                f"device memory overflow allocating {name!r} "
+                f"({nbytes / 1e9:.2f} GB): {self.used_bytes / 1e9:.2f} GB used "
+                f"of {self.capacity_bytes / 1e9:.2f} GB"
+            )
+        self.allocations[name] = nbytes
+        self.peak_bytes = max(self.peak_bytes, self.used_bytes)
+
+    def free(self, name: str) -> None:
+        if name not in self.allocations:
+            raise DeviceMemoryOverflowError(f"freeing unknown allocation {name!r}")
+        del self.allocations[name]
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+    def reset(self) -> None:
+        self.allocations.clear()

@@ -1,0 +1,118 @@
+"""SM occupancy analysis for kernel configurations.
+
+Shared memory is the binding resource for the paper's kernels: each join
+block reserves the co-partition working set, hash-table slots, 16-bit
+links and the output buffer, so the number of blocks an SM can host —
+and with it the device's latency-hiding ability — follows directly from
+the configuration.  This module computes that occupancy, letting users
+reason about configuration changes ("would 8192-element blocks still
+keep two blocks per SM?") the way CUDA's occupancy calculator does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.shared_memory import join_block_reservation, partition_block_reservation
+from repro.gpusim.spec import GpuSpec
+
+#: Hardware limit on resident blocks per SM (Pascal-class devices).
+MAX_BLOCKS_PER_SM = 32
+#: Hardware limit on resident threads per SM (Pascal-class devices).
+MAX_THREADS_PER_SM = 2048
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Resident blocks/warps of one kernel configuration on one SM."""
+
+    blocks_per_sm: int
+    threads_per_block: int
+    limited_by: str
+
+    @property
+    def resident_threads(self) -> int:
+        return self.blocks_per_sm * self.threads_per_block
+
+    @property
+    def occupancy_fraction(self) -> float:
+        """Resident threads relative to the SM's hardware maximum."""
+        return min(1.0, self.resident_threads / MAX_THREADS_PER_SM)
+
+
+def occupancy_for(
+    gpu: GpuSpec,
+    *,
+    threads_per_block: int,
+    shared_bytes_per_block: int,
+) -> Occupancy:
+    """Occupancy of a kernel with the given per-block resources."""
+    if threads_per_block <= 0:
+        raise InvalidConfigError("threads_per_block must be positive")
+    if threads_per_block > gpu.max_threads_per_block:
+        raise InvalidConfigError(
+            f"{threads_per_block} threads exceed the device's "
+            f"{gpu.max_threads_per_block}-thread block limit"
+        )
+    if shared_bytes_per_block > gpu.shared_mem_per_sm:
+        raise InvalidConfigError(
+            f"block needs {shared_bytes_per_block} B shared memory; the SM "
+            f"provides {gpu.shared_mem_per_sm} B"
+        )
+
+    limits: dict[str, float] = {
+        "shared_memory": (
+            gpu.shared_mem_per_sm // shared_bytes_per_block
+            if shared_bytes_per_block
+            else float("inf")
+        ),
+        "threads": MAX_THREADS_PER_SM // threads_per_block,
+        "blocks": MAX_BLOCKS_PER_SM,
+    }
+    limiter = min(limits, key=limits.get)  # type: ignore[arg-type]
+    return Occupancy(
+        blocks_per_sm=max(1, int(limits[limiter])),
+        threads_per_block=threads_per_block,
+        limited_by=limiter,
+    )
+
+
+def join_kernel_occupancy(
+    gpu: GpuSpec,
+    *,
+    elements_per_block: int,
+    ht_slots: int,
+    threads_per_block: int,
+    tuple_bytes: int = 8,
+    output_buffer_bytes: int = 1024,
+) -> Occupancy:
+    """Occupancy of the co-partition join kernel (§III-C reservation)."""
+    return occupancy_for(
+        gpu,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=join_block_reservation(
+            elements_per_block,
+            ht_slots,
+            tuple_bytes,
+            output_buffer_bytes=output_buffer_bytes,
+        ),
+    )
+
+
+def partition_kernel_occupancy(
+    gpu: GpuSpec,
+    *,
+    fanout: int,
+    threads_per_block: int,
+    shuffle_elements: int = 1024,
+    tuple_bytes: int = 8,
+) -> Occupancy:
+    """Occupancy of the partitioning kernel (§III-A reservation)."""
+    return occupancy_for(
+        gpu,
+        threads_per_block=threads_per_block,
+        shared_bytes_per_block=partition_block_reservation(
+            fanout, shuffle_elements, tuple_bytes
+        ),
+    )

@@ -1,0 +1,104 @@
+"""Per-block shared-memory accounting.
+
+Shared memory is the scarce resource the paper's in-GPU join is designed
+around (§III-A): the build side of every co-partition, the hash-table
+slot array, the partitioning metadata, and the warp output buffers must
+all fit in the ~96 KB each SM exposes.  This allocator tracks those
+reservations and raises :class:`SharedMemoryOverflowError` when a kernel
+configuration over-commits — the same constraint that caps partitioning
+fanout at "a few thousand partitions" in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SharedMemoryOverflowError
+
+
+@dataclass
+class SharedMemoryArena:
+    """Tracks named reservations within one thread block's shared memory."""
+
+    capacity_bytes: int
+    reservations: dict[str, int] = field(default_factory=dict)
+
+    def allocate(self, name: str, nbytes: int) -> None:
+        """Reserve ``nbytes`` under ``name``; raises on overflow."""
+        if nbytes < 0:
+            raise SharedMemoryOverflowError(f"negative allocation: {name}")
+        if name in self.reservations:
+            raise SharedMemoryOverflowError(f"duplicate allocation: {name}")
+        if self.used_bytes + nbytes > self.capacity_bytes:
+            raise SharedMemoryOverflowError(
+                f"shared memory overflow allocating {name!r}: "
+                f"{self.used_bytes} + {nbytes} > {self.capacity_bytes} bytes "
+                f"(existing: {sorted(self.reservations)})"
+            )
+        self.reservations[name] = nbytes
+
+    def free(self, name: str) -> None:
+        self.reservations.pop(name)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.reservations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def fits(self, nbytes: int) -> bool:
+        return nbytes <= self.free_bytes
+
+
+def join_block_reservation(
+    elements_per_block: int,
+    ht_buckets: int,
+    tuple_bytes: int,
+    *,
+    offset_bytes: int = 2,
+    output_buffer_bytes: int = 1024,
+) -> int:
+    """Shared-memory footprint of one co-partition join block.
+
+    Holds the build-side working set (keys + payloads), the hash-table
+    slot heads and 16-bit chain offsets (§III-C: "the limited size of
+    shared memory allows us to trim the offsets to 16 bits"), and the
+    warp output buffer used for coalesced result flushes.
+    """
+    build_set = elements_per_block * tuple_bytes
+    slot_heads = ht_buckets * offset_bytes
+    chain_links = elements_per_block * offset_bytes
+    return build_set + slot_heads + chain_links + output_buffer_bytes
+
+
+def partition_block_reservation(
+    fanout: int,
+    shuffle_elements: int,
+    tuple_bytes: int,
+    *,
+    metadata_bytes_per_partition: int = 8,
+) -> int:
+    """Shared-memory footprint of one partitioning block.
+
+    Per-partition metadata (current bucket pointer + fill counter) plus
+    the shuffle staging space used to coalesce writes (§III-A).
+    """
+    return fanout * metadata_bytes_per_partition + shuffle_elements * tuple_bytes
+
+
+def max_partition_fanout(
+    shared_bytes: int,
+    tuple_bytes: int,
+    *,
+    shuffle_elements: int = 1024,
+    metadata_bytes_per_partition: int = 8,
+) -> int:
+    """Largest per-pass fanout whose metadata fits in shared memory."""
+    available = shared_bytes - shuffle_elements * tuple_bytes
+    if available <= 0:
+        raise SharedMemoryOverflowError(
+            "shuffle space alone exceeds shared memory"
+        )
+    return max(1, available // metadata_bytes_per_partition)

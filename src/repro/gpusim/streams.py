@@ -1,0 +1,100 @@
+"""CUDA-style streams and events on top of the pipeline engine.
+
+The paper's out-of-GPU strategies are written against CUDA's stream
+abstraction: operations enqueued on one stream execute in order,
+different streams overlap, and *events* express cross-stream
+dependencies ("we use one stream for transfers and another for the GPU
+execution itself, synchronizing tasks on the same chunk with events",
+§IV-A).  This module exposes exactly that programming model and lowers
+it to a :class:`~repro.pipeline.engine.PipelineEngine` task graph, so
+pipelines can be authored the way the paper's CUDA code is.
+
+Example (the §IV-A double-buffered skeleton)::
+
+    ctx = StreamContext()
+    copy, exec_ = ctx.stream("copy", H2D), ctx.stream("exec", GPU)
+    done: list[Event] = []
+    for i in range(chunks):
+        if i >= 2:                       # buffer reuse: wait two behind
+            copy.wait(done[i - 2])
+        moved = copy.launch(f"h2d[{i}]", transfer_seconds)
+        exec_.wait(moved)
+        done.append(exec_.launch(f"join[{i}]", kernel_seconds))
+    schedule = ctx.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.tasks import Schedule
+
+
+@dataclass(frozen=True)
+class Event:
+    """A recorded completion point (``cudaEventRecord`` semantics).
+
+    Wraps the name of the task whose completion it marks.
+    """
+
+    task_name: str
+
+
+@dataclass
+class Stream:
+    """An in-order execution queue bound to one resource."""
+
+    name: str
+    resource: str
+    _context: "StreamContext"
+    _pending_waits: list[str] = field(default_factory=list)
+    last_event: Event | None = None
+
+    def wait(self, event: Event | None) -> "Stream":
+        """``cudaStreamWaitEvent``: the next launch waits for ``event``."""
+        if event is not None:
+            self._pending_waits.append(event.task_name)
+        return self
+
+    def launch(self, name: str, seconds: float) -> Event:
+        """Enqueue an operation; returns the event marking its completion.
+
+        In-stream ordering is implicit (the engine executes each
+        resource's queue FIFO); accumulated waits become dependencies.
+        """
+        deps = tuple(self._pending_waits)
+        self._pending_waits.clear()
+        self._context.engine.add_task(name, self.resource, seconds, deps)
+        self.last_event = Event(name)
+        return self.last_event
+
+    def synchronize_event(self) -> Event:
+        """Event for everything enqueued so far (``cudaStreamSynchronize``
+        expressed as a dependency rather than a host block)."""
+        if self.last_event is None:
+            raise SchedulingError(f"stream {self.name!r} has no operations")
+        return self.last_event
+
+
+class StreamContext:
+    """Owns the streams and lowers them to one pipeline simulation."""
+
+    def __init__(self) -> None:
+        self.engine = PipelineEngine()
+        self._streams: dict[str, Stream] = {}
+
+    def stream(self, name: str, resource: str) -> Stream:
+        """Create (or fetch) a named stream bound to ``resource``.
+
+        Two streams may share a resource — they then serialize against
+        each other exactly as two CUDA streams sharing one copy engine.
+        """
+        if name not in self._streams:
+            self._streams[name] = Stream(name=name, resource=resource, _context=self)
+        return self._streams[name]
+
+    def run(self) -> Schedule:
+        """Simulate everything enqueued so far."""
+        return self.engine.run()

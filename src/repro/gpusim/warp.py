@@ -1,0 +1,104 @@
+"""Warp-level execution primitives.
+
+CUDA exposes intra-warp communication through ``__ballot_sync`` and
+``__shfl_sync``; the paper's nested-loop probe kernel (Listing 1) is built
+entirely on ``ballot``.  This module provides functionally equivalent,
+numpy-vectorized primitives: a *lane vector* is an array whose last axis
+has length :data:`WARP_SIZE`, one element per lane, and warp instructions
+map lane vectors to per-warp scalars (bitmasks) or new lane vectors.
+
+A scalar :class:`Warp` class with explicit per-lane loops is also provided
+as the reference semantics; the vectorized primitives are property-tested
+against it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+WARP_SIZE = 32
+FULL_MASK = 0xFFFFFFFF
+
+
+def _check_lanes(lanes: np.ndarray) -> np.ndarray:
+    lanes = np.asarray(lanes)
+    if lanes.shape[-1] != WARP_SIZE:
+        raise InvalidConfigError(
+            f"lane vectors must have a trailing axis of {WARP_SIZE}, "
+            f"got shape {lanes.shape}"
+        )
+    return lanes
+
+
+def lane_ids() -> np.ndarray:
+    """The lane index of each thread in a warp (0..31)."""
+    return np.arange(WARP_SIZE, dtype=np.int64)
+
+
+def ballot(predicate: np.ndarray) -> np.ndarray:
+    """``__ballot_sync(FULL_MASK, pred)``: pack one bit per lane.
+
+    ``predicate`` is a boolean lane vector ``(..., 32)``; the result drops
+    the lane axis and holds a ``uint32`` bitmask per warp, bit *l* set iff
+    lane *l*'s predicate holds.
+    """
+    predicate = _check_lanes(predicate).astype(np.uint32)
+    weights = (np.uint32(1) << np.arange(WARP_SIZE, dtype=np.uint32))
+    return (predicate * weights).sum(axis=-1, dtype=np.uint32)
+
+
+def shfl(values: np.ndarray, src_lane: int | np.ndarray) -> np.ndarray:
+    """``__shfl_sync``: every lane reads the value held by ``src_lane``."""
+    values = _check_lanes(values)
+    if np.isscalar(src_lane):
+        src = np.broadcast_to(np.asarray(src_lane), values.shape[:-1] + (WARP_SIZE,))
+    else:
+        src = _check_lanes(np.asarray(src_lane))
+    return np.take_along_axis(values, src.astype(np.int64), axis=-1)
+
+
+def any_sync(predicate: np.ndarray) -> np.ndarray:
+    """``__any_sync``: true for the warp iff any lane's predicate holds."""
+    return _check_lanes(predicate).any(axis=-1)
+
+
+def all_sync(predicate: np.ndarray) -> np.ndarray:
+    """``__all_sync``: true for the warp iff every lane's predicate holds."""
+    return _check_lanes(predicate).all(axis=-1)
+
+
+def popc(mask: np.ndarray) -> np.ndarray:
+    """``__popc``: number of set bits per 32-bit mask."""
+    mask = np.asarray(mask, dtype=np.uint32)
+    count = np.zeros(mask.shape, dtype=np.int64)
+    work = mask.astype(np.uint64)
+    for _ in range(WARP_SIZE):
+        count += (work & 1).astype(np.int64)
+        work >>= np.uint64(1)
+    return count
+
+
+class Warp:
+    """Reference warp with explicit per-lane state (tests only).
+
+    Executes the same primitives with plain Python loops, serving as the
+    ground-truth semantics for the vectorized functions above.
+    """
+
+    def __init__(self, values: list[int] | np.ndarray):
+        values = list(values)
+        if len(values) != WARP_SIZE:
+            raise InvalidConfigError(f"a warp has exactly {WARP_SIZE} lanes")
+        self.values = [int(v) for v in values]
+
+    def ballot(self, predicate) -> int:
+        mask = 0
+        for lane, value in enumerate(self.values):
+            if predicate(value, lane):
+                mask |= 1 << lane
+        return mask
+
+    def shfl(self, src_lane: int) -> list[int]:
+        return [self.values[src_lane]] * WARP_SIZE

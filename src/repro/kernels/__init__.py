@@ -1,0 +1,67 @@
+"""Functional GPU join kernels (with cost accounting)."""
+
+from repro.kernels.aggregate import JoinAggregate, aggregate_pairs
+from repro.kernels.buckets import PartitionedRelation
+from repro.kernels.build_hash import (
+    MAX_OFFSET_16BIT,
+    CoPartitionHashTables,
+    build_copartition_tables,
+)
+from repro.kernels.common import ht_slot, key_bit_width, next_power_of_two
+from repro.kernels.histogram import (
+    exclusive_prefix_sum,
+    histogram_pass,
+    histogram_radix_partition,
+    partitioning_approach_costs,
+)
+from repro.kernels.nonpartitioned import (
+    CHAINING,
+    PERFECT,
+    NonPartitionedResult,
+    chaining_join,
+    perfect_hash_join,
+)
+from repro.kernels.output_buffer import WarpOutputBuffer, expected_flushes
+from repro.kernels.probe_hash import ProbeResult, probe_copartitions
+from repro.kernels.probe_nlj import ballot_match_masks, nlj_copartitions
+from repro.kernels.radix_partition import (
+    BUCKET_AT_A_TIME,
+    PARTITION_AT_A_TIME,
+    derive_bits_per_pass,
+    estimate_partition_cost,
+    gpu_radix_partition,
+    partition_pass_arrays,
+)
+
+__all__ = [
+    "BUCKET_AT_A_TIME",
+    "CHAINING",
+    "CoPartitionHashTables",
+    "JoinAggregate",
+    "MAX_OFFSET_16BIT",
+    "NonPartitionedResult",
+    "PARTITION_AT_A_TIME",
+    "PERFECT",
+    "PartitionedRelation",
+    "ProbeResult",
+    "WarpOutputBuffer",
+    "aggregate_pairs",
+    "ballot_match_masks",
+    "build_copartition_tables",
+    "chaining_join",
+    "derive_bits_per_pass",
+    "estimate_partition_cost",
+    "exclusive_prefix_sum",
+    "expected_flushes",
+    "gpu_radix_partition",
+    "histogram_pass",
+    "histogram_radix_partition",
+    "ht_slot",
+    "key_bit_width",
+    "next_power_of_two",
+    "nlj_copartitions",
+    "partitioning_approach_costs",
+    "partition_pass_arrays",
+    "perfect_hash_join",
+    "probe_copartitions",
+]

@@ -1,0 +1,45 @@
+"""Aggregation of join output (the paper's non-materializing mode).
+
+Most experiments "locally aggregate the output payload columns and at the
+end atomically update the global aggregates" (§V-B) so that measured
+times isolate join work from result materialization.  The simulated
+kernels do the same: each thread accumulates into registers and one
+atomic per block folds the partial sums.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class JoinAggregate:
+    """Checksum-style aggregate over the matched pairs."""
+
+    matches: int
+    build_payload_sum: int
+    probe_payload_sum: int
+
+    def __add__(self, other: "JoinAggregate") -> "JoinAggregate":
+        return JoinAggregate(
+            matches=self.matches + other.matches,
+            build_payload_sum=self.build_payload_sum + other.build_payload_sum,
+            probe_payload_sum=self.probe_payload_sum + other.probe_payload_sum,
+        )
+
+    @classmethod
+    def zero(cls) -> "JoinAggregate":
+        return cls(0, 0, 0)
+
+
+def aggregate_pairs(
+    build_payloads: np.ndarray, probe_payloads: np.ndarray
+) -> JoinAggregate:
+    """Fold matched payload pairs into a :class:`JoinAggregate`."""
+    return JoinAggregate(
+        matches=int(build_payloads.shape[0]),
+        build_payload_sum=int(build_payloads.sum()) if build_payloads.size else 0,
+        probe_payload_sum=int(probe_payloads.sum()) if probe_payloads.size else 0,
+    )

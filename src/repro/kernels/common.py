@@ -1,0 +1,42 @@
+"""Shared kernel helpers: hash functions and bit-width utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+#: Knuth's multiplicative constant (2^32 / phi), the classic cheap hash.
+MULTIPLIER = np.int64(2654435761)
+
+
+def is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def next_power_of_two(value: int) -> int:
+    if value <= 1:
+        return 1
+    return 1 << (int(value) - 1).bit_length()
+
+
+def key_bit_width(max_key: int) -> int:
+    """Number of bits needed to represent keys up to ``max_key``."""
+    if max_key < 0:
+        raise InvalidConfigError("keys must be non-negative")
+    return max(1, int(max_key).bit_length())
+
+
+def ht_slot(keys: np.ndarray, nslots: int, *, radix_bits: int = 0) -> np.ndarray:
+    """Hash-table slot of each key.
+
+    The low ``radix_bits`` bits are identical within a partition (they
+    selected the partition), so the hash mixes only the remaining bits —
+    otherwise every tuple of a partition would land in one slot.
+    ``nslots`` must be a power of two (slot = hash & (nslots - 1)).
+    """
+    if not is_power_of_two(nslots):
+        raise InvalidConfigError(f"nslots must be a power of two, got {nslots}")
+    keys = np.asarray(keys, dtype=np.int64)
+    mixed = ((keys >> radix_bits) * MULTIPLIER) & np.int64(0x7FFFFFFFFFFFFFFF)
+    return (mixed & np.int64(nslots - 1)).astype(np.int64)

@@ -1,0 +1,93 @@
+"""Histogram-based partitioning — the alternative the paper avoids.
+
+Rui & Tu's GPU radix join computes an exact per-digit histogram and a
+prefix sum before each scatter pass, which costs one extra read of the
+input per pass.  The paper's design instead allocates bucket-pool
+buckets with atomics and needs no histogram ("our approach avoids an
+extra pass on each partitioning step by using GPU atomic operations
+instead of building histograms", §VI).  Both variants are implemented
+here so the trade-off can be measured (see
+``benchmarks/bench_ablations.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import InvalidConfigError
+from repro.gpusim.cost import GpuCostModel, KernelCost
+from repro.kernels.buckets import PartitionedRelation
+from repro.kernels.radix_partition import gpu_radix_partition
+
+
+def histogram_pass(keys: np.ndarray, bits: int, shift: int = 0) -> np.ndarray:
+    """Exact digit histogram of one pass (the extra read Rui & Tu pay)."""
+    if bits <= 0:
+        raise InvalidConfigError("histogram needs bits >= 1")
+    digit = (keys >> shift) & ((1 << bits) - 1)
+    return np.bincount(digit, minlength=1 << bits)
+
+
+def exclusive_prefix_sum(histogram: np.ndarray) -> np.ndarray:
+    """Partition base offsets from a histogram (GPU scan primitive)."""
+    offsets = np.zeros(histogram.shape[0] + 1, dtype=np.int64)
+    np.cumsum(histogram, out=offsets[1:])
+    return offsets[:-1]
+
+
+def histogram_radix_partition(
+    relation: Relation,
+    bits_per_pass: list[int],
+    cost_model: GpuCostModel,
+    *,
+    bucket_capacity: int = 1024,
+) -> tuple[PartitionedRelation, KernelCost]:
+    """Partition with per-pass histogram + prefix sum + scatter.
+
+    Functionally identical to :func:`gpu_radix_partition` (tuples end up
+    grouped by the combined low bits, with *exact* dense offsets instead
+    of padded bucket chains); the cost charges each pass's extra
+    histogram read of the input plus the scan of the histogram itself.
+    """
+    partitioned, scatter_cost = gpu_radix_partition(
+        relation, bits_per_pass, cost_model, bucket_capacity=bucket_capacity
+    )
+
+    histogram_cost = KernelCost.zero()
+    cumulative_fanout = 1
+    for bits in bits_per_pass:
+        cumulative_fanout <<= bits
+        read_input = cost_model.scan_seconds(
+            relation.num_tuples * relation.tuple_bytes
+        )
+        scan_histogram = cost_model.scan_seconds(cumulative_fanout * 4 * 2)
+        seconds = read_input + scan_histogram + cost_model.calib.kernel_launch_seconds
+        histogram_cost = histogram_cost + KernelCost(
+            seconds, {"histogram_pass": seconds}
+        )
+    return partitioned, scatter_cost + histogram_cost
+
+
+def partitioning_approach_costs(
+    n_tuples: int,
+    tuple_bytes: int,
+    bits_per_pass: list[int],
+    cost_model: GpuCostModel,
+) -> dict[str, float]:
+    """Modelled seconds of the two approaches for a workload (analytic)."""
+    from repro.kernels.radix_partition import estimate_partition_cost
+
+    atomic = estimate_partition_cost(
+        n_tuples, tuple_bytes, bits_per_pass, cost_model
+    ).seconds
+    histogram_extra = 0.0
+    cumulative_fanout = 1
+    for bits in bits_per_pass:
+        cumulative_fanout <<= bits
+        histogram_extra += (
+            cost_model.scan_seconds(n_tuples * tuple_bytes)
+            + cost_model.scan_seconds(cumulative_fanout * 8)
+            + cost_model.calib.kernel_launch_seconds
+        )
+    return {"atomic_buckets": atomic, "histogram": atomic + histogram_extra}

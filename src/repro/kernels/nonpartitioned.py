@@ -1,0 +1,145 @@
+"""Non-partitioned GPU hash joins (the paper's comparison points, §V-B).
+
+Two variants:
+
+* **chaining** — one global hash table in device memory, built with
+  atomic exchanges; probing follows offset chains and costs "three to
+  four random memory accesses" per lookup;
+* **perfect hash** — a best-case construction exploiting unique,
+  contiguous keys: payloads live in a dense array indexed by key, so a
+  probe is a single random access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import InvalidConfigError
+from repro.gpusim import atomics
+from repro.gpusim.atomics import NIL
+from repro.gpusim.cost import GpuCostModel, KernelCost
+from repro.kernels.common import ht_slot, next_power_of_two
+
+CHAINING = "chaining"
+PERFECT = "perfect"
+
+
+@dataclass
+class NonPartitionedResult:
+    """Output and cost of a non-partitioned join."""
+
+    build_payloads: np.ndarray
+    probe_payloads: np.ndarray
+    build_cost: KernelCost
+    probe_cost: KernelCost
+
+    @property
+    def matches(self) -> int:
+        return int(self.build_payloads.shape[0])
+
+    @property
+    def cost(self) -> KernelCost:
+        return self.build_cost + self.probe_cost
+
+    def pairs(self) -> np.ndarray:
+        out = np.stack([self.build_payloads, self.probe_payloads], axis=1)
+        return out[np.lexsort((out[:, 1], out[:, 0]))]
+
+
+def chaining_join(
+    build: Relation,
+    probe: Relation,
+    cost_model: GpuCostModel,
+    *,
+    slots_per_tuple: float = 1.0,
+    materialize: bool = False,
+    out_tuple_bytes: float = 8.0,
+) -> NonPartitionedResult:
+    """Global chaining hash table in device memory."""
+    nslots = next_power_of_two(max(1, int(build.num_tuples * slots_per_tuple)))
+    slots = ht_slot(build.key, nslots)
+    table = atomics.chain_insert(slots, nslots)
+
+    cursors = table.heads[ht_slot(probe.key, nslots)]
+    build_hits: list[np.ndarray] = []
+    probe_hits: list[np.ndarray] = []
+    live = np.nonzero(cursors != NIL)[0]
+    cursors = cursors[live]
+    while live.size:
+        hit = build.key[cursors] == probe.key[live]
+        if hit.any():
+            build_hits.append(build.payload[cursors[hit]])
+            probe_hits.append(probe.payload[live[hit]])
+        cursors = table.next[cursors]
+        alive = cursors != NIL
+        live = live[alive]
+        cursors = cursors[alive]
+
+    build_payloads = (
+        np.concatenate(build_hits) if build_hits else np.empty(0, dtype=np.int64)
+    )
+    probe_payloads = (
+        np.concatenate(probe_hits) if probe_hits else np.empty(0, dtype=np.int64)
+    )
+    build_cost = cost_model.nonpartitioned_build(build.num_tuples, build.tuple_bytes)
+    probe_cost = cost_model.nonpartitioned_probe(
+        probe.num_tuples,
+        build.num_tuples,
+        probe.tuple_bytes,
+        matches=float(build_payloads.shape[0]),
+        materialize=materialize,
+        out_tuple_bytes=out_tuple_bytes,
+    )
+    return NonPartitionedResult(build_payloads, probe_payloads, build_cost, probe_cost)
+
+
+def perfect_hash_join(
+    build: Relation,
+    probe: Relation,
+    cost_model: GpuCostModel,
+    *,
+    materialize: bool = False,
+    out_tuple_bytes: float = 8.0,
+) -> NonPartitionedResult:
+    """Best-case non-partitioned join: dense payload array indexed by key.
+
+    Requires the build keys to be unique and contiguous from zero — the
+    exact assumption the paper grants this baseline (§V-B: "designed to
+    incorporate the knowledge of no-collisions and the contiguous range
+    of unique keys").
+    """
+    n = build.num_tuples
+    if n and (int(build.key.min()) < 0 or int(build.key.max()) >= n):
+        raise InvalidConfigError("perfect hashing requires dense keys in [0, n)")
+    dense = np.full(n, NIL, dtype=np.int64)
+    dense[build.key] = np.arange(n, dtype=np.int64)
+    if np.count_nonzero(dense == NIL):
+        raise InvalidConfigError("perfect hashing requires unique keys")
+
+    in_range = (probe.key >= 0) & (probe.key < n)
+    rows = np.nonzero(in_range)[0]
+    build_rows = dense[probe.key[rows]]
+
+    build_cost = KernelCost(
+        cost_model.scan_seconds(n * build.tuple_bytes)
+        + cost_model.calib.kernel_launch_seconds,
+        {"perfect_build": cost_model.scan_seconds(n * build.tuple_bytes)},
+    )
+    probe_cost = cost_model.nonpartitioned_probe(
+        probe.num_tuples,
+        build.num_tuples,
+        probe.tuple_bytes,
+        accesses_per_probe=cost_model.calib.perfect_hash_accesses_per_probe,
+        matches=float(rows.shape[0]),
+        materialize=materialize,
+        out_tuple_bytes=out_tuple_bytes,
+    )
+    return NonPartitionedResult(
+        build.payload[build_rows],
+        probe.payload[rows],
+        build_cost,
+        probe_cost,
+    )

@@ -1,0 +1,85 @@
+"""Warp-level output buffering (§III-C).
+
+Join results are produced irregularly (divergent chain walks, matches in
+different cycles per lane).  Writing each match straight to device
+memory would issue random, uncoalesced stores, so the paper buffers a
+warp's results in shared memory: lanes compute write offsets with warp
+prefix sums, and when the buffer fills the warp flushes it to a global
+output array whose base offset is claimed with a single ``atomicAdd``.
+
+This module simulates that mechanism faithfully enough to test its
+invariants (no loss, no duplication, coalesced flush segments) and to
+count flushes for the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+
+
+@dataclass
+class FlushRecord:
+    """One coalesced flush: ``count`` values written at ``base``."""
+
+    base: int
+    count: int
+
+
+@dataclass
+class WarpOutputBuffer:
+    """A shared-memory staging buffer for one warp's join output."""
+
+    capacity: int
+    _staged: list[int] = field(default_factory=list)
+    _output: list[int] = field(default_factory=list)
+    flushes: list[FlushRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise InvalidConfigError("output buffer capacity must be positive")
+
+    def emit(self, lane_values: list[int]) -> None:
+        """One probe step: each lane contributes zero or more matches.
+
+        Lanes cooperatively compute offsets (prefix sum over the warp's
+        match counts) and store; anything past the buffer's capacity
+        triggers a flush and is then staged (§III-C: "store any
+        outstanding output that did not fit on the buffer").
+        """
+        for value in lane_values:
+            if len(self._staged) == self.capacity:
+                self.flush()
+            self._staged.append(value)
+
+    def flush(self) -> None:
+        """Claim a global base offset with one atomicAdd and copy the
+        staged values out contiguously."""
+        if not self._staged:
+            return
+        base = len(self._output)
+        self.flushes.append(FlushRecord(base=base, count=len(self._staged)))
+        self._output.extend(self._staged)
+        self._staged.clear()
+
+    def finish(self) -> np.ndarray:
+        """Final flush; returns everything written in output order."""
+        self.flush()
+        return np.asarray(self._output, dtype=np.int64)
+
+    @property
+    def flush_count(self) -> int:
+        return len(self.flushes)
+
+
+def expected_flushes(total_matches: int, buffer_capacity: int) -> int:
+    """Number of atomicAdd-claimed flushes a warp performs for
+    ``total_matches`` buffered values."""
+    if buffer_capacity <= 0:
+        raise InvalidConfigError("buffer capacity must be positive")
+    if total_matches == 0:
+        return 0
+    return -(-total_matches // buffer_capacity)

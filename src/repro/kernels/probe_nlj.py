@@ -1,0 +1,132 @@
+"""Ballot-based nested-loop probe (Listing 1, §III-B).
+
+The build side of a co-partition sits contiguously in shared memory.
+Each warp holds 32 probe tuples (one per lane) and scans the build side
+32 elements at a time: every lane reads one build value, and for every
+key bit *not* fixed by partitioning the warp executes one ``ballot``,
+broadcasting that bit of all 32 build values as a bitmask.  Each lane
+then AND-combines the ballots against its own probe key's bits, ending
+with a 32-bit mask of matching build lanes — 32x32 comparisons for a
+handful of ballot instructions and a single shared-memory read per lane.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.cost import CoPartitionStats, GpuCostModel, KernelCost
+from repro.gpusim.warp import WARP_SIZE, ballot
+from repro.kernels.buckets import PartitionedRelation
+from repro.kernels.probe_hash import ProbeResult
+
+#: Build value used to pad partial warp chunks; never equals a real key.
+_PAD = np.int64(-1)
+
+
+def ballot_match_masks(
+    build_chunk: np.ndarray,
+    probe_keys: np.ndarray,
+    differing_bits: list[int],
+) -> np.ndarray:
+    """The Listing 1 inner loop for one 32-element build chunk.
+
+    ``build_chunk`` holds exactly :data:`WARP_SIZE` values (padded with
+    :data:`_PAD`); returns a ``uint32`` mask per probe key whose bit *l*
+    is set iff build lane *l* matches that probe key on every bit in
+    ``differing_bits``.
+    """
+    if build_chunk.shape[0] != WARP_SIZE:
+        raise InvalidConfigError("build chunk must hold exactly one warp of values")
+    masks = np.full(probe_keys.shape[0], 0xFFFFFFFF, dtype=np.uint32)
+    valid = np.uint32(0)
+    for lane in range(WARP_SIZE):
+        if build_chunk[lane] != _PAD:
+            valid |= np.uint32(1) << np.uint32(lane)
+    for bit_index in diff_iter(differing_bits):
+        bit = np.int64(1) << np.int64(bit_index)
+        vote = ballot((build_chunk & bit) != 0)  # one ballot per bit
+        probe_has_bit = (probe_keys & bit) != 0
+        masks = np.where(probe_has_bit, masks & vote, masks & ~vote)
+    return masks & valid
+
+
+def diff_iter(differing_bits: list[int]):
+    """Iterate the bit indexes that may differ inside a partition."""
+    return tuple(differing_bits)
+
+
+def nlj_copartitions(
+    build: PartitionedRelation,
+    probe: PartitionedRelation,
+    *,
+    key_bits: int,
+    threads_per_block: int,
+    cost_model: GpuCostModel,
+    materialize: bool = False,
+    out_tuple_bytes: float = 8.0,
+) -> ProbeResult:
+    """Ballot-NLJ every co-partition pair.
+
+    ``key_bits`` is the width of the key domain; the bits below
+    ``build.radix_bits`` are fixed by partitioning, so only
+    ``key_bits - radix_bits`` ballots are needed per 32-element chunk
+    (line 6 of Listing 1: "indexes of bits that may differ").
+    """
+    if probe.radix_bits != build.radix_bits:
+        raise InvalidConfigError("co-partitioning mismatch between build and probe")
+    differing = list(range(build.radix_bits, max(key_bits, build.radix_bits + 1)))
+
+    build_hits: list[np.ndarray] = []
+    probe_hits: list[np.ndarray] = []
+    lane_index = np.arange(WARP_SIZE, dtype=np.uint32)
+
+    for p in range(build.fanout):
+        r_keys, r_payloads = build.partition(p)
+        s_keys, s_payloads = probe.partition(p)
+        if r_keys.shape[0] == 0 or s_keys.shape[0] == 0:
+            continue
+        for offset in range(0, r_keys.shape[0], WARP_SIZE):
+            chunk = r_keys[offset : offset + WARP_SIZE]
+            if chunk.shape[0] < WARP_SIZE:
+                chunk = np.concatenate(
+                    [chunk, np.full(WARP_SIZE - chunk.shape[0], _PAD, dtype=np.int64)]
+                )
+            masks = ballot_match_masks(chunk, s_keys, differing)
+            hit_rows, hit_lanes = np.nonzero(
+                (masks[:, None] >> lane_index[None, :]).astype(np.uint32) & np.uint32(1)
+            )
+            if hit_rows.size:
+                build_hits.append(r_payloads[offset + hit_lanes])
+                probe_hits.append(s_payloads[hit_rows])
+
+    build_payloads = (
+        np.concatenate(build_hits) if build_hits else np.empty(0, dtype=np.int64)
+    )
+    probe_payloads = (
+        np.concatenate(probe_hits) if probe_hits else np.empty(0, dtype=np.int64)
+    )
+
+    build_sizes = build.partition_sizes()
+    probe_sizes = probe.partition_sizes()
+    matches = CoPartitionStats.split_matches(
+        build_sizes, probe_sizes, float(build_payloads.shape[0])
+    )
+    stats = CoPartitionStats(
+        build_sizes=build_sizes, probe_sizes=probe_sizes, matches=matches
+    )
+    cost: KernelCost = cost_model.join_copartitions_nlj(
+        stats,
+        build.tuple_bytes,
+        differing_bits=len(differing),
+        threads_per_block=threads_per_block,
+        materialize=materialize,
+        out_tuple_bytes=out_tuple_bytes,
+    )
+    return ProbeResult(
+        build_payloads=build_payloads,
+        probe_payloads=probe_payloads,
+        chain_visits=0,
+        stats=stats,
+        cost=cost,
+    )

@@ -1,0 +1,92 @@
+"""Task-graph vocabulary for the pipeline engine.
+
+The out-of-GPU strategies (§IV) are pipelines of operations on a small
+set of serially-executing resources — exactly how CUDA streams behave:
+one H2D DMA engine, one D2H DMA engine, the GPU compute queue, and the
+host CPU.  A :class:`Task` occupies one resource for a duration and may
+depend on other tasks (CUDA event semantics); buffer reuse is expressed
+as a dependency on the task that last released the buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Conventional resource names used by the join strategies.
+H2D = "h2d"
+D2H = "d2h"
+GPU = "gpu"
+CPU = "cpu"
+
+
+@dataclass
+class Task:
+    """One unit of work bound to a resource.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier, referenced by dependents.
+    resource:
+        The serially-executing queue this task occupies.
+    duration:
+        Modelled seconds of occupancy.
+    deps:
+        Names of tasks that must finish before this task may start
+        (in addition to the implicit FIFO order of its resource).
+    """
+
+    name: str
+    resource: str
+    duration: float
+    deps: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.deps = tuple(self.deps)
+
+
+@dataclass
+class ScheduledTask:
+    """A task with its computed start/finish times."""
+
+    task: Task
+    start: float
+    finish: float
+
+
+@dataclass
+class Schedule:
+    """The result of simulating a task graph."""
+
+    tasks: dict[str, ScheduledTask] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        if not self.tasks:
+            return 0.0
+        return max(item.finish for item in self.tasks.values())
+
+    def finish_of(self, name: str) -> float:
+        return self.tasks[name].finish
+
+    def busy_time(self, resource: str) -> float:
+        """Total occupancy of one resource."""
+        return sum(
+            item.task.duration
+            for item in self.tasks.values()
+            if item.task.resource == resource
+        )
+
+    def utilization(self, resource: str) -> float:
+        """Occupancy fraction of one resource over the makespan."""
+        span = self.makespan
+        if span <= 0:
+            return 0.0
+        return self.busy_time(resource) / span
+
+    def critical_resource(self) -> str | None:
+        """The resource with the highest busy time (the bottleneck)."""
+        resources = {item.task.resource for item in self.tasks.values()}
+        if not resources:
+            return None
+        return max(resources, key=self.busy_time)

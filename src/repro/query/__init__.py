@@ -1,0 +1,18 @@
+"""Query layer: columnar tables, logical plans, and the executor."""
+
+from repro.query.executor import OperatorReport, QueryExecutor, QueryResult
+from repro.query.plan import Aggregate, Comparison, Filter, HashJoin, PlanNode, Scan
+from repro.query.table import Table
+
+__all__ = [
+    "Aggregate",
+    "Comparison",
+    "Filter",
+    "HashJoin",
+    "OperatorReport",
+    "PlanNode",
+    "QueryExecutor",
+    "QueryResult",
+    "Scan",
+    "Table",
+]

@@ -1,0 +1,107 @@
+"""Logical query plans over the GPU join family.
+
+A deliberately small operator algebra — scans, filters, hash joins and
+aggregates — sufficient to express the paper's query-level workloads
+(the TPC-H joins of Fig 14 and multi-join pipelines built on them).
+Plans are trees of dataclasses; :mod:`repro.query.executor` evaluates
+them, choosing an execution strategy per join via the §IV planner.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import InvalidConfigError
+from repro.query.table import Table
+
+
+class Comparison(enum.Enum):
+    """Filter predicates on a single column."""
+
+    EQ = "=="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+
+@dataclass
+class PlanNode:
+    """Base class for plan operators."""
+
+    def children(self) -> tuple["PlanNode", ...]:  # pragma: no cover - trivial
+        return ()
+
+
+@dataclass
+class Scan(PlanNode):
+    """Leaf: produce a base table."""
+
+    table: Table
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return ()
+
+
+@dataclass
+class Filter(PlanNode):
+    """Select rows where ``column <op> literal``."""
+
+    child: PlanNode
+    column: str
+    op: Comparison
+    literal: int
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Equi-join two subplans.
+
+    The *build* side should be the smaller input (as in the paper, the
+    planner does not reorder); the execution strategy (GPU-resident,
+    streaming, or co-processing) is chosen per join from the inputs'
+    sizes unless ``strategy`` pins one.
+    """
+
+    build: PlanNode
+    probe: PlanNode
+    build_key: str
+    probe_key: str
+    strategy: str | None = None
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.build, self.probe)
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Terminal aggregate: COUNT(*) plus SUM over selected columns."""
+
+    child: PlanNode
+    sum_columns: tuple[str, ...] = field(default_factory=tuple)
+
+    def children(self) -> tuple[PlanNode, ...]:
+        return (self.child,)
+
+
+def validate(node: PlanNode) -> None:
+    """Reject malformed plans before execution."""
+    if isinstance(node, Scan):
+        return
+    if isinstance(node, Filter):
+        if not isinstance(node.op, Comparison):
+            raise InvalidConfigError(f"bad comparison: {node.op!r}")
+        validate(node.child)
+        return
+    if isinstance(node, HashJoin):
+        validate(node.build)
+        validate(node.probe)
+        return
+    if isinstance(node, Aggregate):
+        validate(node.child)
+        return
+    raise InvalidConfigError(f"unknown plan node: {type(node).__name__}")

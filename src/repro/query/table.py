@@ -1,0 +1,106 @@
+"""Named-column tables for the query layer.
+
+The join strategies operate on ``(key, payload)`` relations, the format
+of the paper's microbenchmark.  Real queries join *tables* with several
+columns; this module provides the thin columnar table the query executor
+works over, with late materialization built in: joins carry row
+identifiers and gather the surviving columns afterwards, exactly the
+execution style the paper's payload experiments assume (§V-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.relation import Relation
+from repro.errors import InvalidRelationError
+
+
+@dataclass
+class Table:
+    """An immutable columnar table: named int64 columns of equal length."""
+
+    name: str
+    columns: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        lengths = {column.shape[0] for column in self.columns.values()}
+        if len(lengths) > 1:
+            raise InvalidRelationError(
+                f"table {self.name!r} has ragged columns: {sorted(lengths)}"
+            )
+        self.columns = {
+            name: np.ascontiguousarray(column, dtype=np.int64)
+            for name, column in self.columns.items()
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        if not self.columns:
+            return 0
+        return int(next(iter(self.columns.values())).shape[0])
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self.columns:
+            raise InvalidRelationError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            )
+        return self.columns[name]
+
+    # ------------------------------------------------------------------
+    def key_relation(self, key_column: str) -> Relation:
+        """View this table as a join relation on ``key_column``.
+
+        The payload is the row identifier, enabling late materialization
+        of the remaining columns after the join.
+        """
+        return Relation.from_keys(
+            self.column(key_column), name=f"{self.name}.{key_column}"
+        )
+
+    def gather(self, rows: np.ndarray, *, prefix: str | None = None) -> "Table":
+        """Late materialization: fetch whole rows by identifier.
+
+        Column names gain a ``table.`` prefix on first gather; columns
+        that already carry a qualifier (outputs of earlier joins) keep it.
+        """
+        prefix = f"{prefix or self.name}."
+        return Table(
+            name=self.name,
+            columns={
+                (name if "." in name else prefix + name): column[rows]
+                for name, column in self.columns.items()
+            },
+        )
+
+    def filter(self, mask: np.ndarray) -> "Table":
+        if mask.shape[0] != self.num_rows:
+            raise InvalidRelationError("filter mask length mismatch")
+        return Table(
+            name=self.name,
+            columns={name: column[mask] for name, column in self.columns.items()},
+        )
+
+    @staticmethod
+    def concat_columns(name: str, *tables: "Table") -> "Table":
+        """Zip equally-long tables side by side (join output assembly)."""
+        lengths = {table.num_rows for table in tables}
+        if len(lengths) > 1:
+            raise InvalidRelationError("cannot zip tables of different lengths")
+        merged: dict[str, np.ndarray] = {}
+        for table in tables:
+            for column_name, column in table.columns.items():
+                if column_name in merged:
+                    raise InvalidRelationError(
+                        f"duplicate column {column_name!r} while joining"
+                    )
+                merged[column_name] = column
+        return Table(name=name, columns=merged)

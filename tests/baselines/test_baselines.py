@@ -1,0 +1,105 @@
+"""Behavioural models of the comparison systems."""
+
+import pytest
+
+from repro.baselines import (
+    GPU_DATA_LOAD,
+    IN_GPU_MODES,
+    OOG_COPROCESSING,
+    OOG_MODES,
+    OOG_UM,
+    OOG_UVA,
+    CoGaDb,
+    DbmsX,
+    TransferStrategyComparison,
+)
+from repro.core import estimate_with_planner
+from repro.data import unique_pair
+from repro.data.tpch import join_specs
+from repro.errors import BaselineUnsupportedError
+
+M = 1_000_000
+
+
+def test_dbmsx_resident_is_1_5_to_2x_slower():
+    """Paper: 'our algorithms provide a 1.5-2x improvement in throughput
+    over DBMS-X' when data is GPU resident."""
+    spec = unique_pair(16 * M)
+    ours = estimate_with_planner(spec).throughput
+    theirs = DbmsX().estimate(spec).throughput
+    assert 1.5 <= ours / theirs <= 2.1
+
+
+def test_dbmsx_falls_off_a_cliff_beyond_32m():
+    dbmsx = DbmsX()
+    resident = dbmsx.estimate(unique_pair(32 * M))
+    fallback = dbmsx.estimate(unique_pair(64 * M))
+    assert resident.throughput > 10 * fallback.throughput
+    assert "out_of_gpu" in fallback.phases
+
+
+def test_dbmsx_out_of_gpu_roughly_10x_slower_than_ours():
+    spec = unique_pair(512 * M)
+    ours = estimate_with_planner(spec).throughput
+    theirs = DbmsX().estimate(spec).throughput
+    assert ours / theirs >= 8
+
+
+def test_dbmsx_errors_on_sf100_orders():
+    specs = join_specs(100)
+    with pytest.raises(BaselineUnsupportedError):
+        DbmsX().estimate(specs["orders"])
+    # ... but handles the SF100 customer join.
+    assert DbmsX().estimate(specs["customer"]).throughput > 0
+
+
+def test_cogadb_slower_than_dbmsx_resident():
+    spec = unique_pair(16 * M)
+    assert CoGaDb().estimate(spec).throughput < DbmsX().estimate(spec).throughput
+
+
+def test_cogadb_reaches_128m_but_not_beyond():
+    assert CoGaDb().estimate(unique_pair(128 * M)).throughput > 0
+    with pytest.raises(BaselineUnsupportedError):
+        CoGaDb().estimate(unique_pair(256 * M))
+
+
+def test_cogadb_fails_to_load_sf100():
+    specs = join_specs(100)
+    with pytest.raises(BaselineUnsupportedError):
+        CoGaDb().estimate(specs["customer"])
+    # SF10 loads fine.
+    assert CoGaDb().estimate(join_specs(10)["customer"]).throughput > 0
+
+
+def test_fig21_resident_baseline_is_fastest():
+    comparison = TransferStrategyComparison()
+    spec = unique_pair(32 * M)
+    results = {
+        mode: comparison.in_gpu(spec, mode).throughput for mode in IN_GPU_MODES
+    }
+    assert all(results[GPU_DATA_LOAD] >= v for v in results.values())
+    # Every UVA/UM variant pays bus costs: strictly slower than resident.
+    for mode in IN_GPU_MODES[1:]:
+        assert results[mode] < results[GPU_DATA_LOAD]
+
+
+def test_fig22_coprocessing_dominates_driver_managed_modes():
+    comparison = TransferStrategyComparison()
+    spec = unique_pair(512 * M)
+    results = {
+        mode: comparison.out_of_gpu(spec, mode).throughput for mode in OOG_MODES
+    }
+    assert results[OOG_COPROCESSING] > 3 * results[OOG_UVA]
+    assert results[OOG_UVA] > results[OOG_UM]
+
+
+def test_unknown_modes_rejected():
+    from repro.errors import InvalidConfigError
+
+    comparison = TransferStrategyComparison()
+    spec = unique_pair(1 * M)
+    with pytest.raises(InvalidConfigError):
+        comparison.in_gpu(spec, "warp drive")
+    with pytest.raises(InvalidConfigError):
+        comparison.out_of_gpu(spec, "warp drive")

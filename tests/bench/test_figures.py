@@ -1,0 +1,64 @@
+"""Every figure function produces its expected series (smoke, small scale).
+
+Shape assertions at the paper's full workload sizes live in
+``benchmarks/``; here each figure is exercised end-to-end at reduced
+scale to keep the unit suite fast.
+"""
+
+import pytest
+
+from repro.bench.figures import ALL_FIGURES
+
+#: (figure name, expected series labels, expected number of x points)
+EXPECTATIONS = {
+    "fig05": 4,
+    "fig06": 4,
+    "fig07": 2,
+    "fig08": 15,
+    "fig09": 2,
+    "fig10": 2,
+    "fig11": 3,
+    "fig12": 9,
+    "fig13": 2,
+    "fig14": 3,
+    "fig15": 3,
+    "fig16": 2,
+    "fig17": 6,
+    "fig18": 6,
+    "fig19": 4,
+    "fig20": 6,
+    "fig21": 1,
+    "fig22": 1,
+}
+
+
+def test_registry_covers_every_evaluation_figure():
+    assert sorted(ALL_FIGURES) == sorted(EXPECTATIONS)
+    assert len(ALL_FIGURES) == 18  # Figs 5 through 22
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTATIONS))
+def test_figure_smoke(name):
+    result = ALL_FIGURES[name](scale=0.002)
+    assert result.figure == name
+    assert len(result.series) == EXPECTATIONS[name]
+    for series in result.series:
+        assert series.points, f"{name}/{series.label} is empty"
+    table = result.table()
+    assert name in table
+    assert len(table.splitlines()) >= 4
+
+
+def test_cli_single_figure(capsys):
+    from repro.bench.cli import main
+
+    assert main(["--figure", "7", "--scale", "0.002"]) == 0
+    out = capsys.readouterr().out
+    assert "fig07" in out
+
+
+def test_cli_list(capsys):
+    from repro.bench.cli import main
+
+    assert main(["--list"]) == 0
+    assert "fig22" in capsys.readouterr().out

@@ -1,0 +1,55 @@
+"""FigureResult/Series containers and the table renderer."""
+
+import pytest
+
+from repro.bench.harness import FigureResult, Series
+from repro.errors import InvalidConfigError
+
+
+def test_series_accumulates_points():
+    series = Series("s")
+    series.add(1, 10.0)
+    series.add(2, None)
+    assert series.xs() == [1, 2]
+    assert series.ys() == [10.0, None]
+    assert series.y_at(1) == 10.0
+    with pytest.raises(InvalidConfigError):
+        series.y_at(99)
+
+
+def test_figure_get_by_label():
+    figure = FigureResult("figXX", "t", "x", "y")
+    figure.new_series("a")
+    assert figure.get("a").label == "a"
+    with pytest.raises(InvalidConfigError):
+        figure.get("b")
+
+
+def test_table_renders_aligned_rows():
+    figure = FigureResult("figXX", "demo", "size", "throughput")
+    a = figure.new_series("A")
+    b = figure.new_series("B")
+    a.add(1, 1.5)
+    a.add(2, 2.5)
+    b.add(1, None)  # a reported failure
+    table = figure.table()
+    lines = table.splitlines()
+    assert "figXX: demo" in lines[0]
+    assert "size" in lines[1] and "A" in lines[1] and "B" in lines[1]
+    assert "fail" in table
+    assert "-" in table  # B has no point at x=2
+
+
+def test_table_with_categorical_ticks():
+    figure = FigureResult("figXX", "bars", "mode", "y", x_ticks=["alpha", "beta"])
+    series = figure.new_series("v")
+    series.add(0, 1.0)
+    series.add(1, 2.0)
+    table = figure.table()
+    assert "alpha" in table and "beta" in table
+
+
+def test_table_notes_appended():
+    figure = FigureResult("figXX", "t", "x", "y", notes=["hello note"])
+    figure.new_series("a").add(0, 0.0)
+    assert "hello note" in figure.table()

@@ -1,0 +1,33 @@
+"""EXPERIMENTS.md table refreshing."""
+
+import pytest
+
+from repro.bench.report import refresh_experiments
+from repro.errors import InvalidConfigError
+
+
+def test_refresh_replaces_stale_tables(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text(
+        "# heading\n\ncommentary stays\n\n```\nfig07: STALE TABLE\nold row\n```\n"
+    )
+    refreshed = refresh_experiments(doc, scale=0.002)
+    assert refreshed == ["fig07"]
+    text = doc.read_text()
+    assert "STALE TABLE" not in text
+    assert "commentary stays" in text
+    assert "Aggregation" in text  # the fresh fig07 series
+
+
+def test_refresh_rejects_unknown_figures(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text("```\nfig99: ghost\n```\n")
+    with pytest.raises(InvalidConfigError):
+        refresh_experiments(doc, scale=0.002)
+
+
+def test_refresh_leaves_other_fences_alone(tmp_path):
+    doc = tmp_path / "EXPERIMENTS.md"
+    doc.write_text("```bash\npytest tests/\n```\n\n```\nfig07: t\n```\n")
+    refresh_experiments(doc, scale=0.002)
+    assert "pytest tests/" in doc.read_text()

@@ -1,0 +1,127 @@
+"""CPU-GPU co-processing strategy (§IV-B)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CoProcessingJoin, GpuJoinConfig
+from repro.data import (
+    Distribution,
+    JoinSpec,
+    RelationSpec,
+    generate_join,
+    naive_join_pairs,
+    unique_pair,
+    zipf_pair,
+)
+
+CFG = GpuJoinConfig(total_radix_bits=4)
+
+
+def test_functional_run_equals_oracle():
+    build, probe = generate_join(unique_pair(1 << 13), seed=1)
+    result = CoProcessingJoin(config=CFG).run(
+        build, probe, materialize=True, chunk_tuples=2048
+    )
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_functional_run_with_duplicates():
+    spec = JoinSpec(
+        build=RelationSpec(n=6000, distinct=700, distribution=Distribution.UNIFORM),
+        probe=RelationSpec(n=9000, distinct=700, distribution=Distribution.UNIFORM),
+    )
+    build, probe = generate_join(spec, seed=2)
+    result = CoProcessingJoin(config=CFG).run(
+        build, probe, materialize=True, chunk_tuples=1500
+    )
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_functional_run_skewed():
+    spec = zipf_pair(12_000, 0.8, skew_side="both")
+    build, probe = generate_join(spec, seed=3)
+    result = CoProcessingJoin(config=CFG).run(
+        build, probe, materialize=True, chunk_tuples=3000
+    )
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_throughput_insensitive_to_relation_size():
+    """Fig 12's headline: co-processing stays flat as inputs grow."""
+    coproc = CoProcessingJoin()
+    values = [
+        coproc.estimate(unique_pair(n * 1_000_000)).throughput_billion
+        for n in (256, 512, 1024, 2048)
+    ]
+    assert max(values) / min(values) < 1.25
+
+
+def test_thread_scaling_shape():
+    """Fig 13: rapid rise, plateau around 16, small drop past ~26."""
+    coproc = CoProcessingJoin()
+    spec = unique_pair(512_000_000)
+    by_threads = {
+        t: coproc.estimate(spec, threads=t).throughput for t in (2, 6, 16, 26, 46)
+    }
+    assert by_threads[2] < by_threads[6] < by_threads[16]
+    assert by_threads[16] == pytest.approx(by_threads[26], rel=0.1)
+    assert by_threads[46] < by_threads[26]
+    assert by_threads[46] > 0.8 * by_threads[26]  # a *small* drop
+
+
+def test_coprocessing_with_6_threads_beats_full_cpu():
+    """§V-D: 'using our coprocessing join with a single GPU and 6 cores,
+    we can match the performance of a CPU-based join that uses nearly
+    10x more CPU cores.'"""
+    from repro.cpu import ProJoin
+
+    spec = unique_pair(512_000_000)
+    coproc = CoProcessingJoin().estimate(spec, threads=6).throughput
+    best_cpu = ProJoin().estimate(spec, threads=46).throughput
+    assert coproc > best_cpu
+
+
+def test_first_working_set_is_largest_fraction():
+    coproc = CoProcessingJoin()
+    metrics = coproc.estimate(unique_pair(2_048_000_000))
+    first = metrics.notes["first_ws_fraction"]
+    assert first == pytest.approx(5 / 16, abs=0.01)  # §V-C: 5 of 16
+
+
+def test_staging_beats_direct():
+    spec = unique_pair(1_024_000_000)
+    staged = CoProcessingJoin(staging=True).estimate(spec)
+    direct = CoProcessingJoin(staging=False).estimate(spec)
+    assert staged.throughput > direct.throughput
+
+
+def test_materialization_penalty_small_for_uniform():
+    coproc = CoProcessingJoin()
+    spec = unique_pair(512_000_000)
+    agg = coproc.estimate(spec)
+    mat = coproc.estimate(spec, materialize=True)
+    assert agg.seconds <= mat.seconds < 1.2 * agg.seconds
+
+
+def test_identical_skew_explodes_output_and_collapses():
+    coproc = CoProcessingJoin()
+    uniform = coproc.estimate(zipf_pair(512_000_000, 0.0, skew_side="both"))
+    skewed = coproc.estimate(zipf_pair(512_000_000, 1.0, skew_side="both"))
+    assert skewed.throughput < 0.05 * uniform.throughput
+
+
+def test_single_sided_skew_hidden_by_pcie():
+    """Fig 18: the interconnect is slower than the GPU work, so one-sided
+    skew costs (almost) nothing out-of-GPU."""
+    coproc = CoProcessingJoin()
+    uniform = coproc.estimate(zipf_pair(512_000_000, 0.0, skew_side="probe"))
+    skewed = coproc.estimate(zipf_pair(512_000_000, 1.0, skew_side="probe"))
+    assert skewed.throughput > 0.9 * uniform.throughput
+
+
+def test_plan_covers_all_partitions():
+    coproc = CoProcessingJoin(config=CFG)
+    sizes = np.full(16, 1000.0)
+    plan = coproc.plan(sizes, 8, probe_n=100_000)
+    covered = sorted(p for ws in plan.working_sets for p in ws.partition_ids)
+    assert covered == list(range(16))

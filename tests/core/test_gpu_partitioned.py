@@ -1,0 +1,114 @@
+"""In-GPU partitioned join strategy: correctness + model consistency."""
+
+import numpy as np
+import pytest
+
+from repro.core import GpuJoinConfig, GpuPartitionedJoin
+from repro.data import (
+    Distribution,
+    JoinSpec,
+    RelationSpec,
+    generate_join,
+    naive_join_count,
+    naive_join_pairs,
+    unique_pair,
+    zipf_pair,
+)
+from repro.errors import DeviceMemoryOverflowError
+
+CFG = GpuJoinConfig(total_radix_bits=6)
+
+
+def test_run_materialized_equals_oracle():
+    build, probe = generate_join(unique_pair(1 << 13), seed=1)
+    result = GpuPartitionedJoin(config=CFG).run(build, probe, materialize=True)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_run_aggregation_counts_matches():
+    build, probe = generate_join(unique_pair(1 << 12), seed=2)
+    result = GpuPartitionedJoin(config=CFG).run(build, probe)
+    assert result.aggregate is not None
+    assert result.aggregate.matches == naive_join_count(build, probe)
+    with pytest.raises(ValueError):
+        result.pairs()  # aggregation mode materializes nothing
+
+
+def test_run_with_duplicates_and_ratio():
+    spec = JoinSpec(
+        build=RelationSpec(n=4096, distinct=512, distribution=Distribution.UNIFORM),
+        probe=RelationSpec(n=16384, distinct=512, distribution=Distribution.UNIFORM),
+    )
+    build, probe = generate_join(spec, seed=3)
+    result = GpuPartitionedJoin(config=CFG).run(build, probe, materialize=True)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_run_with_skewed_inputs():
+    spec = zipf_pair(20_000, 0.9, skew_side="both")
+    build, probe = generate_join(spec, seed=4)
+    result = GpuPartitionedJoin(config=CFG).run(build, probe, materialize=True)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_nlj_kernel_through_strategy():
+    build, probe = generate_join(unique_pair(1 << 11), seed=5)
+    result = GpuPartitionedJoin(
+        config=GpuJoinConfig(total_radix_bits=5, probe_kernel="nlj")
+    ).run(build, probe, materialize=True)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_estimate_consistent_with_run():
+    """The analytic path must agree with functional-run metrics."""
+    spec = unique_pair(1 << 16)
+    join = GpuPartitionedJoin(config=GpuJoinConfig(total_radix_bits=8))
+    build, probe = generate_join(spec, seed=6)
+    run_metrics = join.run(build, probe).metrics
+    est_metrics = join.estimate(spec)
+    assert est_metrics.seconds == pytest.approx(run_metrics.seconds, rel=0.1)
+    assert est_metrics.output_tuples == pytest.approx(
+        run_metrics.output_tuples, rel=0.01
+    )
+
+
+def test_materialization_costs_more_than_aggregation():
+    spec = unique_pair(32_000_000)
+    join = GpuPartitionedJoin()
+    agg = join.estimate(spec)
+    mat = join.estimate(spec, materialize=True)
+    assert mat.seconds > agg.seconds
+    # ... but not dramatically (Fig 7: "does not degrade performance
+    # significantly").
+    assert mat.seconds < 1.5 * agg.seconds
+
+
+def test_late_payload_gather_adds_cost():
+    base = unique_pair(32_000_000)
+    wide = JoinSpec(
+        build=base.build, probe=base.probe.with_payload(late_payload_bytes=128)
+    )
+    join = GpuPartitionedJoin()
+    assert join.estimate(wide).seconds > join.estimate(base).seconds
+
+
+def test_device_memory_limit_enforced():
+    join = GpuPartitionedJoin()
+    with pytest.raises(DeviceMemoryOverflowError):
+        join.estimate(unique_pair(512_000_000))
+
+
+def test_phase_breakdown_reported():
+    metrics = GpuPartitionedJoin().estimate(unique_pair(16_000_000))
+    assert set(metrics.phases) == {"partition", "join", "gather"}
+    assert metrics.phases["partition"] > metrics.phases["join"] > 0
+    assert metrics.seconds == pytest.approx(sum(metrics.phases.values()))
+
+
+def test_empty_overlap_join():
+    build, _ = generate_join(unique_pair(1024), seed=7)
+    probe = build.take(np.arange(0))  # empty probe
+    result = GpuPartitionedJoin(config=GpuJoinConfig(total_radix_bits=3)).run(
+        build, probe
+    )
+    assert result.matches == 0

@@ -1,0 +1,66 @@
+"""Location-based strategy selection (the paper's 'no one size fits all')."""
+
+from repro.core import (
+    COPROCESSING,
+    GPU_RESIDENT,
+    STREAMING,
+    CoProcessingJoin,
+    GpuPartitionedJoin,
+    StreamingProbeJoin,
+    choose_strategy_name,
+    estimate_with_planner,
+    plan_join,
+)
+from repro.data import Distribution, JoinSpec, RelationSpec, unique_pair
+
+M = 1_000_000
+
+
+def _spec(build_m: int, probe_m: int) -> JoinSpec:
+    return JoinSpec(
+        build=RelationSpec(n=build_m * M),
+        probe=RelationSpec(
+            n=probe_m * M, distinct=build_m * M, distribution=Distribution.UNIFORM
+        ),
+    )
+
+
+def test_small_joins_run_resident():
+    assert choose_strategy_name(unique_pair(16 * M)) == GPU_RESIDENT
+
+
+def test_resident_limit_matches_paper():
+    """§V-C: 'Our join algorithm implementation is able to push this
+    limit to 128M tuples' for equal GPU-resident tables."""
+    assert choose_strategy_name(unique_pair(128 * M)) == GPU_RESIDENT
+    assert choose_strategy_name(unique_pair(256 * M)) != GPU_RESIDENT
+
+
+def test_build_fits_probe_does_not_streams():
+    assert choose_strategy_name(_spec(64, 2048)) == STREAMING
+
+
+def test_neither_fits_coprocesses():
+    assert choose_strategy_name(_spec(1024, 1024)) == COPROCESSING
+
+
+def test_plan_join_instantiates_matching_strategy():
+    assert isinstance(plan_join(unique_pair(16 * M)), GpuPartitionedJoin)
+    assert isinstance(plan_join(_spec(64, 2048)), StreamingProbeJoin)
+    assert isinstance(plan_join(_spec(1024, 1024)), CoProcessingJoin)
+
+
+def test_estimate_with_planner_runs_each_regime():
+    for spec in (unique_pair(16 * M), _spec(64, 1024), _spec(1024, 1024)):
+        metrics = estimate_with_planner(spec)
+        assert metrics.seconds > 0
+        assert metrics.throughput > 0
+
+
+def test_planner_picks_fastest_feasible_option():
+    """The resident strategy must dominate wherever it is chosen."""
+    spec = unique_pair(64 * M)
+    resident = GpuPartitionedJoin().estimate(spec)
+    coproc = CoProcessingJoin().estimate(spec)
+    assert resident.throughput > coproc.throughput
+    assert estimate_with_planner(spec).throughput == resident.throughput

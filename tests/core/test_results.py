@@ -1,0 +1,58 @@
+"""JoinMetrics / JoinRunResult behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.results import JoinMetrics, JoinRunResult
+
+
+def _metrics(seconds=2.0) -> JoinMetrics:
+    return JoinMetrics(
+        strategy="test",
+        seconds=seconds,
+        total_tuples=1000,
+        output_tuples=500,
+        phases={"a": 1.5, "b": 0.5},
+        notes={"tuple_bytes": 8.0},
+    )
+
+
+def test_throughput_definitions():
+    metrics = _metrics()
+    assert metrics.throughput == 500.0
+    assert metrics.throughput_billion == 500.0 / 1e9
+    assert metrics.data_gbps == pytest.approx(500.0 * 8 / 1e9)
+
+
+def test_zero_seconds_is_zero_throughput():
+    assert _metrics(seconds=0.0).throughput == 0.0
+
+
+def test_phase_throughput():
+    metrics = _metrics()
+    assert metrics.phase_throughput("a") == pytest.approx(1000 / 1.5)
+    assert metrics.phase_throughput("missing") == 0.0
+
+
+def test_run_result_matches_and_pairs():
+    result = JoinRunResult(
+        metrics=_metrics(),
+        build_payloads=np.array([2, 1]),
+        probe_payloads=np.array([20, 10]),
+    )
+    assert result.matches == 2
+    pairs = result.pairs()
+    assert pairs.tolist() == [[1, 10], [2, 20]]  # sorted
+
+
+def test_aggregation_mode_has_no_pairs():
+    from repro.kernels.aggregate import JoinAggregate
+
+    result = JoinRunResult(metrics=_metrics(), aggregate=JoinAggregate(3, 0, 0))
+    assert result.matches == 3
+    with pytest.raises(ValueError):
+        result.pairs()
+
+
+def test_empty_result():
+    assert JoinRunResult(metrics=_metrics()).matches == 0

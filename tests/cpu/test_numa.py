@@ -1,0 +1,61 @@
+"""NUMA transfer model: staging, QPI interference, saturation."""
+
+import pytest
+
+from repro.cpu.numa import NumaModel
+from repro.errors import InvalidConfigError
+from repro.gpusim.spec import SystemSpec
+
+
+@pytest.fixture()
+def numa() -> NumaModel:
+    return NumaModel(SystemSpec())
+
+
+def test_staged_beats_direct(numa):
+    """Fig 16: staging to the near socket outperforms far-socket DMA."""
+    for threads in (0, 16, 32):
+        assert numa.h2d_rate_staged(threads) > numa.h2d_rate_direct(threads)
+
+
+def test_no_contention_at_paper_thread_count(numa):
+    """16 partitioning threads leave DMA at full rate (§V-C setup)."""
+    assert numa.dma_contention_factor(16) == 1.0
+
+
+def test_saturation_knee_near_26_threads(numa):
+    """Fig 13: the memory system saturates just past ~26 threads."""
+    assert numa.dma_contention_factor(24) == 1.0
+    assert numa.dma_contention_factor(30) < 1.0
+
+
+def test_contention_drop_is_bounded(numa):
+    """The paper reports a *small* decline, not a collapse."""
+    assert numa.dma_contention_factor(48) >= 0.85
+
+
+def test_staging_only_phase_never_saturates(numa):
+    assert numa.dma_contention_factor(0) == 1.0
+
+
+def test_partition_demand_linear(numa):
+    assert numa.partition_bandwidth_demand(8) == pytest.approx(
+        2 * numa.partition_bandwidth_demand(4)
+    )
+    with pytest.raises(InvalidConfigError):
+        numa.partition_bandwidth_demand(-1)
+
+
+def test_staging_copy_rate_caps_at_qpi(numa):
+    qpi = numa.system.cpu.qpi_bandwidth
+    assert numa.staging_copy_rate(64) == pytest.approx(qpi)
+    assert numa.staging_copy_rate(1) < qpi
+
+
+def test_direct_rate_reflects_qpi_interference(numa):
+    """Direct copies blend near-socket and degraded-QPI halves."""
+    direct = numa.h2d_rate_direct(0)
+    near = numa.system.interconnect.pinned_bandwidth
+    far = numa.system.cpu.qpi_bandwidth
+    assert direct < near
+    assert direct < far  # interference pushes below even raw QPI

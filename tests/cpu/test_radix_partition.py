@@ -1,0 +1,55 @@
+"""CPU radix partitioning: functional grouping + thread-scaling model."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.radix_partition import CpuPartitionModel, cpu_radix_partition
+from repro.data.relation import Relation
+from repro.errors import InvalidConfigError
+from repro.gpusim.spec import SystemSpec
+
+
+def test_functional_partition_groups_by_low_bits():
+    rel = Relation.from_keys(np.random.default_rng(0).integers(0, 1 << 16, 4000))
+    part = cpu_radix_partition(rel, 4)
+    assert part.fanout == 16
+    for p in range(16):
+        keys, _ = part.partition(p)
+        assert np.all((keys & 15) == p)
+    assert part.partition_sizes().sum() == 4000
+
+
+def test_functional_partition_is_stable():
+    rel = Relation.from_keys(np.array([0, 16, 0, 16]))
+    part = cpu_radix_partition(rel, 4)
+    _, payloads = part.partition(0)
+    assert list(payloads) == [0, 1, 2, 3]
+
+
+def test_bits_must_be_positive():
+    with pytest.raises(InvalidConfigError):
+        cpu_radix_partition(Relation.from_keys(np.arange(4)), 0)
+
+
+def test_paper_calibration_point_40gbps_at_16_threads():
+    """§V-C: 'the CPU radix partitioning pass can reach a throughput of
+    approximately 40 GB/s for our configuration' (16 threads)."""
+    model = CpuPartitionModel(SystemSpec())
+    assert model.pass_rate(16) == pytest.approx(40e9, rel=0.01)
+
+
+def test_pass_rate_scales_then_saturates():
+    model = CpuPartitionModel(SystemSpec())
+    assert model.pass_rate(8) == pytest.approx(model.pass_rate(4) * 2)
+    saturation = model.saturation_threads()
+    assert model.pass_rate(saturation + 8) == model.pass_rate(saturation + 4)
+
+
+def test_pass_seconds_inverse_of_rate():
+    model = CpuPartitionModel(SystemSpec())
+    assert model.pass_seconds(40e9, 16) == pytest.approx(1.0, rel=0.01)
+
+
+def test_threads_must_be_positive():
+    with pytest.raises(InvalidConfigError):
+        CpuPartitionModel(SystemSpec()).pass_rate(0)

@@ -1,0 +1,105 @@
+"""Tests for workload generation and the naive-join oracle."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    Distribution,
+    JoinSpec,
+    RelationSpec,
+    generate_join,
+    generate_relation,
+    naive_join_count,
+    naive_join_pairs,
+    replicated_pair,
+    unique_pair,
+    zipf_pair,
+)
+from repro.data.relation import Relation
+
+
+def test_unique_relation_is_permutation():
+    rel = generate_relation(RelationSpec(n=1000), seed=1)
+    assert sorted(rel.key) == list(range(1000))
+
+
+def test_generation_is_deterministic_per_seed():
+    a = generate_relation(RelationSpec(n=100), seed=7)
+    b = generate_relation(RelationSpec(n=100), seed=7)
+    c = generate_relation(RelationSpec(n=100), seed=8)
+    assert np.array_equal(a.key, b.key)
+    assert not np.array_equal(a.key, c.key)
+
+
+def test_uniform_keys_within_domain():
+    spec = RelationSpec(n=5000, distinct=64, distribution=Distribution.UNIFORM)
+    rel = generate_relation(spec, seed=2)
+    assert rel.key.min() >= 0 and rel.key.max() < 64
+
+
+def test_one_to_one_pair_shares_exact_key_set():
+    build, probe = generate_join(unique_pair(512), seed=3)
+    assert np.array_equal(np.sort(build.key), np.sort(probe.key))
+
+
+def test_ratio_pair_probe_drawn_from_build_domain():
+    spec = unique_pair(256, 1024)
+    build, probe = generate_join(spec, seed=4)
+    assert probe.num_tuples == 1024
+    assert set(probe.key).issubset(set(build.key))
+
+
+def test_zipf_pair_generation_runs_and_matches_domain():
+    build, probe = generate_join(zipf_pair(2000, 0.9, skew_side="both"), seed=5)
+    assert build.key.max() < 2000
+    assert probe.key.max() < 2000
+
+
+def test_replicated_pair_average_multiplicity():
+    spec = replicated_pair(4000, 4)
+    build, _ = generate_join(spec, seed=6)
+    assert build.distinct_keys() <= 1000
+
+
+def test_naive_join_count_brute_force_small():
+    build = Relation.from_keys(np.array([1, 2, 2, 3]))
+    probe = Relation.from_keys(np.array([2, 2, 3, 4]))
+    # key 2: 2 build x 2 probe = 4; key 3: 1x1 = 1.
+    assert naive_join_count(build, probe) == 5
+
+
+def test_naive_join_pairs_brute_force_small():
+    build = Relation.from_keys(np.array([7, 8]))
+    probe = Relation.from_keys(np.array([8, 7, 8]))
+    pairs = naive_join_pairs(build, probe)
+    expected = {(0, 1), (1, 0), (1, 2)}  # (build row, probe row)
+    assert {tuple(p) for p in pairs} == expected
+
+
+def test_naive_join_pairs_count_matches_naive_join_count():
+    build, probe = generate_join(
+        JoinSpec(
+            build=RelationSpec(n=300, distinct=40, distribution=Distribution.UNIFORM),
+            probe=RelationSpec(n=500, distinct=40, distribution=Distribution.UNIFORM),
+        ),
+        seed=9,
+    )
+    assert naive_join_pairs(build, probe).shape[0] == naive_join_count(build, probe)
+
+
+def test_one_to_one_join_has_exactly_n_matches():
+    build, probe = generate_join(unique_pair(777), seed=10)
+    assert naive_join_count(build, probe) == 777
+
+
+def test_expected_cardinality_close_to_empirical():
+    from repro.data import stats as stats_mod
+
+    spec = JoinSpec(
+        build=RelationSpec(n=20_000, distinct=2_000, distribution=Distribution.UNIFORM),
+        probe=RelationSpec(n=30_000, distinct=2_000, distribution=Distribution.UNIFORM),
+    )
+    build, probe = generate_join(spec, seed=11)
+    expected = stats_mod.expected_join_cardinality(spec)
+    actual = naive_join_count(build, probe)
+    assert actual == pytest.approx(expected, rel=0.05)

@@ -1,0 +1,46 @@
+"""Columnar persistence round trips."""
+
+import numpy as np
+import pytest
+
+from repro.data import generate_relation
+from repro.data.io import load_relation, load_table, save_relation, save_table
+from repro.data.spec import RelationSpec
+from repro.errors import InvalidRelationError
+from repro.query.table import Table
+
+
+def test_relation_round_trip(tmp_path):
+    rel = generate_relation(
+        RelationSpec(n=1000, payload_bytes=8, late_payload_bytes=32), seed=1
+    )
+    path = tmp_path / "rel.npz"
+    save_relation(rel, path)
+    loaded = load_relation(path)
+    assert np.array_equal(loaded.key, rel.key)
+    assert np.array_equal(loaded.payload, rel.payload)
+    assert loaded.payload_bytes == 8
+    assert loaded.late_payload_bytes == 32
+    assert loaded.name == rel.name
+
+
+def test_table_round_trip(tmp_path):
+    table = Table("t", {"a": np.arange(10), "b": np.arange(10) * 2})
+    path = tmp_path / "table.npz"
+    save_table(table, path)
+    loaded = load_table(path)
+    assert loaded.name == "t"
+    assert loaded.column_names == ["a", "b"]
+    assert np.array_equal(loaded.column("b"), table.column("b"))
+
+
+def test_wrong_kind_rejected(tmp_path):
+    table = Table("t", {"a": np.arange(3)})
+    path = tmp_path / "x.npz"
+    save_table(table, path)
+    with pytest.raises(InvalidRelationError):
+        load_relation(path)
+    rel = generate_relation(RelationSpec(n=10), seed=2)
+    save_relation(rel, path)
+    with pytest.raises(InvalidRelationError):
+        load_table(path)

@@ -1,0 +1,112 @@
+"""Unit tests for :mod:`repro.data.spec`."""
+
+import pytest
+
+from repro.data.spec import (
+    Distribution,
+    JoinSpec,
+    RelationSpec,
+    replicated_pair,
+    unique_pair,
+    zipf_pair,
+)
+from repro.errors import InvalidConfigError
+
+
+def test_unique_defaults_distinct_to_n():
+    spec = RelationSpec(n=100)
+    assert spec.distinct == 100
+    assert spec.distribution is Distribution.UNIQUE
+
+
+def test_unique_with_mismatched_distinct_rejected():
+    with pytest.raises(InvalidConfigError):
+        RelationSpec(n=100, distinct=50)
+
+
+def test_nonpositive_sizes_rejected():
+    with pytest.raises(InvalidConfigError):
+        RelationSpec(n=0)
+    with pytest.raises(InvalidConfigError):
+        RelationSpec(n=10, distinct=0, distribution=Distribution.UNIFORM)
+
+
+def test_negative_zipf_rejected():
+    with pytest.raises(InvalidConfigError):
+        RelationSpec(n=10, distribution=Distribution.ZIPF, zipf_s=-0.5)
+
+
+def test_scaled_preserves_multiplicity():
+    spec = RelationSpec(n=1000, distinct=100, distribution=Distribution.UNIFORM)
+    scaled = spec.scaled(5000)
+    assert scaled.n == 5000
+    assert scaled.distinct == 500
+    assert scaled.avg_multiplicity == pytest.approx(spec.avg_multiplicity)
+
+
+def test_scaled_unique_stays_unique():
+    scaled = RelationSpec(n=10).scaled(99)
+    assert scaled.distinct == 99
+
+
+def test_with_payload():
+    spec = RelationSpec(n=10).with_payload(late_payload_bytes=64)
+    assert spec.late_payload_bytes == 64
+    assert spec.payload_bytes == 4  # unchanged
+
+
+def test_join_spec_totals():
+    spec = unique_pair(100, 400)
+    assert spec.total_tuples == 500
+    assert spec.total_bytes == 500 * 8
+
+
+def test_unique_pair_ratio_probe_is_uniform_over_build_domain():
+    spec = unique_pair(100, 200)
+    assert spec.probe.distribution is Distribution.UNIFORM
+    assert spec.probe.distinct == 100
+
+
+def test_join_spec_scaled_keeps_ratio():
+    spec = unique_pair(100, 400).scaled(1000)
+    assert spec.probe.n == 4000
+
+
+def test_zipf_pair_sides():
+    probe_skewed = zipf_pair(100, 0.5, skew_side="probe")
+    assert probe_skewed.probe.distribution is Distribution.ZIPF
+    assert probe_skewed.build.distribution is Distribution.UNIQUE
+
+    build_skewed = zipf_pair(100, 0.5, skew_side="build")
+    assert build_skewed.build.distribution is Distribution.ZIPF
+
+    both = zipf_pair(100, 0.5, skew_side="both")
+    assert both.identical_skew
+
+
+def test_zipf_pair_zero_factor_degenerates_to_uniform():
+    spec = zipf_pair(100, 0.0, skew_side="both")
+    assert not spec.identical_skew
+    assert spec.build.distribution is Distribution.UNIFORM
+
+
+def test_zipf_pair_unknown_side_rejected():
+    with pytest.raises(InvalidConfigError):
+        zipf_pair(100, 0.5, skew_side="sideways")
+
+
+def test_identical_skew_requires_zipf():
+    with pytest.raises(InvalidConfigError):
+        JoinSpec(
+            build=RelationSpec(n=10),
+            probe=RelationSpec(n=10),
+            identical_skew=True,
+        )
+
+
+def test_replicated_pair():
+    spec = replicated_pair(100, 4)
+    assert spec.build.distinct == 25
+    assert spec.build.avg_multiplicity == pytest.approx(4.0)
+    with pytest.raises(InvalidConfigError):
+        replicated_pair(100, 0)

@@ -1,0 +1,59 @@
+"""Tests for the TPC-H-lite generator."""
+
+import numpy as np
+import pytest
+
+from repro.data import naive_join_count
+from repro.data.tpch import (
+    CUSTOMERS_PER_SF,
+    ORDERS_PER_SF,
+    generate,
+    join_specs,
+    lineitem_cardinality,
+)
+from repro.errors import InvalidConfigError
+
+
+def test_cardinalities_follow_scale_factor():
+    tables = generate(0.01, seed=1)
+    assert tables.customer.num_tuples == int(CUSTOMERS_PER_SF * 0.01)
+    assert tables.orders.num_tuples == int(ORDERS_PER_SF * 0.01)
+    lineitems = tables.lineitem_orderkey.num_tuples
+    assert lineitems == pytest.approx(lineitem_cardinality(0.01), rel=0.1)
+
+
+def test_lineitem_columns_align():
+    tables = generate(0.01, seed=2)
+    assert (
+        tables.lineitem_orderkey.num_tuples == tables.lineitem_custkey.num_tuples
+    )
+
+
+def test_every_lineitem_references_existing_order_and_customer():
+    tables = generate(0.005, seed=3)
+    assert tables.lineitem_orderkey.key.max() < tables.orders.num_tuples
+    assert tables.lineitem_custkey.key.max() < tables.customer.num_tuples
+
+
+def test_one_third_of_customers_have_no_orders():
+    tables = generate(0.02, seed=4)
+    active = np.unique(tables.lineitem_custkey.key).shape[0]
+    assert active <= (2 * tables.customer.num_tuples) // 3
+
+
+def test_orders_join_matches_every_lineitem():
+    tables = generate(0.005, seed=5)
+    matches = naive_join_count(tables.orders, tables.lineitem_orderkey)
+    assert matches == tables.lineitem_orderkey.num_tuples
+
+
+def test_join_specs_cardinalities():
+    specs = join_specs(10)
+    assert specs["customer"].build.n == 1_500_000
+    assert specs["orders"].build.n == 15_000_000
+    assert specs["customer"].probe.n == specs["orders"].probe.n
+
+
+def test_invalid_scale_factor():
+    with pytest.raises(InvalidConfigError):
+        generate(0)

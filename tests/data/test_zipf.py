@@ -1,0 +1,108 @@
+"""Tests for the Zipf sampler and its analytic moments."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import zipf as zipf_mod
+from repro.errors import InvalidConfigError
+
+
+def test_harmonic_s_zero_is_n():
+    assert zipf_mod.harmonic(1000, 0.0) == 1000.0
+
+
+def test_harmonic_small_exact():
+    assert zipf_mod.harmonic(3, 1.0) == pytest.approx(1 + 0.5 + 1 / 3)
+
+
+def test_harmonic_large_matches_exact_summation():
+    n = zipf_mod._EXACT_LIMIT * 4
+    approx = zipf_mod.harmonic(n, 0.75)
+    # Independent estimate through the same head + a finer integral.
+    head = float(np.sum(np.arange(1, 2_000_001, dtype=np.float64) ** -0.75))
+    tail = zipf_mod._tail_integral(2_000_000, n, 0.75)
+    assert approx == pytest.approx(head + tail, rel=1e-4)
+
+
+def test_harmonic_rejects_nonpositive():
+    with pytest.raises(InvalidConfigError):
+        zipf_mod.harmonic(0, 1.0)
+
+
+def test_pmf_head_sums_below_one_and_decreases():
+    pmf = zipf_mod.pmf_head(10_000, 0.9, head=100)
+    assert 0 < pmf.sum() < 1
+    assert np.all(np.diff(pmf) <= 0)
+
+
+def test_sum_pmf_sq_uniform_case():
+    assert zipf_mod.sum_pmf_sq(500, 0.0) == pytest.approx(1 / 500)
+
+
+def test_sum_pmf_sq_grows_with_skew():
+    values = [zipf_mod.sum_pmf_sq(100_000, s) for s in (0.0, 0.5, 0.75, 1.0)]
+    assert values == sorted(values)
+
+
+def test_sample_bounds_and_dtype():
+    rng = np.random.default_rng(0)
+    out = zipf_mod.sample(1000, 0.8, 5000, rng)
+    assert out.dtype == np.int64
+    assert out.min() >= 0 and out.max() < 1000
+
+
+def test_sample_zero_skew_is_uniform():
+    rng = np.random.default_rng(1)
+    out = zipf_mod.sample(100, 0.0, 200_000, rng)
+    counts = np.bincount(out, minlength=100)
+    assert counts.min() > 1500  # ~2000 expected per value
+
+
+def test_sample_matches_pmf_on_head():
+    rng = np.random.default_rng(2)
+    n, s, size = 10_000, 0.9, 400_000
+    out = zipf_mod.sample(n, s, size, rng)
+    counts = np.bincount(out, minlength=n)
+    pmf = np.arange(1, n + 1, dtype=np.float64) ** -s
+    pmf /= pmf.sum()
+    for rank in range(5):
+        expected = pmf[rank] * size
+        assert counts[rank] == pytest.approx(expected, rel=0.1)
+
+
+def test_hybrid_sampler_consistent_with_exact():
+    """The large-domain hybrid path should produce head frequencies that
+    match the exact-CDF path statistically."""
+    n = zipf_mod._EXACT_LIMIT * 2  # forces the hybrid path
+    s, size = 0.9, 300_000
+    hybrid = zipf_mod._sample_hybrid(n, s, size, np.random.default_rng(3))
+    assert hybrid.min() >= 0 and hybrid.max() < n
+    counts = np.bincount(hybrid[hybrid < 4], minlength=4)
+    h = zipf_mod.harmonic(n, s)
+    for rank in range(4):
+        expected = (rank + 1.0) ** -s / h * size
+        assert counts[rank] == pytest.approx(expected, rel=0.15)
+
+
+def test_sample_rejects_bad_arguments():
+    rng = np.random.default_rng(0)
+    with pytest.raises(InvalidConfigError):
+        zipf_mod.sample(0, 0.5, 10, rng)
+    with pytest.raises(InvalidConfigError):
+        zipf_mod.sample(10, 0.5, -1, rng)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    s=st.floats(min_value=0.0, max_value=1.5),
+    size=st.integers(min_value=0, max_value=2000),
+)
+def test_sample_always_in_domain(n, s, size):
+    rng = np.random.default_rng(42)
+    out = zipf_mod.sample(n, s, size, rng)
+    assert out.shape == (size,)
+    if size:
+        assert out.min() >= 0 and out.max() < n

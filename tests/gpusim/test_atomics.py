@@ -1,0 +1,79 @@
+"""Hash-table build semantics: vectorized vs the Listing 2 reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.atomics import (
+    NIL,
+    atomic_exchange,
+    chain_insert,
+    chain_insert_reference,
+)
+
+
+def test_atomic_exchange_returns_old_value():
+    arr = np.array([10, 20])
+    assert atomic_exchange(arr, 0, 99) == 10
+    assert arr[0] == 99
+
+
+def test_reference_build_small():
+    table = chain_insert_reference(np.array([0, 1, 0]), nslots=2)
+    # Entry 2 was inserted last into slot 0 -> head; links to entry 0.
+    assert table.heads[0] == 2
+    assert table.next[2] == 0
+    assert table.next[0] == NIL
+    assert table.heads[1] == 1
+
+
+def test_chain_walk_lists_entries_newest_first():
+    table = chain_insert_reference(np.array([3, 3, 3]), nslots=4)
+    assert table.chain(3) == [2, 1, 0]
+    assert table.chain(0) == []
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    slots=st.lists(st.integers(min_value=0, max_value=15), max_size=200),
+)
+def test_vectorized_equals_reference(slots):
+    slots = np.asarray(slots, dtype=np.int64)
+    fast = chain_insert(slots, nslots=16)
+    ref = chain_insert_reference(slots, nslots=16)
+    assert np.array_equal(fast.heads, ref.heads)
+    assert np.array_equal(fast.next, ref.next)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    slots=st.lists(st.integers(min_value=0, max_value=7), min_size=1, max_size=100),
+)
+def test_every_entry_reachable_exactly_once(slots):
+    slots = np.asarray(slots, dtype=np.int64)
+    table = chain_insert(slots, nslots=8)
+    seen: list[int] = []
+    for slot in range(8):
+        seen.extend(table.chain(slot))
+    assert sorted(seen) == list(range(len(slots)))
+
+
+def test_chain_lengths_match_slot_histogram():
+    slots = np.array([0, 0, 1, 5, 5, 5, 5])
+    table = chain_insert(slots, nslots=8)
+    assert list(table.chain_lengths()) == [2, 1, 0, 0, 0, 4, 0, 0]
+
+
+def test_empty_insert():
+    table = chain_insert(np.array([], dtype=np.int64), nslots=4)
+    assert table.num_entries == 0
+    assert np.all(table.heads == NIL)
+
+
+def test_out_of_range_slots_rejected():
+    with pytest.raises(InvalidConfigError):
+        chain_insert(np.array([4]), nslots=4)
+    with pytest.raises(InvalidConfigError):
+        chain_insert_reference(np.array([-1]), nslots=4)

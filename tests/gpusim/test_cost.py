@@ -1,0 +1,170 @@
+"""Cost-model invariants: monotonicity and option effects."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.cost import CoPartitionStats, GpuCostModel, KernelCost
+
+
+@pytest.fixture()
+def model() -> GpuCostModel:
+    return GpuCostModel()
+
+
+def _uniform_stats(n: int, fanout: int, matches: float | None = None) -> CoPartitionStats:
+    sizes = np.full(fanout, n / fanout)
+    total_matches = float(n if matches is None else matches)
+    return CoPartitionStats(
+        build_sizes=sizes,
+        probe_sizes=sizes,
+        matches=CoPartitionStats.split_matches(sizes, sizes, total_matches),
+    )
+
+
+def test_kernel_cost_addition_and_scaling():
+    a = KernelCost(1.0, {"x": 1.0})
+    b = KernelCost(2.0, {"x": 0.5, "y": 1.5})
+    total = a + b
+    assert total.seconds == 3.0
+    assert total.breakdown == {"x": 1.5, "y": 1.5}
+    assert (a.scaled(2.0)).seconds == 2.0
+    assert KernelCost.zero().seconds == 0.0
+
+
+def test_split_matches_proportional_to_products():
+    matches = CoPartitionStats.split_matches(
+        np.array([1.0, 2.0]), np.array([3.0, 1.0]), 10.0
+    )
+    assert matches[0] == pytest.approx(6.0)
+    assert matches[1] == pytest.approx(4.0)
+    assert CoPartitionStats.split_matches(np.zeros(2), np.zeros(2), 5.0).sum() == 0
+
+
+def test_partition_pass_monotone_in_tuples(model):
+    small = model.partition_pass(1_000_000, 8, 256).seconds
+    large = model.partition_pass(4_000_000, 8, 256).seconds
+    assert large > small
+
+
+def test_partition_pass_metadata_penalizes_fanout(model):
+    low = model.partition_pass(1_000_000, 8, 256).seconds
+    high = model.partition_pass(1_000_000, 8, 1 << 15).seconds
+    assert high > low
+
+
+def test_partition_imbalance_inflates(model):
+    base = model.partition_pass(1_000_000, 8, 256).seconds
+    skewed = model.partition_pass(1_000_000, 8, 256, imbalance=2.0).seconds
+    assert skewed > 1.5 * base
+
+
+def test_multi_pass_partition_adds_passes(model):
+    one = model.multi_pass_partition(1_000_000, 8, [8]).seconds
+    two = model.multi_pass_partition(1_000_000, 8, [8, 7]).seconds
+    assert two > 1.8 * one
+
+
+def test_hash_join_charge_build_toggle(model):
+    stats = _uniform_stats(1 << 22, 1 << 10)
+    with_build = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512
+    ).seconds
+    probe_only = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512,
+        charge_build=False,
+    ).seconds
+    assert probe_only < with_build
+
+
+def test_device_memory_tables_slower_than_shared(model):
+    stats = _uniform_stats(1 << 22, 1 << 10)
+    shared = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512
+    ).seconds
+    device = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512,
+        use_shared_memory=False,
+    ).seconds
+    assert device > shared
+
+
+def test_materialization_adds_cost(model):
+    stats = _uniform_stats(1 << 22, 1 << 10)
+    agg = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512
+    ).seconds
+    mat = model.join_copartitions_hash(
+        stats, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512,
+        materialize=True,
+    ).seconds
+    assert mat > agg
+
+
+def test_oversized_partitions_fall_back_to_block_passes(model):
+    fits = CoPartitionStats(
+        build_sizes=np.array([4096.0]),
+        probe_sizes=np.array([1e6]),
+        matches=np.array([1e6]),
+    )
+    oversized = CoPartitionStats(
+        build_sizes=np.array([40960.0]),  # 10 block passes over the probe
+        probe_sizes=np.array([1e6]),
+        matches=np.array([1e6]),
+    )
+    a = model.join_copartitions_hash(
+        fits, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512
+    ).seconds
+    b = model.join_copartitions_hash(
+        oversized, 8, ht_slots=2048, elements_per_block=4096, threads_per_block=512
+    ).seconds
+    assert b > 3 * a
+
+
+def test_nlj_cost_grows_with_partition_size_quadratically(model):
+    small = _uniform_stats(1 << 20, 1 << 12)  # 256-element partitions
+    large = _uniform_stats(1 << 20, 1 << 9)  # 2048-element partitions
+    a = model.join_copartitions_nlj(
+        small, 8, differing_bits=10, threads_per_block=1024
+    ).seconds
+    b = model.join_copartitions_nlj(
+        large, 8, differing_bits=10, threads_per_block=1024
+    ).seconds
+    assert b > 1.5 * a
+
+
+def test_nlj_cost_grows_with_differing_bits(model):
+    stats = _uniform_stats(1 << 20, 1 << 10)
+    few = model.join_copartitions_nlj(
+        stats, 8, differing_bits=4, threads_per_block=1024
+    ).seconds
+    many = model.join_copartitions_nlj(
+        stats, 8, differing_bits=20, threads_per_block=1024
+    ).seconds
+    assert many > few
+
+
+def test_random_access_cost_grows_with_footprint(model):
+    accesses = 1e6
+    costs = [
+        model.random_access_seconds(accesses, footprint)
+        for footprint in (1e6, 1e8, 1e10)
+    ]
+    assert costs[0] < costs[1] < costs[2]
+    assert model.random_access_seconds(0, 1e9) == 0.0
+
+
+def test_nonpartitioned_probe_perfect_cheaper_than_chaining(model):
+    chaining = model.nonpartitioned_probe(1e7, 1e7, 8)
+    perfect = model.nonpartitioned_probe(1e7, 1e7, 8, accesses_per_probe=1.0)
+    assert perfect.seconds < chaining.seconds
+
+
+def test_gather_random_more_expensive_than_sequential(model):
+    random = model.gather_payload(1e7, 64, random=True).seconds
+    sequential = model.gather_payload(1e7, 64, random=False).seconds
+    assert random > sequential
+    assert model.gather_payload(0, 64, random=True).seconds == 0.0
+
+
+def test_build_tables_seconds_scales(model):
+    assert model.build_tables_seconds(2e7, 8) > model.build_tables_seconds(1e6, 8)

@@ -1,0 +1,91 @@
+"""Shared/device memory accounting."""
+
+import pytest
+
+from repro.errors import DeviceMemoryOverflowError, SharedMemoryOverflowError
+from repro.gpusim.device_memory import DeviceMemory
+from repro.gpusim.shared_memory import (
+    SharedMemoryArena,
+    join_block_reservation,
+    max_partition_fanout,
+    partition_block_reservation,
+)
+from repro.gpusim.spec import GpuSpec
+
+
+def test_arena_allocation_and_free():
+    arena = SharedMemoryArena(capacity_bytes=1024)
+    arena.allocate("a", 512)
+    assert arena.used_bytes == 512 and arena.free_bytes == 512
+    arena.free("a")
+    assert arena.used_bytes == 0
+
+
+def test_arena_overflow():
+    arena = SharedMemoryArena(capacity_bytes=100)
+    arena.allocate("a", 60)
+    with pytest.raises(SharedMemoryOverflowError):
+        arena.allocate("b", 50)
+
+
+def test_arena_duplicate_and_negative():
+    arena = SharedMemoryArena(capacity_bytes=100)
+    arena.allocate("a", 10)
+    with pytest.raises(SharedMemoryOverflowError):
+        arena.allocate("a", 10)
+    with pytest.raises(SharedMemoryOverflowError):
+        arena.allocate("b", -1)
+
+
+def test_join_block_reservation_components():
+    nbytes = join_block_reservation(4096, 2048, 8)
+    # build set + slot heads + 16-bit links + output buffer
+    assert nbytes == 4096 * 8 + 2048 * 2 + 4096 * 2 + 1024
+
+
+def test_papers_standard_config_fits_one_sm():
+    gpu = GpuSpec()
+    assert join_block_reservation(4096, 2048, 8) <= gpu.shared_mem_per_sm
+
+
+def test_fig5_config_fits_one_sm():
+    gpu = GpuSpec()
+    assert join_block_reservation(2048, 256, 8) <= gpu.shared_mem_per_sm
+
+
+def test_partition_block_reservation():
+    assert partition_block_reservation(256, 1024, 8) == 256 * 8 + 1024 * 8
+
+
+def test_max_partition_fanout_is_a_few_thousand():
+    """The paper: per-pass fanout is capped at 'a few thousand' (§III-A)."""
+    gpu = GpuSpec()
+    fanout = max_partition_fanout(gpu.shared_mem_per_sm, 8)
+    assert 1000 <= fanout <= 16384
+
+
+def test_max_partition_fanout_overflow():
+    with pytest.raises(SharedMemoryOverflowError):
+        max_partition_fanout(100, 8, shuffle_elements=1024)
+
+
+def test_device_memory_tracking():
+    mem = DeviceMemory(capacity_bytes=1000)
+    mem.allocate("x", 400)
+    mem.allocate("y", 500)
+    assert mem.used_bytes == 900 and mem.fits(100) and not mem.fits(101)
+    mem.free("x")
+    assert mem.used_bytes == 500
+    mem.reset()
+    assert mem.used_bytes == 0
+
+
+def test_device_memory_overflow_and_errors():
+    mem = DeviceMemory(capacity_bytes=100)
+    with pytest.raises(DeviceMemoryOverflowError):
+        mem.allocate("big", 101)
+    mem.allocate("a", 10)
+    with pytest.raises(DeviceMemoryOverflowError):
+        mem.allocate("a", 10)
+    with pytest.raises(DeviceMemoryOverflowError):
+        mem.free("unknown")

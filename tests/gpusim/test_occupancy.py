@@ -1,0 +1,63 @@
+"""SM occupancy analysis."""
+
+import pytest
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.occupancy import (
+    MAX_BLOCKS_PER_SM,
+    MAX_THREADS_PER_SM,
+    join_kernel_occupancy,
+    occupancy_for,
+    partition_kernel_occupancy,
+)
+from repro.gpusim.spec import GpuSpec
+
+GPU = GpuSpec()
+
+
+def test_papers_join_config_keeps_multiple_blocks_resident():
+    occ = join_kernel_occupancy(
+        GPU, elements_per_block=4096, ht_slots=2048, threads_per_block=512
+    )
+    assert occ.blocks_per_sm >= 2
+    assert occ.limited_by == "shared_memory"
+    assert 0 < occ.occupancy_fraction <= 1.0
+
+
+def test_bigger_blocks_trade_occupancy():
+    small = join_kernel_occupancy(
+        GPU, elements_per_block=2048, ht_slots=256, threads_per_block=512
+    )
+    large = join_kernel_occupancy(
+        GPU, elements_per_block=8192, ht_slots=4096, threads_per_block=512
+    )
+    assert small.blocks_per_sm > large.blocks_per_sm
+
+
+def test_thread_limited_configuration():
+    occ = occupancy_for(GPU, threads_per_block=1024, shared_bytes_per_block=128)
+    assert occ.limited_by == "threads"
+    assert occ.resident_threads == MAX_THREADS_PER_SM
+
+
+def test_block_limited_configuration():
+    occ = occupancy_for(GPU, threads_per_block=32, shared_bytes_per_block=0)
+    assert occ.limited_by == "blocks"
+    assert occ.blocks_per_sm == MAX_BLOCKS_PER_SM
+
+
+def test_partition_kernel_occupancy():
+    occ = partition_kernel_occupancy(GPU, fanout=256, threads_per_block=1024)
+    assert occ.blocks_per_sm >= 2
+
+
+def test_invalid_configurations_rejected():
+    with pytest.raises(InvalidConfigError):
+        occupancy_for(GPU, threads_per_block=0, shared_bytes_per_block=0)
+    with pytest.raises(InvalidConfigError):
+        occupancy_for(GPU, threads_per_block=2048, shared_bytes_per_block=0)
+    with pytest.raises(InvalidConfigError):
+        occupancy_for(
+            GPU, threads_per_block=512,
+            shared_bytes_per_block=GPU.shared_mem_per_sm + 1,
+        )

@@ -1,0 +1,41 @@
+"""Hardware spec presets."""
+
+import pytest
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.spec import CpuSpec, GpuSpec, SystemSpec, gtx1080_system, v100_system
+
+
+def test_default_system_is_the_papers_testbed():
+    system = gtx1080_system()
+    assert system.gpu.name == "GTX 1080"
+    assert system.gpu.device_memory == 8 * 1024**3
+    assert system.gpu.num_sms == 20
+    assert system.cpu.total_cores == 24
+    assert system.cpu.total_threads == 48
+    assert system.interconnect.theoretical_bandwidth == pytest.approx(15.8e9)
+
+
+def test_derived_quantities():
+    gpu = GpuSpec()
+    assert gpu.total_cores == 20 * 128
+    assert gpu.total_shared_memory == 20 * 96 * 1024
+    cpu = CpuSpec()
+    assert cpu.total_memory_bandwidth == pytest.approx(110e9)
+
+
+def test_v100_preset_is_strictly_faster():
+    old, new = gtx1080_system(), v100_system()
+    assert new.gpu.device_bandwidth > old.gpu.device_bandwidth
+    assert new.gpu.device_memory > old.gpu.device_memory
+    assert new.interconnect.pinned_bandwidth > old.interconnect.pinned_bandwidth
+
+
+def test_invalid_gpu_spec_rejected():
+    with pytest.raises(InvalidConfigError):
+        GpuSpec(num_sms=0)
+
+
+def test_pcie_bandwidth_shortcut():
+    system = SystemSpec()
+    assert system.pcie_bandwidth == system.interconnect.pinned_bandwidth

@@ -1,0 +1,85 @@
+"""CUDA-style streams/events lowering to the pipeline engine."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.gpusim.streams import StreamContext
+from repro.pipeline.tasks import GPU, H2D
+
+
+def test_in_stream_operations_serialize():
+    ctx = StreamContext()
+    stream = ctx.stream("s", GPU)
+    stream.launch("a", 1.0)
+    stream.launch("b", 2.0)
+    schedule = ctx.run()
+    assert schedule.tasks["b"].start == 1.0
+    assert schedule.makespan == 3.0
+
+
+def test_independent_streams_overlap():
+    ctx = StreamContext()
+    ctx.stream("copy", H2D).launch("xfer", 3.0)
+    ctx.stream("exec", GPU).launch("kernel", 3.0)
+    assert ctx.run().makespan == 3.0
+
+
+def test_event_synchronizes_across_streams():
+    ctx = StreamContext()
+    copy = ctx.stream("copy", H2D)
+    exec_ = ctx.stream("exec", GPU)
+    moved = copy.launch("xfer", 3.0)
+    exec_.wait(moved)
+    exec_.launch("kernel", 1.0)
+    schedule = ctx.run()
+    assert schedule.tasks["kernel"].start == 3.0
+
+
+def test_streams_sharing_a_resource_serialize():
+    """Two streams bound to one copy engine behave like CUDA streams
+    sharing a DMA engine."""
+    ctx = StreamContext()
+    ctx.stream("copy1", H2D).launch("a", 2.0)
+    ctx.stream("copy2", H2D).launch("b", 2.0)
+    assert ctx.run().makespan == 4.0
+
+
+def test_double_buffered_pipeline_via_streams():
+    """The §IV-A skeleton from the module docstring: total time equals
+    all transfers plus the last chunk's kernel."""
+    ctx = StreamContext()
+    copy = ctx.stream("copy", H2D)
+    exec_ = ctx.stream("exec", GPU)
+    done = []
+    chunks, transfer, kernel = 8, 1.0, 0.25
+    for i in range(chunks):
+        if i >= 2:
+            copy.wait(done[i - 2])
+        moved = copy.launch(f"h2d[{i}]", transfer)
+        exec_.wait(moved)
+        done.append(exec_.launch(f"join[{i}]", kernel))
+    schedule = ctx.run()
+    assert schedule.makespan == pytest.approx(chunks * transfer + kernel)
+
+
+def test_wait_none_is_noop():
+    ctx = StreamContext()
+    stream = ctx.stream("s", GPU)
+    stream.wait(None)
+    stream.launch("only", 1.0)
+    assert ctx.run().makespan == 1.0
+
+
+def test_synchronize_event_tracks_last_launch():
+    ctx = StreamContext()
+    stream = ctx.stream("s", GPU)
+    with pytest.raises(SchedulingError):
+        stream.synchronize_event()
+    stream.launch("a", 1.0)
+    event = stream.launch("b", 1.0)
+    assert stream.synchronize_event() == event
+
+
+def test_stream_is_memoized_by_name():
+    ctx = StreamContext()
+    assert ctx.stream("s", GPU) is ctx.stream("s", GPU)

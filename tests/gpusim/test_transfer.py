@@ -1,0 +1,54 @@
+"""Transfer-mechanism models: DMA, UVA, Unified Memory."""
+
+import pytest
+
+from repro.gpusim.spec import SystemSpec
+from repro.gpusim.transfer import TransferModel
+
+
+@pytest.fixture()
+def model() -> TransferModel:
+    return TransferModel(SystemSpec())
+
+
+GB = 1e9
+
+
+def test_pinned_faster_than_pageable(model):
+    assert model.dma_seconds(GB, pinned=True) < model.dma_seconds(GB, pinned=False)
+
+
+def test_pipelined_rate_below_pinned_peak(model):
+    assert model.pipelined_dma_rate() < model.system.interconnect.pinned_bandwidth
+    assert model.pipelined_dma_rate() > 0.8 * model.system.interconnect.pinned_bandwidth
+
+
+def test_uva_sequential_slower_than_dma(model):
+    assert model.uva_sequential_seconds(GB) > model.dma_seconds(GB)
+
+
+def test_uva_random_pays_full_transactions(model):
+    # 8-byte accesses each move a 128-byte transaction: 16x inflation.
+    eight_byte = model.uva_random_seconds(1e6, 8)
+    assert eight_byte == pytest.approx(
+        1e6 * 128 / model.system.interconnect.pinned_bandwidth
+    )
+    # Accesses wider than the granularity split into several transactions.
+    wide = model.uva_random_seconds(1e6, 512)
+    assert wide == pytest.approx(4 * eight_byte)
+
+
+def test_um_fault_overhead_makes_it_slower_than_dma(model):
+    assert model.um_migration_seconds(GB) > model.dma_seconds(GB)
+
+
+def test_um_thrashing_multiplies_traffic(model):
+    fits = model.um_migration_seconds(GB, working_set_bytes=GB, reuse_passes=4)
+    thrashes = model.um_migration_seconds(
+        GB, working_set_bytes=100 * GB, reuse_passes=4
+    )
+    assert thrashes > 3 * fits
+
+
+def test_transfer_seconds_linear_in_bytes(model):
+    assert model.dma_seconds(2 * GB) == pytest.approx(2 * model.dma_seconds(GB))

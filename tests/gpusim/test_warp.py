@@ -1,0 +1,82 @@
+"""Warp primitive semantics, vectorized vs the per-lane reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidConfigError
+from repro.gpusim.warp import WARP_SIZE, Warp, all_sync, any_sync, ballot, lane_ids, popc, shfl
+
+lanes_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    min_size=WARP_SIZE,
+    max_size=WARP_SIZE,
+)
+
+
+def test_lane_ids():
+    assert list(lane_ids()) == list(range(32))
+
+
+def test_ballot_single_warp():
+    predicate = np.zeros(WARP_SIZE, dtype=bool)
+    predicate[[0, 5, 31]] = True
+    assert ballot(predicate) == np.uint32((1 << 0) | (1 << 5) | (1 << 31))
+
+
+def test_ballot_batched_warps():
+    predicate = np.zeros((3, WARP_SIZE), dtype=bool)
+    predicate[1, 2] = True
+    out = ballot(predicate)
+    assert out.shape == (3,)
+    assert list(out) == [0, 4, 0]
+
+
+def test_ballot_rejects_non_warp_shapes():
+    with pytest.raises(InvalidConfigError):
+        ballot(np.zeros(31, dtype=bool))
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=lanes_strategy, bit=st.integers(min_value=0, max_value=30))
+def test_ballot_matches_reference_warp(values, bit):
+    vec = ballot((np.asarray(values) & (1 << bit)) != 0)
+    ref = Warp(values).ballot(lambda v, lane: bool(v & (1 << bit)))
+    assert int(vec) == ref
+
+
+def test_shfl_broadcast_scalar_lane():
+    values = np.arange(WARP_SIZE)
+    assert list(shfl(values, 7)) == [7] * WARP_SIZE
+
+
+def test_shfl_matches_reference():
+    values = list(range(100, 132))
+    assert list(shfl(np.array(values), 3)) == Warp(values).shfl(3)
+
+
+def test_shfl_per_lane_sources():
+    values = np.arange(WARP_SIZE)
+    sources = (np.arange(WARP_SIZE) + 1) % WARP_SIZE
+    assert list(shfl(values, sources)) == list(sources)
+
+
+def test_any_all_sync():
+    none = np.zeros(WARP_SIZE, dtype=bool)
+    some = none.copy()
+    some[3] = True
+    full = np.ones(WARP_SIZE, dtype=bool)
+    assert not any_sync(none) and any_sync(some) and any_sync(full)
+    assert not all_sync(some) and all_sync(full)
+
+
+def test_popc():
+    assert popc(np.uint32(0)) == 0
+    assert popc(np.uint32(0xFFFFFFFF)) == 32
+    assert popc(np.array([0b1011, 0b1])).tolist() == [3, 1]
+
+
+def test_warp_requires_32_lanes():
+    with pytest.raises(InvalidConfigError):
+        Warp([1, 2, 3])

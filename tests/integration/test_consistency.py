@@ -1,0 +1,102 @@
+"""Cross-cutting consistency: estimate() vs run(), strategy agreement.
+
+These are the contracts that make the paper-scale analytic results
+trustworthy: the same cost formulas, fed with expected instead of
+observed statistics, must reproduce the functional runs' metrics; and
+all strategies must produce the *same join result*.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CoProcessingJoin,
+    GpuJoinConfig,
+    GpuNonPartitionedJoin,
+    GpuPartitionedJoin,
+    StreamingProbeJoin,
+)
+from repro.data import (
+    Distribution,
+    JoinSpec,
+    RelationSpec,
+    generate_join,
+    naive_join_pairs,
+    unique_pair,
+)
+
+CFG = GpuJoinConfig(total_radix_bits=6)
+
+
+@pytest.mark.parametrize("n", [1 << 14, 1 << 16, 1 << 18])
+def test_resident_estimate_tracks_run(n):
+    spec = unique_pair(n)
+    join = GpuPartitionedJoin(config=GpuJoinConfig(total_radix_bits=8))
+    build, probe = generate_join(spec, seed=n)
+    run_seconds = join.run(build, probe).metrics.seconds
+    est_seconds = join.estimate(spec).seconds
+    assert est_seconds == pytest.approx(run_seconds, rel=0.1)
+
+
+def test_resident_estimate_tracks_run_with_duplicates():
+    spec = JoinSpec(
+        build=RelationSpec(n=1 << 16, distinct=1 << 12, distribution=Distribution.UNIFORM),
+        probe=RelationSpec(n=1 << 17, distinct=1 << 12, distribution=Distribution.UNIFORM),
+    )
+    join = GpuPartitionedJoin(config=GpuJoinConfig(total_radix_bits=8))
+    build, probe = generate_join(spec, seed=1)
+    run_metrics = join.run(build, probe).metrics
+    est_metrics = join.estimate(spec)
+    assert est_metrics.seconds == pytest.approx(run_metrics.seconds, rel=0.15)
+    assert est_metrics.output_tuples == pytest.approx(
+        run_metrics.output_tuples, rel=0.05
+    )
+
+
+def test_streaming_estimate_tracks_run():
+    spec = JoinSpec(
+        build=RelationSpec(n=1 << 13),
+        probe=RelationSpec(
+            n=1 << 16, distinct=1 << 13, distribution=Distribution.UNIFORM
+        ),
+    )
+    streaming = StreamingProbeJoin(config=CFG)
+    build, probe = generate_join(spec, seed=2)
+    run_metrics = streaming.run(build, probe).metrics
+    est_metrics = streaming.estimate(spec)
+    assert est_metrics.seconds == pytest.approx(run_metrics.seconds, rel=0.15)
+
+
+def test_all_strategies_agree_on_the_join_result():
+    spec = JoinSpec(
+        build=RelationSpec(n=6000, distinct=900, distribution=Distribution.UNIFORM),
+        probe=RelationSpec(n=10_000, distinct=900, distribution=Distribution.UNIFORM),
+    )
+    build, probe = generate_join(spec, seed=3)
+    oracle = naive_join_pairs(build, probe)
+
+    resident = GpuPartitionedJoin(config=CFG).run(build, probe, materialize=True)
+    nlj = GpuPartitionedJoin(
+        config=CFG.with_(probe_kernel="nlj")
+    ).run(build, probe, materialize=True)
+    nonpartitioned = GpuNonPartitionedJoin().run(build, probe, materialize=True)
+    streaming = StreamingProbeJoin(config=CFG).run(build, probe, materialize=True)
+    coproc = CoProcessingJoin(config=GpuJoinConfig(total_radix_bits=4)).run(
+        build, probe, materialize=True, chunk_tuples=2500
+    )
+
+    for result in (resident, nlj, nonpartitioned, streaming, coproc):
+        assert np.array_equal(result.pairs(), oracle)
+
+
+def test_aggregates_match_across_strategies():
+    build, probe = generate_join(unique_pair(1 << 12), seed=4)
+    a = GpuPartitionedJoin(config=CFG).run(build, probe).aggregate
+    b = GpuNonPartitionedJoin().run(build, probe).aggregate
+    assert a == b
+
+
+def test_throughput_metric_definition():
+    """Throughput must be combined input tuples / runtime (§V-A)."""
+    metrics = GpuPartitionedJoin().estimate(unique_pair(16_000_000))
+    assert metrics.throughput == pytest.approx(32_000_000 / metrics.seconds)

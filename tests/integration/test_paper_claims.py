@@ -1,0 +1,118 @@
+"""The paper's headline claims, asserted against the full-scale models.
+
+Each test pins one quotable claim from the paper to the reproduction's
+output.  These duplicate (cheaply) what the per-figure benchmarks verify
+alongside their tables.
+"""
+
+import pytest
+
+from repro.core import (
+    CoProcessingJoin,
+    GpuNonPartitionedJoin,
+    GpuPartitionedJoin,
+    StreamingProbeJoin,
+)
+from repro.cpu import NpoJoin, ProJoin
+from repro.data import Distribution, JoinSpec, RelationSpec, unique_pair
+from repro.kernels.nonpartitioned import PERFECT
+
+M = 1_000_000
+
+
+def test_claim_in_gpu_throughput_billions():
+    """Intro: 'Our GPU join algorithms can process 4.5 Billion
+    tuples/second when data is GPU resident.'"""
+    best = max(
+        GpuPartitionedJoin().estimate(unique_pair(n * M)).throughput_billion
+        for n in (16, 32, 64, 128)
+    )
+    assert 3.5 <= best <= 5.5
+
+
+def test_claim_out_of_gpu_billion_per_second():
+    """Intro: 'a throughput of 1 Billion tuples/second even if no data
+    is GPU resident.'"""
+    coproc = CoProcessingJoin().estimate(unique_pair(1024 * M))
+    assert coproc.throughput_billion >= 1.0
+
+
+def test_claim_streaming_saturates_pcie():
+    """§V-C: streaming provides ~1.4 Btuples/s with the build resident,
+    completely saturating PCIe."""
+    spec = JoinSpec(
+        build=RelationSpec(n=64 * M),
+        probe=RelationSpec(n=2048 * M, distinct=64 * M, distribution=Distribution.UNIFORM),
+    )
+    streaming = StreamingProbeJoin()
+    metrics = streaming.estimate(spec)
+    assert metrics.throughput_billion == pytest.approx(1.4, abs=0.15)
+    transfer_floor = spec.total_bytes / streaming.transfer.pipelined_dma_rate()
+    assert metrics.seconds < 1.1 * transfer_floor
+
+
+def test_claim_partitioned_beats_nonpartitioned_beyond_8m():
+    """§V-B: the partitioned join 'outperforms the alternatives when the
+    input relations have more than 8 million tuples.'"""
+    partitioned = GpuPartitionedJoin()
+    chaining = GpuNonPartitionedJoin()
+    perfect = GpuNonPartitionedJoin(variant=PERFECT)
+    for n in (32, 64, 128):
+        spec = unique_pair(n * M)
+        ours = partitioned.estimate(spec).throughput
+        assert ours > chaining.estimate(spec).throughput
+        assert ours > perfect.estimate(spec).throughput
+
+
+def test_claim_nonpartitioned_wins_small():
+    """§V-B: non-partitioned throughput 'starts high' at small sizes."""
+    spec = unique_pair(1 * M)
+    assert (
+        GpuNonPartitionedJoin().estimate(spec).throughput
+        > GpuPartitionedJoin().estimate(spec).throughput
+    )
+
+
+def test_claim_pro_beats_gpu_chaining_at_scale():
+    """§V-D: 'PRO outperforms the non-partitioning GPU hash join for
+    large enough datasets.'"""
+    spec = unique_pair(128 * M)
+    assert (
+        ProJoin().estimate(spec).throughput
+        > GpuNonPartitionedJoin().estimate(spec).throughput
+    )
+
+
+def test_claim_gpu_always_beats_cpu_counterpart():
+    """§V-D: 'for all relation sizes, the GPU implementations always
+    outperform their CPU counterparts', with up to ~4x for partitioned."""
+    ratios = []
+    for n in (1, 8, 32, 128):
+        spec = unique_pair(n * M)
+        gpu = GpuPartitionedJoin().estimate(spec).throughput
+        cpu = ProJoin().estimate(spec).throughput
+        assert gpu > cpu
+        ratios.append(gpu / cpu)
+        assert (
+            GpuNonPartitionedJoin().estimate(spec).throughput
+            > NpoJoin().estimate(spec).throughput * 0.45
+        )
+    assert max(ratios) >= 3.5  # "as high as 4 billion tuples/sec, a 4x speedup"
+
+
+def test_claim_coprocessing_is_size_robust():
+    """§V-C: 'in most cases, the throughput remains insensitive to the
+    relation size.'"""
+    coproc = CoProcessingJoin()
+    small = coproc.estimate(unique_pair(256 * M)).throughput
+    large = coproc.estimate(unique_pair(2048 * M)).throughput
+    assert large == pytest.approx(small, rel=0.25)
+
+
+def test_claim_six_threads_match_full_cpu():
+    """§V-D / Fig 13."""
+    spec = unique_pair(512 * M)
+    assert (
+        CoProcessingJoin().estimate(spec, threads=6).throughput
+        > ProJoin().estimate(spec, threads=46).throughput
+    )

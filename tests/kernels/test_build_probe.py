@@ -1,0 +1,121 @@
+"""Co-partition hash build + probe against the naive-join oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.relation import Relation
+from repro.data import naive_join_pairs
+from repro.errors import InvalidConfigError, SharedMemoryOverflowError
+from repro.gpusim.cost import GpuCostModel
+from repro.kernels.build_hash import build_copartition_tables
+from repro.kernels.probe_hash import probe_copartitions
+from repro.kernels.radix_partition import gpu_radix_partition
+
+MODEL = GpuCostModel()
+
+
+def _hash_join(build_keys, probe_keys, bits=(3,), nslots=16):
+    build = Relation.from_keys(np.asarray(build_keys, dtype=np.int64))
+    probe = Relation.from_keys(np.asarray(probe_keys, dtype=np.int64))
+    pb, _ = gpu_radix_partition(build, list(bits), MODEL)
+    pp, _ = gpu_radix_partition(probe, list(bits), MODEL)
+    tables, _ = build_copartition_tables(
+        pb, nslots=nslots, elements_per_block=4096, cost_model=MODEL
+    )
+    result = probe_copartitions(
+        tables, pp, elements_per_block=4096, threads_per_block=512, cost_model=MODEL
+    )
+    return build, probe, result
+
+
+def test_unique_keys_join():
+    build, probe, result = _hash_join(range(64), range(64))
+    assert result.matches == 64
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_duplicates_produce_cross_products():
+    build, probe, result = _hash_join([5, 5, 9], [5, 9, 9, 5])
+    assert result.matches == 2 * 2 + 1 * 2
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_disjoint_keys_produce_nothing():
+    _, _, result = _hash_join([1, 2, 3], [100, 200])
+    assert result.matches == 0
+
+
+def test_empty_probe():
+    _, _, result = _hash_join([1, 2, 3], [])
+    assert result.matches == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    build_keys=st.lists(st.integers(min_value=0, max_value=255), max_size=150),
+    probe_keys=st.lists(st.integers(min_value=0, max_value=255), max_size=150),
+)
+def test_matches_oracle_under_arbitrary_duplication(build_keys, probe_keys):
+    build, probe, result = _hash_join(build_keys, probe_keys, bits=(2, 1))
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_chain_visits_at_least_matches():
+    _, _, result = _hash_join([7] * 10, [7] * 3, nslots=16)
+    assert result.chain_visits >= result.matches == 30
+
+
+def test_mismatched_partitioning_rejected():
+    build = Relation.from_keys(np.arange(16))
+    probe = Relation.from_keys(np.arange(16))
+    pb, _ = gpu_radix_partition(build, [2], MODEL)
+    pp, _ = gpu_radix_partition(probe, [3], MODEL)
+    tables, _ = build_copartition_tables(
+        pb, nslots=16, elements_per_block=4096, cost_model=MODEL
+    )
+    with pytest.raises(InvalidConfigError):
+        probe_copartitions(
+            tables, pp, elements_per_block=4096, threads_per_block=512,
+            cost_model=MODEL,
+        )
+
+
+def test_nslots_must_be_power_of_two():
+    build = Relation.from_keys(np.arange(8))
+    pb, _ = gpu_radix_partition(build, [1], MODEL)
+    with pytest.raises(InvalidConfigError):
+        build_copartition_tables(pb, nslots=3, elements_per_block=64, cost_model=MODEL)
+
+
+def test_strict_16bit_offsets_enforced():
+    build = Relation.from_keys(np.zeros(70_000, dtype=np.int64))
+    pb, _ = gpu_radix_partition(build, [1], MODEL)
+    with pytest.raises(SharedMemoryOverflowError):
+        build_copartition_tables(
+            pb, nslots=16, elements_per_block=4096, cost_model=MODEL,
+            strict_offsets=True,
+        )
+    # Non-strict mode flags the partition for fallback instead.
+    tables, _ = build_copartition_tables(
+        pb, nslots=16, elements_per_block=4096, cost_model=MODEL
+    )
+    assert 0 in tables.fallback_partitions
+
+
+def test_fallback_partitions_flagged():
+    build = Relation.from_keys(np.zeros(100, dtype=np.int64))
+    pb, _ = gpu_radix_partition(build, [1], MODEL)
+    tables, _ = build_copartition_tables(
+        pb, nslots=16, elements_per_block=64, cost_model=MODEL
+    )
+    assert list(tables.fallback_partitions) == [0]
+
+
+def test_probe_cost_reports_stats():
+    _, _, result = _hash_join(range(128), range(128))
+    assert result.stats.total_build == 128
+    assert result.stats.total_probe == 128
+    assert result.stats.total_matches == pytest.approx(128)
+    assert result.cost.seconds > 0

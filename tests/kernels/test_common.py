@@ -1,0 +1,64 @@
+"""Hash and bit-width helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidConfigError
+from repro.kernels.aggregate import JoinAggregate, aggregate_pairs
+from repro.kernels.common import (
+    ht_slot,
+    is_power_of_two,
+    key_bit_width,
+    next_power_of_two,
+)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1) and is_power_of_two(1024)
+    assert not is_power_of_two(0) and not is_power_of_two(3)
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(0) == 1
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(1024) == 1024
+
+
+def test_key_bit_width():
+    assert key_bit_width(0) == 1
+    assert key_bit_width(255) == 8
+    assert key_bit_width(256) == 9
+    with pytest.raises(InvalidConfigError):
+        key_bit_width(-1)
+
+
+def test_ht_slot_range_and_determinism():
+    keys = np.arange(10_000)
+    slots = ht_slot(keys, 256)
+    assert slots.min() >= 0 and slots.max() < 256
+    assert np.array_equal(slots, ht_slot(keys, 256))
+
+
+def test_ht_slot_mixes_above_radix_bits():
+    """Keys identical below ``radix_bits`` must still spread over slots."""
+    keys = (np.arange(4096) << 8) | 0x5A  # same low byte everywhere
+    slots = ht_slot(keys, 64, radix_bits=8)
+    counts = np.bincount(slots, minlength=64)
+    assert counts.max() < 4 * counts.mean()
+
+
+def test_ht_slot_requires_power_of_two():
+    with pytest.raises(InvalidConfigError):
+        ht_slot(np.arange(4), 6)
+
+
+def test_aggregate_pairs_and_addition():
+    agg = aggregate_pairs(np.array([1, 2, 3]), np.array([10, 20, 30]))
+    assert agg.matches == 3
+    assert agg.build_payload_sum == 6
+    assert agg.probe_payload_sum == 60
+    total = agg + JoinAggregate(matches=1, build_payload_sum=4, probe_payload_sum=5)
+    assert (total.matches, total.build_payload_sum, total.probe_payload_sum) == (4, 10, 65)
+    empty = aggregate_pairs(np.array([]), np.array([]))
+    assert empty == JoinAggregate.zero()

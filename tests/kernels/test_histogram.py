@@ -1,0 +1,57 @@
+"""Histogram-based partitioning vs the paper's atomic bucket pools."""
+
+import numpy as np
+import pytest
+
+from repro.data.relation import Relation
+from repro.errors import InvalidConfigError
+from repro.gpusim.cost import GpuCostModel
+from repro.kernels.histogram import (
+    exclusive_prefix_sum,
+    histogram_pass,
+    histogram_radix_partition,
+    partitioning_approach_costs,
+)
+from repro.kernels.radix_partition import gpu_radix_partition
+
+MODEL = GpuCostModel()
+
+
+def test_histogram_pass_counts():
+    keys = np.array([0, 1, 1, 3, 3, 3])
+    assert list(histogram_pass(keys, 2)) == [1, 2, 0, 3]
+    with pytest.raises(InvalidConfigError):
+        histogram_pass(keys, 0)
+
+
+def test_exclusive_prefix_sum():
+    assert list(exclusive_prefix_sum(np.array([1, 2, 0, 3]))) == [0, 1, 3, 3]
+
+
+def test_histogram_variant_produces_identical_layout():
+    rel = Relation.from_keys(np.random.default_rng(0).integers(0, 1 << 12, 4000))
+    via_hist, _ = histogram_radix_partition(rel, [3, 2], MODEL)
+    via_atomic, _ = gpu_radix_partition(rel, [3, 2], MODEL)
+    assert np.array_equal(via_hist.keys, via_atomic.keys)
+    assert np.array_equal(via_hist.offsets, via_atomic.offsets)
+
+
+def test_histogram_variant_costs_an_extra_read_per_pass():
+    """SVI: the paper 'avoids an extra pass on each partitioning step by
+    using GPU atomic operations instead of building histograms'."""
+    rel = Relation.from_keys(np.random.default_rng(1).permutation(1 << 14))
+    _, hist_cost = histogram_radix_partition(rel, [4, 4], MODEL)
+    _, atomic_cost = gpu_radix_partition(rel, [4, 4], MODEL)
+    assert hist_cost.seconds > atomic_cost.seconds
+    extra = hist_cost.seconds - atomic_cost.seconds
+    one_read = MODEL.scan_seconds(rel.num_tuples * rel.tuple_bytes)
+    assert extra >= 2 * one_read  # one extra input read per pass
+
+
+def test_analytic_costs_agree_with_functional():
+    n = 1 << 14
+    costs = partitioning_approach_costs(n, 8, [4, 4], MODEL)
+    rel = Relation.from_keys(np.random.default_rng(2).permutation(n))
+    _, hist_cost = histogram_radix_partition(rel, [4, 4], MODEL)
+    assert costs["histogram"] == pytest.approx(hist_cost.seconds, rel=0.1)
+    assert costs["atomic_buckets"] < costs["histogram"]

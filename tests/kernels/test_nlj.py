@@ -1,0 +1,118 @@
+"""Ballot-based nested-loop join (Listing 1 semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import naive_join_pairs
+from repro.data.relation import Relation
+from repro.gpusim.cost import GpuCostModel
+from repro.gpusim.warp import WARP_SIZE
+from repro.kernels.common import key_bit_width
+from repro.kernels.probe_nlj import _PAD, ballot_match_masks, nlj_copartitions
+from repro.kernels.radix_partition import gpu_radix_partition
+
+MODEL = GpuCostModel()
+
+
+def _pad_chunk(values):
+    chunk = np.full(WARP_SIZE, _PAD, dtype=np.int64)
+    chunk[: len(values)] = values
+    return chunk
+
+
+def test_ballot_masks_match_equality():
+    build = _pad_chunk([0b0100, 0b1000, 0b1100])
+    probe = np.array([0b0100, 0b1100, 0b0000], dtype=np.int64)
+    masks = ballot_match_masks(build, probe, differing_bits=[2, 3])
+    assert masks[0] == 0b001  # matches lane 0 only
+    assert masks[1] == 0b100
+    assert masks[2] == 0
+
+
+def test_ballot_ignores_padding_lanes():
+    build = _pad_chunk([1])
+    # A probe key equal to the pad pattern on the differing bits must not
+    # match the padded lanes.
+    probe = np.array([-1 & 0xF], dtype=np.int64)
+    masks = ballot_match_masks(build, probe, differing_bits=[0, 1, 2, 3])
+    assert masks[0] == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    build=st.lists(st.integers(min_value=0, max_value=63), min_size=0, max_size=32),
+    probe=st.lists(st.integers(min_value=0, max_value=63), min_size=0, max_size=40),
+)
+def test_ballot_masks_equal_bruteforce_equality(build, probe):
+    chunk = _pad_chunk(build)
+    probe_arr = np.asarray(probe, dtype=np.int64)
+    masks = ballot_match_masks(chunk, probe_arr, differing_bits=list(range(6)))
+    for row, s in enumerate(probe):
+        expected = 0
+        for lane, r in enumerate(build):
+            if r == s:
+                expected |= 1 << lane
+        assert int(masks[row]) == expected
+
+
+def _nlj(build_keys, probe_keys, bits=(2,)):
+    build = Relation.from_keys(np.asarray(build_keys, dtype=np.int64))
+    probe = Relation.from_keys(np.asarray(probe_keys, dtype=np.int64))
+    pb, _ = gpu_radix_partition(build, list(bits), MODEL)
+    pp, _ = gpu_radix_partition(probe, list(bits), MODEL)
+    key_bits = key_bit_width(
+        int(max(build.key.max(initial=0), probe.key.max(initial=0)))
+    )
+    return build, probe, nlj_copartitions(
+        pb, pp, key_bits=key_bits, threads_per_block=512, cost_model=MODEL
+    )
+
+
+def test_nlj_unique_keys():
+    build, probe, result = _nlj(range(100), range(100))
+    assert result.matches == 100
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_nlj_with_duplicates():
+    build, probe, result = _nlj([3, 3, 7, 11], [3, 7, 7, 11, 11, 11])
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_nlj_build_larger_than_one_warp():
+    """Partitions wider than 32 elements require several ballot rounds."""
+    build, probe, result = _nlj(list(range(0, 512, 4)), list(range(0, 512, 4)))
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    build=st.lists(st.integers(min_value=0, max_value=127), max_size=120),
+    probe=st.lists(st.integers(min_value=0, max_value=127), max_size=120),
+)
+def test_nlj_matches_oracle(build, probe):
+    b, p, result = _nlj(build, probe)
+    assert np.array_equal(result.pairs(), naive_join_pairs(b, p))
+
+
+def test_nlj_and_hash_probe_agree():
+    from repro.kernels.build_hash import build_copartition_tables
+    from repro.kernels.probe_hash import probe_copartitions
+
+    rng = np.random.default_rng(5)
+    build = Relation.from_keys(rng.integers(0, 512, size=400))
+    probe = Relation.from_keys(rng.integers(0, 512, size=600))
+    pb, _ = gpu_radix_partition(build, [3], MODEL)
+    pp, _ = gpu_radix_partition(probe, [3], MODEL)
+    nlj = nlj_copartitions(
+        pb, pp, key_bits=10, threads_per_block=512, cost_model=MODEL
+    )
+    tables, _ = build_copartition_tables(
+        pb, nslots=64, elements_per_block=4096, cost_model=MODEL
+    )
+    hashed = probe_copartitions(
+        tables, pp, elements_per_block=4096, threads_per_block=512, cost_model=MODEL
+    )
+    assert np.array_equal(nlj.pairs(), hashed.pairs())

@@ -1,0 +1,82 @@
+"""Non-partitioned GPU joins: chaining and perfect hash."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import naive_join_pairs
+from repro.data.relation import Relation
+from repro.errors import InvalidConfigError
+from repro.gpusim.cost import GpuCostModel
+from repro.kernels.nonpartitioned import chaining_join, perfect_hash_join
+
+MODEL = GpuCostModel()
+
+
+def _rel(keys) -> Relation:
+    return Relation.from_keys(np.asarray(keys, dtype=np.int64))
+
+
+def test_chaining_join_unique():
+    build, probe = _rel(range(256)), _rel(range(256))
+    result = chaining_join(build, probe, MODEL)
+    assert result.matches == 256
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_chaining_join_duplicates():
+    build, probe = _rel([1, 1, 2]), _rel([1, 2, 2, 1])
+    result = chaining_join(build, probe, MODEL)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    build=st.lists(st.integers(min_value=0, max_value=100), max_size=120),
+    probe=st.lists(st.integers(min_value=0, max_value=100), max_size=120),
+)
+def test_chaining_matches_oracle(build, probe):
+    b, p = _rel(build), _rel(probe)
+    result = chaining_join(b, p, MODEL)
+    assert np.array_equal(result.pairs(), naive_join_pairs(b, p))
+
+
+def test_perfect_hash_join():
+    rng = np.random.default_rng(0)
+    build = _rel(rng.permutation(512))
+    probe = _rel(rng.integers(0, 512, size=700))
+    result = perfect_hash_join(build, probe, MODEL)
+    assert np.array_equal(result.pairs(), naive_join_pairs(build, probe))
+
+
+def test_perfect_hash_requires_dense_keys():
+    with pytest.raises(InvalidConfigError):
+        perfect_hash_join(_rel([0, 2, 5]), _rel([0]), MODEL)
+
+
+def test_perfect_hash_requires_unique_keys():
+    with pytest.raises(InvalidConfigError):
+        perfect_hash_join(_rel([0, 0, 1]), _rel([0]), MODEL)
+
+
+def test_perfect_hash_out_of_range_probes_are_no_matches():
+    build = _rel(range(8))
+    probe = _rel([3, 99, -5])
+    result = perfect_hash_join(build, probe, MODEL)
+    assert result.matches == 1
+
+
+def test_costs_reported():
+    build, probe = _rel(range(64)), _rel(range(64))
+    chain = chaining_join(build, probe, MODEL)
+    perfect = perfect_hash_join(build, probe, MODEL)
+    assert chain.cost.seconds > 0 and perfect.cost.seconds > 0
+    assert chain.build_cost.seconds > 0 and chain.probe_cost.seconds > 0
+
+
+def test_slots_per_tuple_controls_table_size():
+    build, probe = _rel(range(100)), _rel(range(100))
+    dense = chaining_join(build, probe, MODEL, slots_per_tuple=0.25)
+    sparse = chaining_join(build, probe, MODEL, slots_per_tuple=4.0)
+    assert np.array_equal(dense.pairs(), sparse.pairs())

@@ -1,0 +1,92 @@
+"""Warp output buffering invariants (§III-C)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InvalidConfigError
+from repro.kernels.output_buffer import WarpOutputBuffer, expected_flushes
+
+
+def test_no_loss_no_duplication():
+    buffer = WarpOutputBuffer(capacity=4)
+    buffer.emit([1, 2, 3])
+    buffer.emit([4, 5])
+    buffer.emit([6])
+    out = buffer.finish()
+    assert sorted(out) == [1, 2, 3, 4, 5, 6]
+
+
+def test_flush_happens_when_full():
+    buffer = WarpOutputBuffer(capacity=3)
+    buffer.emit([1, 2, 3])  # fills exactly; no flush yet
+    assert buffer.flush_count == 0
+    buffer.emit([4])  # overflow forces a flush of [1, 2, 3]
+    assert buffer.flush_count == 1
+    assert buffer.flushes[0].count == 3
+
+
+def test_flush_segments_are_contiguous():
+    buffer = WarpOutputBuffer(capacity=2)
+    for step in range(5):
+        buffer.emit([step * 10, step * 10 + 1])
+    buffer.finish()
+    cursor = 0
+    for record in buffer.flushes:
+        assert record.base == cursor
+        cursor += record.count
+
+
+def test_values_within_a_flush_preserve_lane_order():
+    buffer = WarpOutputBuffer(capacity=8)
+    buffer.emit([7, 8, 9])
+    out = buffer.finish()
+    assert list(out) == [7, 8, 9]
+
+
+def test_finish_flushes_outstanding():
+    buffer = WarpOutputBuffer(capacity=100)
+    buffer.emit([1])
+    out = buffer.finish()
+    assert list(out) == [1]
+    assert buffer.flush_count == 1
+
+
+def test_empty_buffer_finish():
+    buffer = WarpOutputBuffer(capacity=4)
+    assert buffer.finish().shape == (0,)
+    assert buffer.flush_count == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(InvalidConfigError):
+        WarpOutputBuffer(capacity=0)
+    with pytest.raises(InvalidConfigError):
+        expected_flushes(10, 0)
+
+
+def test_expected_flushes():
+    assert expected_flushes(0, 8) == 0
+    assert expected_flushes(8, 8) == 1
+    assert expected_flushes(9, 8) == 2
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    emissions=st.lists(
+        st.lists(
+            st.integers(min_value=-(2**62), max_value=2**62), max_size=8
+        ),
+        max_size=40,
+    ),
+    capacity=st.integers(min_value=1, max_value=16),
+)
+def test_buffering_is_lossless_for_any_pattern(emissions, capacity):
+    buffer = WarpOutputBuffer(capacity=capacity)
+    expected: list[int] = []
+    for lane_values in emissions:
+        buffer.emit(lane_values)
+        expected.extend(lane_values)
+    out = buffer.finish()
+    assert list(out) == expected  # order preserved end-to-end
+    assert buffer.flush_count <= expected_flushes(len(expected), capacity) + 1

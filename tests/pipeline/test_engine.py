@@ -1,0 +1,158 @@
+"""Discrete-event pipeline engine semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.pipeline.engine import PipelineEngine, double_buffered_stream
+from repro.pipeline.tasks import Task
+
+
+def test_single_resource_runs_fifo():
+    engine = PipelineEngine()
+    engine.add_task("a", "gpu", 1.0)
+    engine.add_task("b", "gpu", 2.0)
+    schedule = engine.run()
+    assert schedule.tasks["a"].start == 0.0
+    assert schedule.tasks["b"].start == 1.0
+    assert schedule.makespan == 3.0
+
+
+def test_independent_resources_overlap():
+    engine = PipelineEngine()
+    engine.add_task("copy", "h2d", 5.0)
+    engine.add_task("compute", "gpu", 5.0)
+    assert engine.run().makespan == 5.0
+
+
+def test_dependency_delays_start():
+    engine = PipelineEngine()
+    engine.add_task("copy", "h2d", 5.0)
+    engine.add_task("compute", "gpu", 1.0, ["copy"])
+    schedule = engine.run()
+    assert schedule.tasks["compute"].start == 5.0
+    assert schedule.makespan == 6.0
+
+
+def test_makespan_bounds():
+    """max(resource busy) <= makespan <= sum of durations."""
+    engine = PipelineEngine()
+    durations = [1.0, 2.0, 0.5, 3.0]
+    prev = None
+    for i, duration in enumerate(durations):
+        deps = [prev] if prev and i % 2 else []
+        prev = f"t{i}"
+        engine.add_task(prev, "gpu" if i % 2 else "h2d", duration, deps)
+    schedule = engine.run()
+    busiest = max(schedule.busy_time("gpu"), schedule.busy_time("h2d"))
+    assert busiest <= schedule.makespan <= sum(durations) + 1e-12
+
+
+def test_duplicate_task_name_rejected():
+    engine = PipelineEngine()
+    engine.add_task("a", "gpu", 1.0)
+    with pytest.raises(SchedulingError):
+        engine.add_task("a", "gpu", 1.0)
+
+
+def test_negative_duration_rejected():
+    engine = PipelineEngine()
+    with pytest.raises(SchedulingError):
+        engine.add_task("a", "gpu", -1.0)
+
+
+def test_unknown_dependency_rejected():
+    engine = PipelineEngine()
+    engine.add_task("a", "gpu", 1.0, ["ghost"])
+    with pytest.raises(SchedulingError):
+        engine.run()
+
+
+def test_cross_queue_deadlock_detected():
+    engine = PipelineEngine()
+    # Head of each queue depends on the other queue's head successor:
+    # a(h2d) <- b(gpu) and b's queue head c depends on a's successor d.
+    engine.add_task("a", "h2d", 1.0, ["c"])
+    engine.add_task("c", "gpu", 1.0, ["a"])
+    with pytest.raises(SchedulingError):
+        engine.run()
+
+
+def test_utilization_and_critical_resource():
+    engine = PipelineEngine()
+    engine.add_task("x", "h2d", 4.0)
+    engine.add_task("y", "gpu", 1.0, ["x"])
+    schedule = engine.run()
+    assert schedule.utilization("h2d") == pytest.approx(4.0 / 5.0)
+    assert schedule.critical_resource() == "h2d"
+
+
+def test_empty_schedule():
+    schedule = PipelineEngine().run()
+    assert schedule.makespan == 0.0
+    assert schedule.critical_resource() is None
+
+
+def test_double_buffered_stream_hides_compute():
+    """Transfer-bound pipeline: makespan ~= all transfers + last compute
+    (§IV-A's headline property)."""
+    engine = PipelineEngine()
+    chunks, transfer, compute = 10, 1.0, 0.2
+    double_buffered_stream(
+        engine, prefix="s", chunks=chunks,
+        transfer_seconds=transfer, compute_seconds=compute,
+    )
+    makespan = engine.run().makespan
+    assert makespan == pytest.approx(chunks * transfer + compute)
+
+
+def test_double_buffered_stream_compute_bound():
+    """Compute-bound pipeline: makespan ~= first transfer + all computes."""
+    engine = PipelineEngine()
+    chunks, transfer, compute = 10, 0.2, 1.0
+    double_buffered_stream(
+        engine, prefix="s", chunks=chunks,
+        transfer_seconds=transfer, compute_seconds=compute,
+    )
+    makespan = engine.run().makespan
+    assert makespan == pytest.approx(transfer + chunks * compute)
+
+
+def test_double_buffered_stream_with_output():
+    engine = PipelineEngine()
+    double_buffered_stream(
+        engine, prefix="s", chunks=6,
+        transfer_seconds=1.0, compute_seconds=0.3, output_seconds=0.4,
+    )
+    schedule = engine.run()
+    # Output copies overlap input transfers on the second DMA engine:
+    # only the last chunk's compute+copy extend past the transfers.
+    assert schedule.makespan == pytest.approx(6 * 1.0 + 0.3 + 0.4)
+
+
+def test_double_buffered_stream_callable_durations():
+    engine = PipelineEngine()
+    double_buffered_stream(
+        engine, prefix="s", chunks=3,
+        transfer_seconds=lambda i: 1.0 + i, compute_seconds=0.1,
+    )
+    assert engine.run().makespan == pytest.approx(1.0 + 2.0 + 3.0 + 0.1)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    durations=st.lists(
+        st.floats(min_value=0.0, max_value=10.0), min_size=1, max_size=20
+    ),
+    buffers=st.integers(min_value=1, max_value=4),
+)
+def test_stream_makespan_lower_bound(durations, buffers):
+    """Makespan can never beat the total transfer time (bus is serial)."""
+    engine = PipelineEngine()
+    double_buffered_stream(
+        engine, prefix="s", chunks=len(durations),
+        transfer_seconds=lambda i: durations[i], compute_seconds=0.05,
+        buffers=buffers,
+    )
+    assert engine.run().makespan >= sum(durations) - 1e-9

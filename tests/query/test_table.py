@@ -1,0 +1,65 @@
+"""Columnar table abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import InvalidRelationError
+from repro.query.table import Table
+
+
+def _table() -> Table:
+    return Table("t", {"k": np.array([3, 1, 2]), "v": np.array([30, 10, 20])})
+
+
+def test_columns_and_rows():
+    table = _table()
+    assert table.num_rows == 3
+    assert table.column_names == ["k", "v"]
+    assert list(table.column("v")) == [30, 10, 20]
+
+
+def test_ragged_columns_rejected():
+    with pytest.raises(InvalidRelationError):
+        Table("t", {"a": np.arange(2), "b": np.arange(3)})
+
+
+def test_unknown_column_rejected():
+    with pytest.raises(InvalidRelationError):
+        _table().column("missing")
+
+
+def test_key_relation_carries_row_ids():
+    rel = _table().key_relation("k")
+    assert list(rel.key) == [3, 1, 2]
+    assert list(rel.payload) == [0, 1, 2]
+
+
+def test_gather_prefixes_once():
+    table = _table()
+    gathered = table.gather(np.array([2, 0]))
+    assert list(gathered.column("t.k")) == [2, 3]
+    regathered = gathered.gather(np.array([0]))
+    assert regathered.column_names == ["t.k", "t.v"]  # no double prefix
+
+
+def test_filter_mask():
+    table = _table()
+    out = table.filter(table.column("k") > 1)
+    assert list(out.column("v")) == [30, 20]
+    with pytest.raises(InvalidRelationError):
+        table.filter(np.array([True]))
+
+
+def test_concat_columns():
+    left = Table("l", {"a": np.arange(2)})
+    right = Table("r", {"b": np.arange(2) + 10})
+    merged = Table.concat_columns("lr", left, right)
+    assert merged.column_names == ["a", "b"]
+    with pytest.raises(InvalidRelationError):
+        Table.concat_columns("bad", left, Table("r2", {"a": np.arange(2)}))
+    with pytest.raises(InvalidRelationError):
+        Table.concat_columns("bad", left, Table("r3", {"c": np.arange(3)}))
+
+
+def test_empty_table():
+    assert Table("empty").num_rows == 0

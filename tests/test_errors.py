@@ -1,0 +1,25 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception):
+            assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+
+def test_capacity_specializations():
+    assert issubclass(errors.SharedMemoryOverflowError, errors.CapacityError)
+    assert issubclass(errors.DeviceMemoryOverflowError, errors.CapacityError)
+    assert issubclass(errors.SchedulingError, errors.PipelineError)
+
+
+def test_single_except_clause_catches_library_failures():
+    from repro.data.spec import RelationSpec
+
+    with pytest.raises(errors.ReproError):
+        RelationSpec(n=0)
