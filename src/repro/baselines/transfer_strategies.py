@@ -12,20 +12,28 @@ pipeline instead of relying on driver-managed mechanisms:
   bus; UM additionally thrashes pages once the working set exceeds
   device memory (§IV: "parts of the relation to be transferred over
   multiple times").
+
+Each mechanism is declared in the same task-graph vocabulary as the join
+strategies — H2D bus traversals and GPU kernels fed to the discrete-event
+:class:`~repro.pipeline.engine.PipelineEngine` — so overlap (e.g. the
+first partitioning pass consuming a UVA stream while it arrives) falls
+out of the simulation rather than being hand-computed.  The reference
+join strategies are obtained from the registry, never named directly.
 """
 
 from __future__ import annotations
 
 from repro.core.config import GpuJoinConfig
-from repro.core.coprocessing import CoProcessingJoin
-from repro.core.gpu_partitioned import GpuPartitionedJoin
 from repro.core.results import JoinMetrics
+from repro.core.strategy import COPROCESSING, GPU_RESIDENT, create_strategy
 from repro.data import stats as stats_mod
 from repro.data.spec import JoinSpec
 from repro.errors import InvalidConfigError
 from repro.gpusim.calibration import Calibration
 from repro.gpusim.spec import SystemSpec
 from repro.gpusim.transfer import TransferModel
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.tasks import GPU, H2D
 
 GPU_DATA_LOAD = "GPU data load"
 UVA_PARTITION = "UVA part."
@@ -52,15 +60,18 @@ class TransferStrategyComparison:
         config: GpuJoinConfig | None = None,
     ):
         self.system = system or SystemSpec()
-        self.join = GpuPartitionedJoin(self.system, calibration, config)
+        self.join = create_strategy(GPU_RESIDENT, self.system, calibration, config)
         self.transfer = TransferModel(self.system, self.join.cost_model.calib)
-        self.coprocessing = CoProcessingJoin(self.system, calibration, config)
+        self.coprocessing = create_strategy(
+            COPROCESSING, self.system, calibration, config
+        )
 
     # ------------------------------------------------------------------
-    def _metrics(self, name: str, spec: JoinSpec, seconds: float) -> JoinMetrics:
+    def _simulated(self, name: str, spec: JoinSpec, engine: PipelineEngine) -> JoinMetrics:
+        schedule = engine.run()
         return JoinMetrics(
             strategy=name,
-            seconds=seconds,
+            seconds=schedule.makespan,
             total_tuples=spec.total_tuples,
             output_tuples=stats_mod.expected_join_cardinality(spec),
             notes={"tuple_bytes": float(spec.build.tuple_bytes)},
@@ -74,30 +85,47 @@ class TransferStrategyComparison:
         compute_only = join_seconds - partition_seconds
         nbytes = spec.total_bytes
 
+        engine = PipelineEngine()
         if mode == GPU_DATA_LOAD:
             # Data already GPU resident, "as in our in-GPU experiments"
             # (§V-F) — the load is not part of the measured query.
-            seconds = join_seconds
+            engine.add_task("join", GPU, join_seconds)
         elif mode == UVA_PARTITION:
-            # The first partitioning pass reads its input over the bus;
-            # everything after runs on device-resident buckets.
-            first_pass = max(
-                partition_seconds / 2.0, self.transfer.uva_sequential_seconds(nbytes)
+            # The first partitioning pass reads its input over the bus
+            # while it streams in; everything after runs on
+            # device-resident buckets.
+            engine.add_task(
+                "uva.stream", H2D, self.transfer.uva_sequential_seconds(nbytes)
             )
-            seconds = first_pass + partition_seconds / 2.0 + compute_only
+            engine.add_task("partition.first", GPU, partition_seconds / 2.0)
+            engine.add_task(
+                "partition.rest", GPU, partition_seconds / 2.0, ["uva.stream"]
+            )
+            engine.add_task("join", GPU, compute_only, ["partition.rest"])
         elif mode == UVA_JOIN:
             # Both partitioning passes and the probe scan pull from host
             # memory: three sequential traversals over the bus.
-            seconds = 3.0 * self.transfer.uva_sequential_seconds(nbytes) + compute_only
+            engine.add_task(
+                "uva.traversals",
+                H2D,
+                3.0 * self.transfer.uva_sequential_seconds(nbytes),
+            )
+            engine.add_task("join.compute", GPU, compute_only, ["uva.traversals"])
         elif mode == UVA_LOAD:
             # UVA used only to stage the input into device memory.
-            seconds = self.transfer.uva_sequential_seconds(nbytes) + join_seconds
+            engine.add_task(
+                "uva.load", H2D, self.transfer.uva_sequential_seconds(nbytes)
+            )
+            engine.add_task("join", GPU, join_seconds, ["uva.load"])
         elif mode == UM_LOAD:
             # Unified Memory migrates pages on first touch.
-            seconds = self.transfer.um_migration_seconds(nbytes) + join_seconds
+            engine.add_task(
+                "um.migrate", H2D, self.transfer.um_migration_seconds(nbytes)
+            )
+            engine.add_task("join", GPU, join_seconds, ["um.migrate"])
         else:
             raise InvalidConfigError(f"unknown Fig 21 mode: {mode!r}")
-        return self._metrics(mode, spec, seconds)
+        return self._simulated(mode, spec, engine)
 
     # ------------------------------------------------------------------
     def out_of_gpu(self, spec: JoinSpec, mode: str) -> JoinMetrics:
@@ -105,11 +133,16 @@ class TransferStrategyComparison:
         nbytes = spec.total_bytes
         if mode == OOG_COPROCESSING:
             return self.coprocessing.estimate(spec)
+        engine = PipelineEngine()
         if mode == OOG_UVA:
             # Every partitioning pass reads and writes host memory over
             # the bus (two passes), and the probe pass reads once more:
             # ~5 traversals of the combined input.
-            seconds = 5.0 * self.transfer.uva_sequential_seconds(nbytes)
+            engine.add_task(
+                "uva.traversals",
+                H2D,
+                5.0 * self.transfer.uva_sequential_seconds(nbytes),
+            )
         elif mode == OOG_UM:
             # Pages thrash: the partitioning passes' scattered writes
             # evict and re-fault pages repeatedly (§IV-B: "the irregular
@@ -118,11 +151,15 @@ class TransferStrategyComparison:
             # the inputs plus their partitioned copies.
             from repro.core.gpu_partitioned import gpu_resident_bytes_needed
 
-            seconds = self.transfer.um_migration_seconds(
-                nbytes,
-                working_set_bytes=gpu_resident_bytes_needed(spec),
-                reuse_passes=4.0,
+            engine.add_task(
+                "um.thrash",
+                H2D,
+                self.transfer.um_migration_seconds(
+                    nbytes,
+                    working_set_bytes=gpu_resident_bytes_needed(spec),
+                    reuse_passes=4.0,
+                ),
             )
         else:
             raise InvalidConfigError(f"unknown Fig 22 mode: {mode!r}")
-        return self._metrics(mode, spec, seconds)
+        return self._simulated(mode, spec, engine)

@@ -30,6 +30,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--all", action="store_true", help="run every figure")
     parser.add_argument("--list", action="store_true", help="list figures")
     parser.add_argument(
+        "--strategies",
+        action="store_true",
+        help="list the registered join strategies",
+    )
+    parser.add_argument(
         "--scale",
         type=float,
         default=1.0,
@@ -79,6 +84,14 @@ def main(argv: list[str] | None = None) -> int:
     if args.list:
         for name, fn in ALL_FIGURES.items():
             print(f"{name}: {fn.__doc__ or ''}".rstrip(": "))
+        return 0
+
+    if args.strategies:
+        from repro.core import create_strategy, registered_strategies
+
+        for key in registered_strategies():
+            strategy = create_strategy(key)
+            print(f"{key}: {strategy.name} ({type(strategy).__name__})")
         return 0
 
     names: list[str] = []

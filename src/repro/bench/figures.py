@@ -22,13 +22,15 @@ from repro.baselines import (
     DbmsX,
     TransferStrategyComparison,
 )
-from repro.bench.harness import FigureResult
+from repro.bench.harness import FigureResult, enumerate_strategies
 from repro.core import (
-    CoProcessingJoin,
+    COPROCESSING,
+    GPU_NONPARTITIONED,
+    GPU_NONPARTITIONED_PERFECT,
+    GPU_RESIDENT,
+    STREAMING,
     GpuJoinConfig,
-    GpuNonPartitionedJoin,
-    GpuPartitionedJoin,
-    StreamingProbeJoin,
+    create_strategy,
     estimate_with_planner,
     fig5_config,
 )
@@ -37,7 +39,6 @@ from repro.data.spec import Distribution
 from repro.data.tpch import join_specs as tpch_join_specs
 from repro.errors import BaselineUnsupportedError, DeviceMemoryOverflowError
 from repro.gpusim.spec import SystemSpec
-from repro.kernels.nonpartitioned import PERFECT
 
 M = 1_000_000
 
@@ -66,7 +67,7 @@ def fig05(scale: float = 1.0) -> FigureResult:
     for partition_size in (256, 512, 1024, 2048):
         bits = max(1, round(math.log2(max(2, n / partition_size))))
         for kernel in ("hash", "nlj"):
-            join = GpuPartitionedJoin(config=fig5_config(bits, kernel))
+            join = create_strategy(GPU_RESIDENT, config=fig5_config(bits, kernel))
             metrics = join.estimate(unique_pair(n))
             series[(kernel, "total")].add(partition_size, metrics.throughput_billion)
             series[(kernel, "join")].add(
@@ -94,8 +95,8 @@ def fig06(scale: float = 1.0) -> FigureResult:
     for millions in (1, 2, 4, 8, 16, 32, 64, 128):
         spec = unique_pair(_scaled(millions, scale))
         for shared in (True, False):
-            join = GpuPartitionedJoin(
-                config=GpuJoinConfig(use_shared_memory=shared)
+            join = create_strategy(
+                GPU_RESIDENT, config=GpuJoinConfig(use_shared_memory=shared)
             )
             metrics = join.estimate(spec)
             series[(shared, "total")].add(millions, metrics.throughput_billion)
@@ -115,7 +116,7 @@ def fig07(scale: float = 1.0) -> FigureResult:
         "build/probe relation size (million tuples)",
         "billion tuples/sec",
     )
-    join = GpuPartitionedJoin()
+    join = create_strategy(GPU_RESIDENT)
     agg = result.new_series("Aggregation")
     mat = result.new_series("Materialization")
     for millions in (1, 2, 4, 8, 16, 32, 64, 128):
@@ -137,13 +138,11 @@ def fig08(scale: float = 1.0) -> FigureResult:
         "build relation size (million tuples)",
         "billion tuples/sec",
     )
-    systems = {
-        "GPU Partitioned": GpuPartitionedJoin(),
-        "GPU Non-partitioned": GpuNonPartitionedJoin(),
-        "GPU Non-partitioned w/ perfect hash": GpuNonPartitionedJoin(variant=PERFECT),
-        "CPU PRO": ProJoin(),
-        "CPU NPO": NpoJoin(),
-    }
+    systems = enumerate_strategies(
+        (GPU_RESIDENT, GPU_NONPARTITIONED, GPU_NONPARTITIONED_PERFECT)
+    )
+    systems["CPU PRO"] = ProJoin()
+    systems["CPU NPO"] = NpoJoin()
     for ratio in (1, 2, 4):
         for name, system in systems.items():
             series = result.new_series(f"{name} (1:{ratio})")
@@ -185,10 +184,12 @@ def _payload_figure(figure: str, side: str, scale: float) -> FigureResult:
                 probe=base.probe,
             )
         partitioned.add(
-            payload, GpuPartitionedJoin().estimate(spec).throughput_billion
+            payload,
+            create_strategy(GPU_RESIDENT).estimate(spec).throughput_billion,
         )
         nonpartitioned.add(
-            payload, GpuNonPartitionedJoin().estimate(spec).throughput_billion
+            payload,
+            create_strategy(GPU_NONPARTITIONED).estimate(spec).throughput_billion,
         )
     return result
 
@@ -213,7 +214,7 @@ def fig11(scale: float = 1.0) -> FigureResult:
         "probe relation size (million tuples)",
         "billion tuples/sec",
     )
-    streaming = StreamingProbeJoin()
+    streaming = create_strategy(STREAMING)
     pro = ProJoin()
     agg = result.new_series("GPU Partitioned (aggregation)")
     mat = result.new_series("GPU Partitioned (materialization)")
@@ -247,7 +248,7 @@ def fig12(scale: float = 1.0) -> FigureResult:
         "build relation size (million tuples)",
         "billion tuples/sec",
     )
-    coproc = CoProcessingJoin()
+    coproc = create_strategy(COPROCESSING)
     pro, npo = ProJoin(), NpoJoin()
     # The paper stops at a total dataset of ~80 GB: "leaving insufficient
     # memory space for the CPU-side processing" (SV-C) - inputs, their
@@ -288,7 +289,7 @@ def fig13(scale: float = 1.0) -> FigureResult:
     )
     coproc_series = result.new_series("GPU Partitioned (co-processing)")
     pro_series = result.new_series("CPU PRO")
-    coproc, pro = CoProcessingJoin(), ProJoin()
+    coproc, pro = create_strategy(COPROCESSING), ProJoin()
     spec = unique_pair(_scaled(512, scale))
     for threads in range(2, 47, 4):
         coproc_series.add(
@@ -376,8 +377,8 @@ def fig16(scale: float = 1.0) -> FigureResult:
     )
     staged_series = result.new_series("Staging")
     direct_series = result.new_series("Direct copy")
-    staged = CoProcessingJoin(staging=True)
-    direct = CoProcessingJoin(staging=False)
+    staged = create_strategy(COPROCESSING, staging=True)
+    direct = create_strategy(COPROCESSING, staging=False)
     for millions in (256, 512, 1024, 2048):
         spec = unique_pair(_scaled(millions, scale))
         staged_series.add(millions, staged.estimate(spec).data_gbps)
@@ -414,7 +415,7 @@ def fig17(scale: float = 1.0) -> FigureResult:
         "fig17",
         "Skew on GPU-resident data",
         _scaled(32, scale),
-        GpuPartitionedJoin,
+        lambda: create_strategy(GPU_RESIDENT),
     )
 
 
@@ -423,7 +424,7 @@ def fig18(scale: float = 1.0) -> FigureResult:
         "fig18",
         "Skew on CPU-resident data (co-processing)",
         _scaled(512, scale),
-        CoProcessingJoin,
+        lambda: create_strategy(COPROCESSING),
     )
 
 
@@ -447,7 +448,9 @@ def fig19(scale: float = 1.0) -> FigureResult:
             series = result.new_series(label + suffix)
             for replicas in (1, 2, 3, 4):
                 spec = replicated_pair(n, replicas)
-                strategy = GpuPartitionedJoin() if resident else CoProcessingJoin()
+                strategy = create_strategy(
+                    GPU_RESIDENT if resident else COPROCESSING
+                )
                 series.add(
                     replicas,
                     strategy.estimate(spec, materialize=materialize).throughput_billion,
@@ -465,7 +468,7 @@ def fig20(scale: float = 1.0) -> FigureResult:
         "probe/build relation size (million tuples)",
         "billion tuples/sec",
     )
-    coproc = CoProcessingJoin()
+    coproc = create_strategy(COPROCESSING)
     for z, label in ((0.0, "Uniform"), (0.25, "zipf 0.25"), (0.5, "zipf 0.5")):
         for materialize in (False, True):
             suffix = " (materialization)" if materialize else " (aggregation)"

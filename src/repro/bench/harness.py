@@ -5,13 +5,49 @@ Every figure of the paper's evaluation is regenerated as a
 which renders as an aligned text table (the same rows/columns the
 paper plots).  Benchmarks assert shape properties against these series;
 the CLI (``python -m repro.bench``) prints them.
+
+Join strategies are enumerated from the strategy registry
+(:func:`enumerate_strategies`) — the harness names no concrete
+strategy class, so newly registered strategies appear in sweeps
+automatically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
+from repro.core.strategy import (
+    JoinStrategy,
+    create_strategy,
+    registered_strategies,
+)
 from repro.errors import InvalidConfigError
+
+
+def enumerate_strategies(
+    keys: Iterable[str] | None = None,
+    system=None,
+    calibration=None,
+    config=None,
+) -> dict[str, JoinStrategy]:
+    """Instantiate registry strategies, keyed by display name.
+
+    With ``keys=None`` every registered strategy is instantiated, so
+    sweeps pick up plugged-in strategies without code changes.
+    """
+    keys = tuple(keys) if keys is not None else registered_strategies()
+    strategies: dict[str, JoinStrategy] = {}
+    for key in keys:
+        strategy = create_strategy(key, system, calibration, config)
+        if not strategy.name or strategy.name in strategies:
+            raise InvalidConfigError(
+                f"strategy {key!r} has a missing or duplicate display name "
+                f"{strategy.name!r}; every enumerated strategy needs a "
+                "unique `name` for its series label"
+            )
+        strategies[strategy.name] = strategy
+    return strategies
 
 
 @dataclass

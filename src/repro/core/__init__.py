@@ -13,17 +13,30 @@ from repro.core.config import (
     fig5_config,
 )
 from repro.core.coprocessing import CoProcessingJoin, CoProcessingPlan
-from repro.core.gpu_nonpartitioned import GpuNonPartitionedJoin
+from repro.core.gpu_nonpartitioned import GpuNonPartitionedJoin, GpuPerfectHashJoin
 from repro.core.gpu_partitioned import GpuPartitionedJoin
 from repro.core.planner import (
-    COPROCESSING,
-    GPU_RESIDENT,
-    STREAMING,
+    PLANNER_LADDER,
     choose_strategy_name,
     estimate_with_planner,
     plan_join,
 )
 from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.strategy import (
+    COPROCESSING,
+    COPROCESSING_ADAPTIVE,
+    GPU_NONPARTITIONED,
+    GPU_NONPARTITIONED_PERFECT,
+    GPU_RESIDENT,
+    STREAMING,
+    JoinPlan,
+    JoinStrategy,
+    PipelinedJoinStrategy,
+    create_strategy,
+    register_strategy,
+    registered_strategies,
+    strategy_factory,
+)
 from repro.core.streaming import StreamingProbeJoin
 from repro.core.working_set import (
     WorkingSet,
@@ -34,26 +47,38 @@ from repro.core.working_set import (
 __all__ = [
     "AdaptiveCoProcessingJoin",
     "COPROCESSING",
+    "COPROCESSING_ADAPTIVE",
     "CoProcessingJoin",
     "CoProcessingPlan",
+    "GPU_NONPARTITIONED",
+    "GPU_NONPARTITIONED_PERFECT",
     "GPU_RESIDENT",
     "GpuJoinConfig",
     "GpuNonPartitionedJoin",
     "GpuPartitionedJoin",
+    "GpuPerfectHashJoin",
     "HASH_PROBE",
     "JoinMetrics",
+    "JoinPlan",
     "JoinRunResult",
+    "JoinStrategy",
     "NLJ_PROBE",
+    "PLANNER_LADDER",
+    "PipelinedJoinStrategy",
     "STREAMING",
     "StreamingProbeJoin",
     "WorkingSet",
     "choose_strategy_name",
+    "create_strategy",
     "default_config",
     "estimate_with_planner",
-    "recommend_partition_threads",
-    "recommend_staging_threads",
     "fig5_config",
     "knapsack_first_working_set",
     "pack_working_sets",
     "plan_join",
+    "recommend_partition_threads",
+    "recommend_staging_threads",
+    "register_strategy",
+    "registered_strategies",
+    "strategy_factory",
 ]

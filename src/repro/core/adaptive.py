@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 
 from repro.core.coprocessing import CoProcessingJoin
-from repro.core.results import JoinMetrics
+from repro.core.strategy import COPROCESSING_ADAPTIVE, JoinPlan, register_strategy
 from repro.cpu.numa import NumaModel
 from repro.cpu.radix_partition import CpuPartitionModel
 from repro.data.spec import JoinSpec
@@ -81,6 +81,7 @@ def recommend_staging_threads(
     return max(1, min(system.cpu.total_cores, math.ceil(target / per_thread)))
 
 
+@register_strategy
 class AdaptiveCoProcessingJoin(CoProcessingJoin):
     """Co-processing with phase-adaptive CPU thread counts.
 
@@ -90,9 +91,10 @@ class AdaptiveCoProcessingJoin(CoProcessingJoin):
     workload, the paper's §V-D motivation) at no throughput cost.
     """
 
+    key = COPROCESSING_ADAPTIVE
     name = "GPU Partitioned (co-processing, adaptive threads)"
 
-    def estimate(
+    def prepare(
         self,
         spec: JoinSpec,
         *,
@@ -100,7 +102,7 @@ class AdaptiveCoProcessingJoin(CoProcessingJoin):
         chunk_tuples: int | None = None,
         materialize: bool = False,
         staging_threads: int | None = None,
-    ) -> JoinMetrics:
+    ) -> JoinPlan:
         if threads is None or staging_threads is None:
             from repro.data import stats as stats_mod
 
@@ -121,13 +123,12 @@ class AdaptiveCoProcessingJoin(CoProcessingJoin):
                 staging_threads = recommend_staging_threads(
                     self.system, calibration=self.cost_model.calib
                 )
-        metrics = super().estimate(
+        graph = super().prepare(
             spec,
             threads=threads,
             chunk_tuples=chunk_tuples,
             materialize=materialize,
             staging_threads=staging_threads,
         )
-        metrics.strategy = self.name
-        metrics.notes["staging_threads"] = float(staging_threads)
-        return metrics
+        graph.notes["staging_threads"] = float(staging_threads)
+        return graph

@@ -24,7 +24,13 @@ from repro.core.gpu_partitioned import (
     GpuPartitionedJoin,
     spec_from_relations,
 )
-from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.results import JoinRunResult
+from repro.core.strategy import (
+    COPROCESSING,
+    JoinPlan,
+    PipelinedJoinStrategy,
+    register_strategy,
+)
 from repro.core.working_set import WorkingSet, pack_working_sets
 from repro.cpu.numa import NumaModel
 from repro.cpu.radix_partition import CpuPartitionModel, cpu_radix_partition
@@ -39,7 +45,6 @@ from repro.gpusim.transfer import TransferModel
 from repro.kernels.aggregate import aggregate_pairs
 from repro.kernels.common import key_bit_width
 from repro.kernels.radix_partition import derive_bits_per_pass, estimate_partition_cost
-from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import CPU, D2H, GPU, H2D
 
 #: Default host-side fanout: a single 16-way pass (§V-C).
@@ -77,9 +82,11 @@ class CoProcessingPlan:
         return self.build_fractions[0] if self.build_fractions else 0.0
 
 
-class CoProcessingJoin:
+@register_strategy
+class CoProcessingJoin(PipelinedJoinStrategy):
     """Both relations out of GPU memory: CPU partitioning + GPU joins."""
 
+    key = COPROCESSING
     name = "GPU Partitioned (co-processing)"
 
     def __init__(
@@ -177,9 +184,9 @@ class CoProcessingJoin:
         )
 
     # ------------------------------------------------------------------
-    # Pipeline assembly (shared by estimate and run)
+    # Pipeline assembly (shared by prepare and execute)
     # ------------------------------------------------------------------
-    def _simulate(
+    def _pipeline_plan(
         self,
         spec: JoinSpec,
         plan: CoProcessingPlan,
@@ -190,8 +197,8 @@ class CoProcessingJoin:
         ws_prep_seconds,
         materialize: bool,
         staging_threads: int | None = None,
-    ) -> JoinMetrics:
-        """Build the §IV-B pipeline and return its metrics.
+    ) -> JoinPlan:
+        """Declare the §IV-B pipeline as a task graph.
 
         ``ws_join_seconds(ws_index, chunk_index)`` and
         ``ws_prep_seconds(ws_index)`` supply GPU kernel durations (from
@@ -200,7 +207,6 @@ class CoProcessingJoin:
         phases after the first working set (the adaptive extension).
         """
         calib = self.cost_model.calib
-        engine = PipelineEngine()
         cpu_rate = self.cpu_partition.pass_rate(threads)
         if staging_threads is None:
             staging_threads = threads
@@ -213,10 +219,26 @@ class CoProcessingJoin:
         d2h_rate = self.transfer.pipelined_dma_rate()
         staging_rate = self.numa.staging_copy_rate(staging_threads)
 
+        graph = JoinPlan(
+            strategy=self.name,
+            spec=spec,
+            phases=(CPU, H2D, GPU, D2H),
+            matches=matches,
+            materialize=materialize,
+            pcie_h2d_bytes=spec.build.nbytes + spec.probe.nbytes,
+            pcie_d2h_bytes=matches * OUT_TUPLE_BYTES if materialize else 0.0,
+            notes={
+                "tuple_bytes": float(spec.build.tuple_bytes),
+                "working_sets": float(len(plan.working_sets)),
+                "first_ws_fraction": plan.first_ws_fraction,
+                "threads": float(threads),
+            },
+        )
+
         # Host partitions the build relation into pinned memory first;
         # oversized partitions get one extra recursive pass (SIV-B).
         repartition = 1.0 + plan.repartition_fraction
-        engine.add_task(
+        graph.add(
             "R.cpu_partition", CPU, spec.build.nbytes * repartition / cpu_rate
         )
 
@@ -232,10 +254,10 @@ class CoProcessingJoin:
             part_bytes = ws.total_bytes / n_parts
             part_prep = float(ws_prep_seconds(w)) / n_parts
             for p in range(n_parts):
-                engine.add_task(
+                graph.add(
                     f"R.h2d[{w},{p}]", H2D, part_bytes / rate, ["R.cpu_partition"]
                 )
-                engine.add_task(
+                graph.add(
                     f"R.prep[{w},{p}]", GPU, part_prep, [f"R.h2d[{w},{p}]"]
                 )
             ws_ready = f"R.prep[{w},{n_parts - 1}]"
@@ -248,7 +270,7 @@ class CoProcessingJoin:
                 if phase_a:
                     # The chunk must be radix-partitioned on the host
                     # before its co-partitions can be shipped.
-                    engine.add_task(
+                    graph.add(
                         f"S.cpu[{c}]",
                         CPU,
                         this_chunk * spec.probe.tuple_bytes * repartition / cpu_rate
@@ -258,7 +280,7 @@ class CoProcessingJoin:
                 elif self.staging:
                     # Far-socket halves are staged to near-socket pinned
                     # buffers by CPU threads (§IV-B).
-                    engine.add_task(
+                    graph.add(
                         f"S.stage[{w},{c}]",
                         CPU,
                         0.5 * s_co_bytes / staging_rate
@@ -267,11 +289,11 @@ class CoProcessingJoin:
                     h2d_deps.append(f"S.stage[{w},{c}]")
                 if c >= 2:
                     h2d_deps.append(f"S.join[{w},{c - 2}]")
-                engine.add_task(f"S.h2d[{w},{c}]", H2D, s_co_bytes / rate, h2d_deps)
+                graph.add(f"S.h2d[{w},{c}]", H2D, s_co_bytes / rate, h2d_deps)
                 join_deps = [f"S.h2d[{w},{c}]", ws_ready]
                 if materialize and c >= 2:
                     join_deps.append(f"S.d2h[{w},{c - 2}]")
-                engine.add_task(
+                graph.add(
                     f"S.join[{w},{c}]", GPU, float(ws_join_seconds(w, c)), join_deps
                 )
                 if materialize:
@@ -281,37 +303,17 @@ class CoProcessingJoin:
                         * (this_chunk / spec.probe.n)
                         * OUT_TUPLE_BYTES
                     )
-                    engine.add_task(
+                    graph.add(
                         f"S.d2h[{w},{c}]", D2H, out_bytes / d2h_rate,
                         [f"S.join[{w},{c}]"],
                     )
 
-        schedule = engine.run()
-        return JoinMetrics(
-            strategy=self.name,
-            seconds=schedule.makespan,
-            total_tuples=spec.total_tuples,
-            output_tuples=matches,
-            phases={
-                "cpu": schedule.busy_time(CPU),
-                "h2d": schedule.busy_time(H2D),
-                "gpu": schedule.busy_time(GPU),
-                "d2h": schedule.busy_time(D2H),
-            },
-            pcie_h2d_bytes=spec.build.nbytes + spec.probe.nbytes,
-            pcie_d2h_bytes=matches * OUT_TUPLE_BYTES if materialize else 0.0,
-            notes={
-                "tuple_bytes": float(spec.build.tuple_bytes),
-                "working_sets": float(len(plan.working_sets)),
-                "first_ws_fraction": plan.first_ws_fraction,
-                "threads": float(threads),
-            },
-        )
+        return graph
 
     # ------------------------------------------------------------------
     # Analytic path
     # ------------------------------------------------------------------
-    def estimate(
+    def prepare(
         self,
         spec: JoinSpec,
         *,
@@ -319,7 +321,7 @@ class CoProcessingJoin:
         chunk_tuples: int | None = None,
         materialize: bool = False,
         staging_threads: int | None = None,
-    ) -> JoinMetrics:
+    ) -> JoinPlan:
         cfg = self.config
         cpu_sizes = stats_mod.expected_partition_sizes(spec.build, self.cpu_bits)
         plan = self.plan(
@@ -385,7 +387,7 @@ class CoProcessingJoin:
             )
             return partition.seconds + join.seconds
 
-        return self._simulate(
+        return self._pipeline_plan(
             spec,
             plan,
             threads=threads,
@@ -399,7 +401,7 @@ class CoProcessingJoin:
     # ------------------------------------------------------------------
     # Functional path
     # ------------------------------------------------------------------
-    def run(
+    def execute(
         self,
         build: Relation,
         probe: Relation,
@@ -475,14 +477,16 @@ class CoProcessingJoin:
         )
 
         spec = spec_from_relations(build, probe)
-        metrics = self._simulate(
-            spec,
-            plan,
-            threads=threads,
-            matches=float(all_build.shape[0]),
-            ws_join_seconds=lambda w, c: cell_seconds.get((w, c), 0.0),
-            ws_prep_seconds=lambda w: prep_seconds.get(w, 0.0),
-            materialize=materialize,
+        metrics = self.simulate(
+            self._pipeline_plan(
+                spec,
+                plan,
+                threads=threads,
+                matches=float(all_build.shape[0]),
+                ws_join_seconds=lambda w, c: cell_seconds.get((w, c), 0.0),
+                ws_prep_seconds=lambda w: prep_seconds.get(w, 0.0),
+                materialize=materialize,
+            )
         )
         if materialize:
             return JoinRunResult(

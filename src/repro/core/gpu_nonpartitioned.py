@@ -7,8 +7,16 @@ the evaluation harness can sweep both families uniformly.
 
 from __future__ import annotations
 
+from repro.core.config import GpuJoinConfig
 from repro.core.gpu_partitioned import OUT_TUPLE_BYTES, spec_from_relations
-from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.results import JoinRunResult
+from repro.core.strategy import (
+    GPU_NONPARTITIONED,
+    GPU_NONPARTITIONED_PERFECT,
+    JoinPlan,
+    PipelinedJoinStrategy,
+    register_strategy,
+)
 from repro.data import stats as stats_mod
 from repro.data.relation import Relation
 from repro.data.spec import JoinSpec
@@ -18,21 +26,29 @@ from repro.gpusim.cost import GpuCostModel, KernelCost
 from repro.gpusim.spec import SystemSpec
 from repro.kernels.aggregate import aggregate_pairs
 from repro.kernels.nonpartitioned import CHAINING, PERFECT, chaining_join, perfect_hash_join
+from repro.pipeline.tasks import GPU
 
 
-class GpuNonPartitionedJoin:
+@register_strategy
+class GpuNonPartitionedJoin(PipelinedJoinStrategy):
     """Single global hash table in device memory (chaining or perfect)."""
+
+    key = GPU_NONPARTITIONED
 
     def __init__(
         self,
         system: SystemSpec | None = None,
         calibration: Calibration | None = None,
+        config: GpuJoinConfig | None = None,
         *,
         variant: str = CHAINING,
     ):
+        # The non-partitioned kernels take no partitioning config; the
+        # parameter exists for the uniform strategy-factory signature.
         if variant not in (CHAINING, PERFECT):
             raise InvalidConfigError(f"unknown variant: {variant!r}")
         self.system = system or SystemSpec()
+        self.config = config
         self.cost_model = GpuCostModel(self.system, calibration)
         self.variant = variant
 
@@ -43,6 +59,12 @@ class GpuNonPartitionedJoin:
         return "GPU Non-partitioned"
 
     # ------------------------------------------------------------------
+    @classmethod
+    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
+        """Inputs + the global hash table must be device resident."""
+        needed = spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
+        return needed <= system.gpu.device_memory
+
     def _check_device_memory(self, spec: JoinSpec) -> None:
         # Inputs + the global hash table (slot array sized to the build).
         needed = spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
@@ -67,30 +89,32 @@ class GpuNonPartitionedJoin:
             )
         return cost
 
-    def _metrics(
+    def _plan(
         self,
         spec: JoinSpec,
         build_cost: KernelCost,
         probe_cost: KernelCost,
         gather_cost: KernelCost,
         matches: float,
-    ) -> JoinMetrics:
-        seconds = build_cost.seconds + probe_cost.seconds + gather_cost.seconds
-        return JoinMetrics(
+        *,
+        materialize: bool,
+    ) -> JoinPlan:
+        """Build → probe → gather, serial on the GPU compute queue."""
+        plan = JoinPlan(
             strategy=self.name,
-            seconds=seconds,
-            total_tuples=spec.total_tuples,
-            output_tuples=matches,
-            phases={
-                "build": build_cost.seconds,
-                "probe": probe_cost.seconds,
-                "gather": gather_cost.seconds,
-            },
+            spec=spec,
+            phases=("build", "probe", "gather"),
+            matches=matches,
+            materialize=materialize,
             notes={"tuple_bytes": float(spec.build.tuple_bytes)},
         )
+        build = plan.add("build", GPU, build_cost.seconds, phase="build")
+        probe = plan.add("probe", GPU, probe_cost.seconds, [build], phase="probe")
+        plan.add("gather", GPU, gather_cost.seconds, [probe], phase="gather")
+        return plan
 
     # ------------------------------------------------------------------
-    def estimate(self, spec: JoinSpec, *, materialize: bool = False) -> JoinMetrics:
+    def prepare(self, spec: JoinSpec, *, materialize: bool = False) -> JoinPlan:
         self._check_device_memory(spec)
         calib = self.cost_model.calib
         matches = stats_mod.expected_join_cardinality(spec)
@@ -115,10 +139,12 @@ class GpuNonPartitionedJoin:
             out_tuple_bytes=OUT_TUPLE_BYTES,
         )
         gather_cost = self._gather_cost(spec, matches)
-        return self._metrics(spec, build_cost, probe_cost, gather_cost, matches)
+        return self._plan(
+            spec, build_cost, probe_cost, gather_cost, matches, materialize=materialize
+        )
 
     # ------------------------------------------------------------------
-    def run(
+    def execute(
         self,
         build: Relation,
         probe: Relation,
@@ -143,8 +169,15 @@ class GpuNonPartitionedJoin:
             )
         spec = spec_from_relations(build, probe)
         gather_cost = self._gather_cost(spec, float(result.matches))
-        metrics = self._metrics(
-            spec, result.build_cost, result.probe_cost, gather_cost, float(result.matches)
+        metrics = self.simulate(
+            self._plan(
+                spec,
+                result.build_cost,
+                result.probe_cost,
+                gather_cost,
+                float(result.matches),
+                materialize=materialize,
+            )
         )
         if materialize:
             return JoinRunResult(
@@ -156,3 +189,18 @@ class GpuNonPartitionedJoin:
             metrics=metrics,
             aggregate=aggregate_pairs(result.build_payloads, result.probe_payloads),
         )
+
+
+@register_strategy
+class GpuPerfectHashJoin(GpuNonPartitionedJoin):
+    """The perfect-hash variant under its own registry key."""
+
+    key = GPU_NONPARTITIONED_PERFECT
+
+    def __init__(
+        self,
+        system: SystemSpec | None = None,
+        calibration: Calibration | None = None,
+        config: GpuJoinConfig | None = None,
+    ):
+        super().__init__(system, calibration, config, variant=PERFECT)

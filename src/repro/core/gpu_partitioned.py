@@ -20,7 +20,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.config import HASH_PROBE, NLJ_PROBE, GpuJoinConfig, default_config
-from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.results import JoinRunResult
+from repro.core.strategy import (
+    GPU_RESIDENT,
+    JoinPlan,
+    PipelinedJoinStrategy,
+    register_strategy,
+)
 from repro.data import stats as stats_mod
 from repro.data.relation import Relation
 from repro.data.spec import Distribution, JoinSpec
@@ -38,6 +44,7 @@ from repro.kernels.radix_partition import (
     estimate_partition_cost,
     gpu_radix_partition,
 )
+from repro.pipeline.tasks import GPU
 
 #: Result tuples carry the two 4-byte payloads (tuple identifiers).
 OUT_TUPLE_BYTES = 8.0
@@ -59,9 +66,11 @@ def gpu_resident_bytes_needed(spec: JoinSpec) -> float:
     return 2.25 * data + GPU_WORKSPACE_RESERVED
 
 
-class GpuPartitionedJoin:
+@register_strategy
+class GpuPartitionedJoin(PipelinedJoinStrategy):
     """GPU-resident partitioned hash/NLJ join."""
 
+    key = GPU_RESIDENT
     name = "GPU Partitioned"
 
     def __init__(
@@ -125,6 +134,11 @@ class GpuPartitionedJoin:
             )
         return cost
 
+    @classmethod
+    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
+        """Both relations plus partitioned copies fit in device memory."""
+        return gpu_resident_bytes_needed(spec) <= system.gpu.device_memory
+
     def _check_device_memory(self, spec: JoinSpec) -> None:
         """In-GPU execution holds inputs plus partitioned copies."""
         needed = gpu_resident_bytes_needed(spec)
@@ -136,33 +150,35 @@ class GpuPartitionedJoin:
                 f"{self.system.gpu.device_memory / 1e9:.2f} GB"
             )
 
-    def _metrics(
+    def _plan(
         self,
         spec: JoinSpec,
         partition_cost: KernelCost,
         join_cost: KernelCost,
         gather_cost: KernelCost,
         matches: float,
-    ) -> JoinMetrics:
-        seconds = partition_cost.seconds + join_cost.seconds + gather_cost.seconds
-        return JoinMetrics(
+        *,
+        materialize: bool,
+    ) -> JoinPlan:
+        """The in-GPU strategy is a serial chain on the compute queue."""
+        plan = JoinPlan(
             strategy=self.name,
-            seconds=seconds,
-            total_tuples=spec.total_tuples,
-            output_tuples=matches,
-            phases={
-                "partition": partition_cost.seconds,
-                "join": join_cost.seconds,
-                "gather": gather_cost.seconds,
-            },
+            spec=spec,
+            phases=("partition", "join", "gather"),
+            matches=matches,
+            materialize=materialize,
             notes={"tuple_bytes": float(spec.build.tuple_bytes)},
         )
+        partition = plan.add("partition", GPU, partition_cost.seconds, phase="partition")
+        join = plan.add("join", GPU, join_cost.seconds, [partition], phase="join")
+        plan.add("gather", GPU, gather_cost.seconds, [join], phase="gather")
+        return plan
 
     # ------------------------------------------------------------------
     # Analytic path
     # ------------------------------------------------------------------
-    def estimate(self, spec: JoinSpec, *, materialize: bool = False) -> JoinMetrics:
-        """Modelled metrics for a workload spec (paper-scale capable)."""
+    def prepare(self, spec: JoinSpec, *, materialize: bool = False) -> JoinPlan:
+        """Analytic plan for a workload spec (paper-scale capable)."""
         self._check_device_memory(spec)
         cfg = self.config
         bits_per_pass = cfg.bits_per_pass_for(spec.build.n)
@@ -198,12 +214,19 @@ class GpuPartitionedJoin:
             materialize=materialize,
         )
         gather_cost = self._gather_cost(spec, matches)
-        return self._metrics(spec, partition_cost, join_cost, gather_cost, matches)
+        return self._plan(
+            spec,
+            partition_cost,
+            join_cost,
+            gather_cost,
+            matches,
+            materialize=materialize,
+        )
 
     # ------------------------------------------------------------------
     # Functional path
     # ------------------------------------------------------------------
-    def run(
+    def execute(
         self,
         build: Relation,
         probe: Relation,
@@ -256,8 +279,15 @@ class GpuPartitionedJoin:
 
         spec = spec_from_relations(build, probe)
         gather_cost = self._gather_cost(spec, float(result.matches))
-        metrics = self._metrics(
-            spec, partition_cost, result.cost, gather_cost, float(result.matches)
+        metrics = self.simulate(
+            self._plan(
+                spec,
+                partition_cost,
+                result.cost,
+                gather_cost,
+                float(result.matches),
+                materialize=materialize,
+            )
         )
         if materialize:
             return JoinRunResult(

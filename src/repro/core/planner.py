@@ -2,44 +2,47 @@
 
 A central claim of the paper is that "a one-size-fits-all approach is
 not suitable for GPU joins": the right algorithm depends on where the
-data can live.  The planner encodes that decision:
+data can live.  The planner encodes that decision as a ladder of
+registry keys — each candidate strategy's own :meth:`fits` predicate
+decides whether the workload's data placement suits it:
 
 * both relations (plus partitioned copies) fit in device memory
   → in-GPU partitioned join (§III);
 * only the build side fits (with room for double-buffered chunks)
   → streaming probe join (§IV-A);
 * neither fits → CPU–GPU co-processing (§IV-B).
+
+The planner dispatches purely through the strategy registry; it names
+no concrete strategy class.
 """
 
 from __future__ import annotations
 
 from repro.core.config import GpuJoinConfig
-from repro.core.coprocessing import CoProcessingJoin
-from repro.core.gpu_partitioned import GpuPartitionedJoin
-from repro.core.streaming import StreamingProbeJoin
+from repro.core.strategy import (
+    COPROCESSING,
+    GPU_RESIDENT,
+    STREAMING,
+    JoinStrategy,
+    create_strategy,
+    strategy_factory,
+)
 from repro.data.spec import JoinSpec
 from repro.errors import DeviceMemoryOverflowError
 from repro.gpusim.calibration import Calibration
 from repro.gpusim.spec import SystemSpec
 
-GPU_RESIDENT = "gpu_resident"
-STREAMING = "streaming"
-COPROCESSING = "coprocessing"
+#: Preference order: fastest placement first, co-processing as the
+#: always-feasible floor.
+PLANNER_LADDER = (GPU_RESIDENT, STREAMING, COPROCESSING)
 
 
 def choose_strategy_name(spec: JoinSpec, system: SystemSpec | None = None) -> str:
     """Which of the three execution strategies fits this workload."""
-    from repro.core.gpu_partitioned import gpu_resident_bytes_needed
-
     system = system or SystemSpec()
-    device = system.gpu.device_memory
-    # In-GPU: inputs + partitioned copies + workspace.
-    if gpu_resident_bytes_needed(spec) <= device:
-        return GPU_RESIDENT
-    # Streaming: partitioned build + two chunk buffers + output buffers.
-    chunk_bytes = max(1, spec.build.n // 2) * spec.probe.tuple_bytes
-    if 2 * spec.build.nbytes + 6 * chunk_bytes <= device:
-        return STREAMING
+    for key in PLANNER_LADDER:
+        if strategy_factory(key).fits(spec, system):
+            return key
     return COPROCESSING
 
 
@@ -48,19 +51,15 @@ def plan_join(
     system: SystemSpec | None = None,
     calibration: Calibration | None = None,
     config: GpuJoinConfig | None = None,
-):
+) -> JoinStrategy:
     """Instantiate the strategy the planner selects for ``spec``.
 
-    Returns an object exposing ``run(build, probe, ...)`` and
-    ``estimate(spec, ...)``; callers can inspect ``.name``.
+    Returns a registered :class:`~repro.core.strategy.JoinStrategy`;
+    callers can inspect ``.key`` and ``.name``.
     """
     system = system or SystemSpec()
     name = choose_strategy_name(spec, system)
-    if name == GPU_RESIDENT:
-        return GpuPartitionedJoin(system, calibration, config)
-    if name == STREAMING:
-        return StreamingProbeJoin(system, calibration, config)
-    return CoProcessingJoin(system, calibration, config)
+    return create_strategy(name, system, calibration, config)
 
 
 def estimate_with_planner(
@@ -78,5 +77,5 @@ def estimate_with_planner(
     try:
         return strategy.estimate(spec, materialize=materialize)
     except DeviceMemoryOverflowError:
-        fallback = CoProcessingJoin(system, calibration, config)
+        fallback = create_strategy(COPROCESSING, system, calibration, config)
         return fallback.estimate(spec, materialize=materialize)

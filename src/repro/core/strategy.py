@@ -1,0 +1,286 @@
+"""The :class:`JoinStrategy` protocol and the strategy registry.
+
+The paper's thesis is that no single GPU join fits every workload: the
+right algorithm depends on where the data can live.  This module turns
+that thesis into an extension point.  Every strategy is a named entry in
+a string-keyed registry and follows one execution model:
+
+* :meth:`JoinStrategy.prepare` derives a :class:`JoinPlan` — a task
+  graph over the machine's serially-executing resources (H2D/D2H DMA
+  engines, the GPU compute queue, host CPU threads) plus reporting
+  metadata — from a workload spec;
+* :meth:`JoinStrategy.schedule` feeds the plan to the discrete-event
+  :class:`~repro.pipeline.engine.PipelineEngine`, whose simulation turns
+  per-task durations into the overlapped end-to-end makespan;
+* :meth:`JoinStrategy.execute` runs the join functionally on
+  materialized relations, reusing the same plan/schedule machinery with
+  observed (rather than expected) task durations.
+
+New strategies (multi-GPU, UVA/UM variants, CPU-only fallbacks) plug in
+by subclassing :class:`PipelinedJoinStrategy` and registering — the
+planner, executor and benchmarks dispatch through the registry and never
+name concrete classes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, ClassVar, Protocol, runtime_checkable
+
+from repro.core.results import JoinMetrics, JoinRunResult
+from repro.data.spec import JoinSpec
+from repro.errors import InvalidConfigError, UnknownStrategyError
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.tasks import Schedule, Task
+
+if TYPE_CHECKING:
+    from repro.core.config import GpuJoinConfig
+    from repro.data.relation import Relation
+    from repro.gpusim.calibration import Calibration
+    from repro.gpusim.spec import SystemSpec
+
+#: Canonical registry keys of the built-in strategies.
+GPU_RESIDENT = "gpu_resident"
+GPU_NONPARTITIONED = "gpu_nonpartitioned"
+GPU_NONPARTITIONED_PERFECT = "gpu_nonpartitioned_perfect"
+STREAMING = "streaming"
+COPROCESSING = "coprocessing"
+COPROCESSING_ADAPTIVE = "coprocessing_adaptive"
+
+
+# ---------------------------------------------------------------------------
+# Plans
+# ---------------------------------------------------------------------------
+@dataclass
+class JoinPlan:
+    """A strategy's declared execution: tasks plus reporting metadata.
+
+    ``resources`` maps resource names to lane counts (stream counts) for
+    the engine; unnamed resources default to one serial lane.
+    ``phases`` pre-seeds the metric phases (so a phase with no tasks —
+    e.g. D2H in aggregation mode — still reports 0.0).
+    """
+
+    strategy: str
+    spec: JoinSpec
+    tasks: list[Task] = field(default_factory=list)
+    resources: dict[str, int] = field(default_factory=dict)
+    phases: tuple[str, ...] = ()
+    matches: float = 0.0
+    materialize: bool = False
+    pcie_h2d_bytes: float = 0.0
+    pcie_d2h_bytes: float = 0.0
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        resource: str,
+        duration: float,
+        deps: tuple[str, ...] | list[str] = (),
+        phase: str | None = None,
+    ) -> str:
+        """Append a task and return its name (for dependency chaining)."""
+        self.tasks.append(
+            Task(
+                name=name,
+                resource=resource,
+                duration=float(duration),
+                deps=tuple(deps),
+                phase=phase,
+            )
+        )
+        return name
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+@runtime_checkable
+class JoinStrategy(Protocol):
+    """Structural interface every join strategy implements."""
+
+    key: ClassVar[str]
+    name: str
+
+    def prepare(
+        self, spec: JoinSpec, *, materialize: bool = False, **kwargs: Any
+    ) -> JoinPlan: ...
+
+    def schedule(
+        self, plan: JoinPlan, engine: PipelineEngine | None = None
+    ) -> Schedule: ...
+
+    def estimate(
+        self, spec: JoinSpec, *, materialize: bool = False, **kwargs: Any
+    ) -> JoinMetrics: ...
+
+    def execute(
+        self,
+        build: "Relation",
+        probe: "Relation",
+        *,
+        materialize: bool = False,
+        **kwargs: Any,
+    ) -> JoinRunResult: ...
+
+
+class PipelinedJoinStrategy:
+    """Shared plan → schedule → metrics machinery.
+
+    Subclasses implement :meth:`prepare` (analytic plans from a spec)
+    and :meth:`execute` (functional execution, typically re-planning
+    with observed durations), and may override :meth:`fits` so the
+    planner can test data-placement feasibility without instantiation.
+    """
+
+    #: Registry key; subclasses must override.
+    key: ClassVar[str] = ""
+    #: Display name used in figures and reports.
+    name = ""
+
+    # -- planner hook ---------------------------------------------------
+    @classmethod
+    def fits(cls, spec: JoinSpec, system: "SystemSpec") -> bool:
+        """Whether the workload's data placement suits this strategy."""
+        return True
+
+    # -- protocol -------------------------------------------------------
+    def prepare(
+        self, spec: JoinSpec, *, materialize: bool = False, **kwargs: Any
+    ) -> JoinPlan:
+        raise NotImplementedError
+
+    def execute(
+        self,
+        build: "Relation",
+        probe: "Relation",
+        *,
+        materialize: bool = False,
+        **kwargs: Any,
+    ) -> JoinRunResult:
+        raise NotImplementedError
+
+    def schedule(
+        self, plan: JoinPlan, engine: PipelineEngine | None = None
+    ) -> Schedule:
+        """Simulate the plan's task graph on the pipeline engine."""
+        engine = engine if engine is not None else PipelineEngine(plan.resources)
+        for task in plan.tasks:
+            engine.add(task)
+        return engine.run()
+
+    def simulate(self, plan: JoinPlan) -> JoinMetrics:
+        """Schedule the plan and fold the result into metrics."""
+        return self.metrics_from_schedule(plan, self.schedule(plan))
+
+    def estimate(
+        self, spec: JoinSpec, *, materialize: bool = False, **kwargs: Any
+    ) -> JoinMetrics:
+        """Modelled metrics: analytic plan, simulated makespan."""
+        return self.simulate(self.prepare(spec, materialize=materialize, **kwargs))
+
+    def run(
+        self,
+        build: "Relation",
+        probe: "Relation",
+        *,
+        materialize: bool = False,
+        **kwargs: Any,
+    ) -> JoinRunResult:
+        """Alias of :meth:`execute` (the original entry-point name)."""
+        return self.execute(build, probe, materialize=materialize, **kwargs)
+
+    # -- shared metric assembly ----------------------------------------
+    def metrics_from_schedule(
+        self, plan: JoinPlan, schedule: Schedule
+    ) -> JoinMetrics:
+        phases = {phase: schedule.phase_time(phase) for phase in plan.phases}
+        for phase, seconds in schedule.phase_times().items():
+            phases.setdefault(phase, seconds)
+        return JoinMetrics(
+            strategy=plan.strategy,
+            seconds=schedule.makespan,
+            total_tuples=plan.spec.total_tuples,
+            output_tuples=plan.matches,
+            phases=phases,
+            pcie_h2d_bytes=plan.pcie_h2d_bytes,
+            pcie_d2h_bytes=plan.pcie_d2h_bytes,
+            notes=dict(plan.notes),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+_REGISTRY: dict[str, type] = {}
+_BUILTINS_LOADED = False
+
+
+def register_strategy(cls: type) -> type:
+    """Class decorator: add ``cls`` to the registry under ``cls.key``."""
+    key = getattr(cls, "key", "")
+    if not key:
+        raise InvalidConfigError(
+            f"{cls.__name__} cannot register without a non-empty `key`"
+        )
+    existing = _REGISTRY.get(key)
+    if existing is not None and existing is not cls:
+        raise InvalidConfigError(
+            f"strategy key {key!r} already registered by {existing.__name__}"
+        )
+    _REGISTRY[key] = cls
+    return cls
+
+
+def _ensure_builtins() -> None:
+    """Import the built-in strategy modules (which self-register)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    import repro.core.adaptive  # noqa: F401
+    import repro.core.coprocessing  # noqa: F401
+    import repro.core.gpu_nonpartitioned  # noqa: F401
+    import repro.core.gpu_partitioned  # noqa: F401
+    import repro.core.streaming  # noqa: F401
+
+    # Only after every import succeeded: a failed first attempt must
+    # retry (and re-raise) rather than cache a partial registry.
+    _BUILTINS_LOADED = True
+
+
+def registered_strategies() -> tuple[str, ...]:
+    """All registry keys, in registration order."""
+    _ensure_builtins()
+    return tuple(_REGISTRY)
+
+
+def strategy_factory(key: str) -> type:
+    """The strategy class registered under ``key``.
+
+    Raises :class:`~repro.errors.UnknownStrategyError` with the list of
+    known keys on a miss.
+    """
+    _ensure_builtins()
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownStrategyError(
+            f"unknown join strategy {key!r}; registered strategies: {known}"
+        ) from None
+
+
+def create_strategy(
+    key: str,
+    system: "SystemSpec | None" = None,
+    calibration: "Calibration | None" = None,
+    config: "GpuJoinConfig | None" = None,
+    **kwargs: Any,
+) -> JoinStrategy:
+    """Instantiate the strategy registered under ``key``.
+
+    Extra keyword arguments are forwarded to the strategy constructor
+    (e.g. ``staging=False`` for co-processing).
+    """
+    return strategy_factory(key)(system, calibration, config, **kwargs)

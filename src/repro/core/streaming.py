@@ -22,7 +22,13 @@ from repro.core.gpu_partitioned import (
     GpuPartitionedJoin,
     spec_from_relations,
 )
-from repro.core.results import JoinMetrics, JoinRunResult
+from repro.core.results import JoinRunResult
+from repro.core.strategy import (
+    STREAMING,
+    JoinPlan,
+    PipelinedJoinStrategy,
+    register_strategy,
+)
 from repro.data import stats as stats_mod
 from repro.data.relation import Relation
 from repro.data.spec import JoinSpec
@@ -37,13 +43,14 @@ from repro.kernels.build_hash import build_copartition_tables
 from repro.kernels.common import key_bit_width
 from repro.kernels.probe_hash import probe_copartitions
 from repro.kernels.radix_partition import estimate_partition_cost, gpu_radix_partition
-from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import D2H, GPU, H2D
 
 
-class StreamingProbeJoin:
+@register_strategy
+class StreamingProbeJoin(PipelinedJoinStrategy):
     """Build resident in GPU memory, probe streamed over PCIe."""
 
+    key = STREAMING
     name = "GPU Partitioned (streaming)"
 
     def __init__(
@@ -59,6 +66,13 @@ class StreamingProbeJoin:
         self._resident = GpuPartitionedJoin(self.system, calibration, self.config)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
+        """Partitioned build + double-buffered chunk and output buffers
+        must co-reside in device memory (§IV-A/§IV-C)."""
+        chunk_bytes = max(1, spec.build.n // 2) * spec.probe.tuple_bytes
+        return 2 * spec.build.nbytes + 6 * chunk_bytes <= system.gpu.device_memory
+
     def default_chunk_tuples(self, build_n: int) -> int:
         """Chunks half the size of the build table (Fig 11's setup)."""
         return max(1, build_n // 2)
@@ -75,7 +89,7 @@ class StreamingProbeJoin:
             memory.allocate(f"out[{i}]", int(chunk_bytes * OUT_TUPLE_BYTES / 8))
 
     # ------------------------------------------------------------------
-    def _pipeline_metrics(
+    def _pipeline_plan(
         self,
         spec: JoinSpec,
         *,
@@ -84,49 +98,18 @@ class StreamingProbeJoin:
         build_prep_seconds: float,
         matches: float,
         materialize: bool,
-    ) -> JoinMetrics:
-        """Assemble the §IV-A pipeline and simulate it."""
+    ) -> JoinPlan:
+        """Declare the §IV-A double-buffered pipeline as a task graph."""
         n_chunks = math.ceil(spec.probe.n / chunk_tuples)
         chunk_bytes = chunk_tuples * spec.probe.tuple_bytes
         dma_rate = self.transfer.pipelined_dma_rate()
 
-        engine = PipelineEngine()
-        engine.add_task("build.h2d", H2D, spec.build.nbytes / dma_rate)
-        engine.add_task("build.partition", GPU, build_prep_seconds, ["build.h2d"])
-
-        out_bytes_per_chunk = matches / n_chunks * OUT_TUPLE_BYTES
-        for i in range(n_chunks):
-            this_chunk = min(chunk_tuples, spec.probe.n - i * chunk_tuples)
-            transfer = f"probe.h2d[{i}]"
-            deps = []
-            if i >= 2:  # two input buffers swap roles (§IV-A)
-                deps.append(f"probe.join[{i - 2}]")
-            engine.add_task(
-                transfer, H2D, this_chunk * spec.probe.tuple_bytes / dma_rate, deps
-            )
-            join_deps = [transfer, "build.partition"]
-            if materialize and i >= 2:  # two output buffers (§IV-C)
-                join_deps.append(f"probe.d2h[{i - 2}]")
-            engine.add_task(
-                f"probe.join[{i}]", GPU, float(chunk_join_seconds(i)), join_deps
-            )
-            if materialize:
-                engine.add_task(
-                    f"probe.d2h[{i}]", D2H, out_bytes_per_chunk / dma_rate,
-                    [f"probe.join[{i}]"],
-                )
-
-        schedule = engine.run()
-        return JoinMetrics(
+        plan = JoinPlan(
             strategy=self.name,
-            seconds=schedule.makespan,
-            total_tuples=spec.total_tuples,
-            output_tuples=matches,
-            phases={
-                "h2d": schedule.busy_time(H2D),
-                "gpu": schedule.busy_time(GPU),
-                "d2h": schedule.busy_time(D2H),
-            },
+            spec=spec,
+            phases=(H2D, GPU, D2H),
+            matches=matches,
+            materialize=materialize,
             pcie_h2d_bytes=spec.build.nbytes + spec.probe.nbytes,
             pcie_d2h_bytes=matches * OUT_TUPLE_BYTES if materialize else 0.0,
             notes={
@@ -135,15 +118,42 @@ class StreamingProbeJoin:
                 "chunk_bytes": float(chunk_bytes),
             },
         )
+        plan.add("build.h2d", H2D, spec.build.nbytes / dma_rate)
+        plan.add("build.partition", GPU, build_prep_seconds, ["build.h2d"])
+
+        out_bytes_per_chunk = matches / n_chunks * OUT_TUPLE_BYTES
+        for i in range(n_chunks):
+            this_chunk = min(chunk_tuples, spec.probe.n - i * chunk_tuples)
+            deps = []
+            if i >= 2:  # two input buffers swap roles (§IV-A)
+                deps.append(f"probe.join[{i - 2}]")
+            transfer = plan.add(
+                f"probe.h2d[{i}]",
+                H2D,
+                this_chunk * spec.probe.tuple_bytes / dma_rate,
+                deps,
+            )
+            join_deps = [transfer, "build.partition"]
+            if materialize and i >= 2:  # two output buffers (§IV-C)
+                join_deps.append(f"probe.d2h[{i - 2}]")
+            plan.add(f"probe.join[{i}]", GPU, float(chunk_join_seconds(i)), join_deps)
+            if materialize:
+                plan.add(
+                    f"probe.d2h[{i}]",
+                    D2H,
+                    out_bytes_per_chunk / dma_rate,
+                    [f"probe.join[{i}]"],
+                )
+        return plan
 
     # ------------------------------------------------------------------
-    def estimate(
+    def prepare(
         self,
         spec: JoinSpec,
         *,
         chunk_tuples: int | None = None,
         materialize: bool = False,
-    ) -> JoinMetrics:
+    ) -> JoinPlan:
         chunk_tuples = chunk_tuples or self.default_chunk_tuples(spec.build.n)
         self._check_device_memory(spec, chunk_tuples)
         cfg = self.config
@@ -189,7 +199,7 @@ class StreamingProbeJoin:
             )
             return partition.seconds + join.seconds
 
-        return self._pipeline_metrics(
+        return self._pipeline_plan(
             spec,
             chunk_tuples=chunk_tuples,
             chunk_join_seconds=chunk_join_seconds,
@@ -199,7 +209,7 @@ class StreamingProbeJoin:
         )
 
     # ------------------------------------------------------------------
-    def run(
+    def execute(
         self,
         build: Relation,
         probe: Relation,
@@ -250,13 +260,15 @@ class StreamingProbeJoin:
         all_probe = np.concatenate(probe_payloads) if probe_payloads else np.empty(0, np.int64)
 
         spec = spec_from_relations(build, probe)
-        metrics = self._pipeline_metrics(
-            spec,
-            chunk_tuples=chunk_tuples,
-            chunk_join_seconds=lambda i: chunk_costs[i],
-            build_prep_seconds=build_partition_cost.seconds,
-            matches=float(all_build.shape[0]),
-            materialize=materialize,
+        metrics = self.simulate(
+            self._pipeline_plan(
+                spec,
+                chunk_tuples=chunk_tuples,
+                chunk_join_seconds=lambda i: chunk_costs[i],
+                build_prep_seconds=build_partition_cost.seconds,
+                matches=float(all_build.shape[0]),
+                materialize=materialize,
+            )
         )
         if materialize:
             return JoinRunResult(

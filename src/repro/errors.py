@@ -20,6 +20,10 @@ class InvalidConfigError(ReproError):
     """A configuration object has inconsistent or out-of-range values."""
 
 
+class UnknownStrategyError(InvalidConfigError):
+    """A join-strategy registry lookup used an unregistered key."""
+
+
 class CapacityError(ReproError):
     """A simulated memory allocation exceeded the available capacity."""
 

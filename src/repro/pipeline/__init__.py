@@ -1,7 +1,16 @@
 """Discrete-event pipeline simulation (CUDA streams/events semantics)."""
 
 from repro.pipeline.engine import PipelineEngine, double_buffered_stream
-from repro.pipeline.tasks import CPU, D2H, GPU, H2D, Schedule, ScheduledTask, Task
+from repro.pipeline.tasks import (
+    CPU,
+    D2H,
+    GPU,
+    H2D,
+    ResourcePool,
+    Schedule,
+    ScheduledTask,
+    Task,
+)
 
 __all__ = [
     "CPU",
@@ -9,6 +18,7 @@ __all__ = [
     "GPU",
     "H2D",
     "PipelineEngine",
+    "ResourcePool",
     "Schedule",
     "ScheduledTask",
     "Task",

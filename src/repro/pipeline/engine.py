@@ -20,15 +20,35 @@ from __future__ import annotations
 from collections import defaultdict
 
 from repro.errors import SchedulingError
-from repro.pipeline.tasks import Schedule, ScheduledTask, Task
+from repro.pipeline.tasks import ResourcePool, Schedule, ScheduledTask, Task
 
 
 class PipelineEngine:
-    """Builds and simulates a task graph."""
+    """Builds and simulates a task graph.
 
-    def __init__(self) -> None:
+    ``resources`` optionally maps resource names to lane counts (or is a
+    collection of :class:`ResourcePool`); unnamed resources default to a
+    single lane, i.e. one serially-executing queue.
+    """
+
+    def __init__(
+        self,
+        resources: dict[str, int] | list[ResourcePool] | None = None,
+    ) -> None:
         self._tasks: list[Task] = []
         self._by_name: dict[str, Task] = {}
+        self._lanes: dict[str, int] = {}
+        if resources:
+            pools = (
+                [ResourcePool(name, lanes) for name, lanes in resources.items()]
+                if isinstance(resources, dict)
+                else list(resources)
+            )
+            for pool in pools:
+                self._lanes[pool.name] = pool.lanes
+
+    def lanes_of(self, resource: str) -> int:
+        return self._lanes.get(resource, 1)
 
     # ------------------------------------------------------------------
     def add(self, task: Task) -> Task:
@@ -47,9 +67,18 @@ class PipelineEngine:
         resource: str,
         duration: float,
         deps: tuple[str, ...] | list[str] = (),
+        phase: str | None = None,
     ) -> Task:
         """Convenience wrapper around :meth:`add`."""
-        return self.add(Task(name=name, resource=resource, duration=duration, deps=tuple(deps)))
+        return self.add(
+            Task(
+                name=name,
+                resource=resource,
+                duration=duration,
+                deps=tuple(deps),
+                phase=phase,
+            )
+        )
 
     @property
     def tasks(self) -> list[Task]:
@@ -75,13 +104,20 @@ class PipelineEngine:
         for task in self._tasks:
             queues[task.resource].append(task)
         cursor = {resource: 0 for resource in queues}
-        resource_free = {resource: 0.0 for resource in queues}
+        # One free-time per lane; a pool's next task is dispatched onto
+        # whichever lane frees first (round-robin copy engines/streams).
+        lane_free = {
+            resource: [0.0] * self.lanes_of(resource) for resource in queues
+        }
 
-        schedule = Schedule()
+        schedule = Schedule(
+            lanes={resource: self.lanes_of(resource) for resource in queues}
+        )
         remaining = len(self._tasks)
         while remaining:
             best_name = None
             best_start = None
+            best_lane = 0
             for resource, queue in queues.items():
                 position = cursor[resource]
                 if position >= len(queue):
@@ -92,9 +128,13 @@ class PipelineEngine:
                 dep_ready = max(
                     (schedule.tasks[dep].finish for dep in task.deps), default=0.0
                 )
-                start = max(resource_free[resource], dep_ready)
+                lane = min(
+                    range(len(lane_free[resource])),
+                    key=lane_free[resource].__getitem__,
+                )
+                start = max(lane_free[resource][lane], dep_ready)
                 if best_start is None or start < best_start:
-                    best_start, best_name = start, task.name
+                    best_start, best_name, best_lane = start, task.name, lane
             if best_name is None:
                 pending = [
                     queue[cursor[resource]].name
@@ -107,8 +147,10 @@ class PipelineEngine:
                 )
             task = self._by_name[best_name]
             finish = best_start + task.duration
-            schedule.tasks[task.name] = ScheduledTask(task, best_start, finish)
-            resource_free[task.resource] = finish
+            schedule.tasks[task.name] = ScheduledTask(
+                task, best_start, finish, lane=best_lane
+            )
+            lane_free[task.resource][best_lane] = finish
             cursor[task.resource] += 1
             remaining -= 1
         return schedule

@@ -19,6 +19,25 @@ GPU = "gpu"
 CPU = "cpu"
 
 
+@dataclass(frozen=True)
+class ResourcePool:
+    """A named execution resource with a fixed number of parallel lanes.
+
+    ``lanes=1`` models a serially-executing queue (one DMA engine, the
+    GPU compute queue); ``lanes=n`` models *n* interchangeable CUDA
+    streams or copy engines fed from one FIFO submission queue: each
+    task is dispatched, in submission order, onto whichever lane frees
+    first.
+    """
+
+    name: str
+    lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError(f"resource {self.name!r} needs >= 1 lane")
+
+
 @dataclass
 class Task:
     """One unit of work bound to a resource.
@@ -28,30 +47,40 @@ class Task:
     name:
         Unique identifier, referenced by dependents.
     resource:
-        The serially-executing queue this task occupies.
+        The (pool of) serially-executing lane(s) this task occupies.
     duration:
         Modelled seconds of occupancy.
     deps:
         Names of tasks that must finish before this task may start
         (in addition to the implicit FIFO order of its resource).
+    phase:
+        Reporting label grouping this task into a named phase of the
+        join (``partition``, ``join``, ...).  Defaults to the resource
+        name, which reproduces per-resource busy-time reporting.
     """
 
     name: str
     resource: str
     duration: float
     deps: tuple[str, ...] = ()
+    phase: str | None = None
 
     def __post_init__(self) -> None:
         self.deps = tuple(self.deps)
 
+    @property
+    def effective_phase(self) -> str:
+        return self.phase if self.phase is not None else self.resource
+
 
 @dataclass
 class ScheduledTask:
-    """A task with its computed start/finish times."""
+    """A task with its computed start/finish times and assigned lane."""
 
     task: Task
     start: float
     finish: float
+    lane: int = 0
 
 
 @dataclass
@@ -59,6 +88,8 @@ class Schedule:
     """The result of simulating a task graph."""
 
     tasks: dict[str, ScheduledTask] = field(default_factory=dict)
+    #: Lane counts of the pools the schedule ran on (default 1 each).
+    lanes: dict[str, int] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -78,11 +109,27 @@ class Schedule:
         )
 
     def utilization(self, resource: str) -> float:
-        """Occupancy fraction of one resource over the makespan."""
+        """Occupancy fraction of one resource (all lanes) over the makespan."""
         span = self.makespan
         if span <= 0:
             return 0.0
-        return self.busy_time(resource) / span
+        return self.busy_time(resource) / (span * self.lanes.get(resource, 1))
+
+    def phase_time(self, phase: str) -> float:
+        """Total occupancy attributed to one reporting phase."""
+        return sum(
+            item.task.duration
+            for item in self.tasks.values()
+            if item.task.effective_phase == phase
+        )
+
+    def phase_times(self) -> dict[str, float]:
+        """Occupancy per reporting phase, keyed in scheduling order."""
+        times: dict[str, float] = {}
+        for item in self.tasks.values():
+            phase = item.task.effective_phase
+            times[phase] = times.get(phase, 0.0) + item.task.duration
+        return times
 
     def critical_resource(self) -> str | None:
         """The resource with the highest busy time (the bottleneck)."""

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.core.config import GpuJoinConfig
 from repro.core.gpu_partitioned import spec_from_relations
-from repro.core.planner import plan_join
+from repro.core.planner import choose_strategy_name
+from repro.core.strategy import create_strategy
 from repro.errors import InvalidConfigError
 from repro.gpusim.spec import SystemSpec
 from repro.query.plan import (
@@ -130,28 +131,13 @@ class QueryExecutor:
         build_rel = build_table.key_relation(node.build_key)
         probe_rel = probe_table.key_relation(node.probe_key)
 
+        # A pinned strategy key overrides the planner; both paths are
+        # registry lookups (unknown keys raise UnknownStrategyError).
         spec = spec_from_relations(build_rel, probe_rel)
-        strategy = plan_join(spec, self.system, config=self.config)
-        if node.strategy is not None and node.strategy != getattr(
-            strategy, "name", ""
-        ):
-            # A pinned strategy name overrides the planner.
-            from repro.core import (
-                CoProcessingJoin,
-                GpuPartitionedJoin,
-                StreamingProbeJoin,
-            )
+        key = node.strategy or choose_strategy_name(spec, self.system)
+        strategy = create_strategy(key, self.system, config=self.config)
 
-            by_name = {
-                "gpu_resident": GpuPartitionedJoin,
-                "streaming": StreamingProbeJoin,
-                "coprocessing": CoProcessingJoin,
-            }
-            if node.strategy not in by_name:
-                raise InvalidConfigError(f"unknown strategy {node.strategy!r}")
-            strategy = by_name[node.strategy](self.system, config=self.config)
-
-        result = strategy.run(build_rel, probe_rel, materialize=True)
+        result = strategy.execute(build_rel, probe_rel, materialize=True)
         build_rows = result.build_payloads
         probe_rows = result.probe_payloads
 

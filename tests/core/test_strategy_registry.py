@@ -1,0 +1,122 @@
+"""The JoinStrategy registry and the planner's selection boundaries."""
+
+import pytest
+
+from repro.core import (
+    COPROCESSING,
+    COPROCESSING_ADAPTIVE,
+    GPU_NONPARTITIONED,
+    GPU_NONPARTITIONED_PERFECT,
+    GPU_RESIDENT,
+    STREAMING,
+    JoinStrategy,
+    choose_strategy_name,
+    create_strategy,
+    registered_strategies,
+    strategy_factory,
+)
+from repro.core.gpu_partitioned import gpu_resident_bytes_needed
+from repro.data import Distribution, JoinSpec, RelationSpec, unique_pair
+from repro.errors import UnknownStrategyError
+from repro.gpusim.spec import SystemSpec
+
+ALL_KEYS = (
+    GPU_RESIDENT,
+    GPU_NONPARTITIONED,
+    GPU_NONPARTITIONED_PERFECT,
+    STREAMING,
+    COPROCESSING,
+    COPROCESSING_ADAPTIVE,
+)
+
+
+def _spec(build_n: int, probe_n: int) -> JoinSpec:
+    return JoinSpec(
+        build=RelationSpec(n=build_n),
+        probe=RelationSpec(
+            n=probe_n, distinct=build_n, distribution=Distribution.UNIFORM
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+def test_all_builtin_strategies_registered():
+    keys = registered_strategies()
+    for key in ALL_KEYS:
+        assert key in keys
+
+
+def test_created_strategies_implement_protocol():
+    for key in ALL_KEYS:
+        strategy = create_strategy(key)
+        assert isinstance(strategy, JoinStrategy)
+        assert strategy.key == key
+        assert strategy.name
+
+
+def test_factory_key_matches_instance_key():
+    for key in ALL_KEYS:
+        assert strategy_factory(key).key == key
+
+
+def test_unknown_strategy_name_raises_clear_error():
+    with pytest.raises(UnknownStrategyError) as excinfo:
+        create_strategy("quantum_join")
+    message = str(excinfo.value)
+    assert "quantum_join" in message
+    # The error enumerates what *is* registered.
+    assert GPU_RESIDENT in message
+    assert COPROCESSING in message
+
+
+def test_estimate_via_registry_matches_direct_class():
+    spec = unique_pair(16_000_000)
+    for key in (GPU_RESIDENT, GPU_NONPARTITIONED):
+        direct = strategy_factory(key)().estimate(spec)
+        via_registry = create_strategy(key).estimate(spec)
+        assert via_registry.seconds == direct.seconds
+
+
+def test_prepare_schedule_decomposition_matches_estimate():
+    spec = _spec(64_000_000, 512_000_000)
+    strategy = create_strategy(STREAMING)
+    plan = strategy.prepare(spec)
+    assert plan.tasks, "streaming plan must declare pipeline tasks"
+    assert strategy.simulate(plan).seconds == strategy.estimate(spec).seconds
+
+
+# ---------------------------------------------------------------------------
+# Planner selection boundaries
+# ---------------------------------------------------------------------------
+def test_gpu_resident_boundary():
+    """Specs just under/over the device-memory footprint flip regimes."""
+    system = SystemSpec()
+    device = system.gpu.device_memory
+    # gpu_resident_bytes_needed(unique_pair(n)) = 2.25 * 16n + 1 GiB.
+    n_fit = int((device - (1 << 30)) / 36)
+    assert gpu_resident_bytes_needed(unique_pair(n_fit)) <= device
+    assert choose_strategy_name(unique_pair(n_fit), system) == GPU_RESIDENT
+    n_over = n_fit + 1
+    assert gpu_resident_bytes_needed(unique_pair(n_over)) > device
+    assert choose_strategy_name(unique_pair(n_over), system) != GPU_RESIDENT
+
+
+def test_streaming_boundary():
+    """The build side just under/over its streaming budget flips to
+    co-processing (partitioned build + 6 chunk-sized buffers = 40 bytes
+    per build tuple at 8-byte tuples)."""
+    system = SystemSpec()
+    device = system.gpu.device_memory
+    probe_n = 4_000_000_000  # far beyond any resident budget
+    build_fit = int(device // 40) - (int(device // 40) % 2)
+    assert choose_strategy_name(_spec(build_fit, probe_n), system) == STREAMING
+    build_over = build_fit + 2
+    assert choose_strategy_name(_spec(build_over, probe_n), system) == COPROCESSING
+
+
+def test_streaming_requires_probe_to_exceed_resident_budget():
+    # A small probe keeps the pair resident even when the build alone
+    # would also satisfy the streaming budget.
+    assert choose_strategy_name(_spec(64_000_000, 64_000_000)) == GPU_RESIDENT
