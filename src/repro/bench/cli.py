@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --all               # everything (Figs 5-22)
     python -m repro.bench --list              # what exists
     python -m repro.bench --figure 12 --scale 0.01   # quick smoke run
+    python -m repro.bench serve --clients 16  # multi-query serving bench
 """
 
 from __future__ import annotations
@@ -17,6 +18,12 @@ from repro.bench.figures import ALL_FIGURES
 
 
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "serve":
+        from repro.bench.serve_bench import serve_main
+
+        return serve_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the evaluation figures of 'Hardware-conscious "

@@ -14,6 +14,7 @@ automatically.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -50,6 +51,25 @@ def enumerate_strategies(
     return strategies
 
 
+#: Tolerances for matching x values.  Sweeps accumulate x coordinates
+#: (``x += step``), so two series can disagree in the last float bits
+#: (0.1 + 0.2 style); distinct sweep points are never this close.
+X_REL_TOL = 1e-9
+X_ABS_TOL = 1e-12
+
+
+def canonical_x(x: float) -> float:
+    """Collapse float rounding noise to a canonical 12-significant-digit
+    grid value, so equal-up-to-noise x values dedup to one table row.
+
+    The grid must be strictly finer than :data:`X_REL_TOL` (rounding
+    moves a value by at most 5e-13 relative, well under the 1e-9 match
+    tolerance), so a canonicalized x still matches its originating
+    point in :meth:`Series.y_at` — e.g. ``2**40`` keeps a row instead
+    of rounding away from its own series."""
+    return float(f"{float(x):.12g}")
+
+
 @dataclass
 class Series:
     """One line (or bar group) of a figure."""
@@ -68,7 +88,7 @@ class Series:
 
     def y_at(self, x: float) -> float | None:
         for px, py in self.points:
-            if px == x:
+            if math.isclose(px, x, rel_tol=X_REL_TOL, abs_tol=X_ABS_TOL):
                 return py
         raise InvalidConfigError(f"series {self.label!r} has no point at x={x}")
 
@@ -104,10 +124,13 @@ class FigureResult:
     def table(self) -> str:
         """Aligned text table: one row per x value, one column per series."""
         xs: list[float] = []
+        seen: set[float] = set()
         for series in self.series:
             for x in series.xs():
-                if x not in xs:
-                    xs.append(x)
+                canon = canonical_x(x)
+                if canon not in seen:
+                    seen.add(canon)
+                    xs.append(canon)
         xs.sort()
 
         def fmt(value: float | None) -> str:

@@ -15,6 +15,11 @@ simulated time produced by every entry point that must agree:
 
 Run as a module (``python -m repro.bench.regress``) for a table, or
 call :func:`run_regression` from tests.
+
+The module also guards the serving layer (:func:`run_serve_regression`):
+a small concurrency sweep must be deterministic, keep the shared arena
+within device capacity, and beat serial back-to-back execution — the
+invariants the scheduler promises on every PR.
 """
 
 from __future__ import annotations
@@ -120,13 +125,45 @@ def render(rows: list[RegressRow], tolerance: float = DEFAULT_TOLERANCE) -> str:
     return "\n".join(lines)
 
 
+#: Concurrency levels for the serving-determinism regression — small on
+#: purpose: this runs on every PR.
+SERVE_REGRESSION_CLIENTS = (1, 4, 8)
+
+
+def run_serve_regression(
+    levels: tuple[int, ...] = SERVE_REGRESSION_CLIENTS,
+) -> list[str]:
+    """Assert the serving layer's invariants; returns report lines.
+
+    Each level runs twice (determinism is checked inside
+    :func:`repro.bench.serve_bench.run_serve`); any violation raises
+    :class:`~repro.errors.SchedulingError`.
+    """
+    from repro.bench.serve_bench import run_serve
+
+    lines: list[str] = []
+    for clients in levels:
+        report = run_serve(clients, check_determinism=True)
+        lines.append(
+            f"serve[{clients:2d} clients]: makespan {report.makespan:10.6f} s, "
+            f"serial {report.serial_makespan:10.6f} s, peak "
+            f"{report.peak_reserved_bytes / 1e9:.2f}/"
+            f"{report.capacity_bytes / 1e9:.2f} GB, "
+            f"{report.degraded_count} degraded  ok"
+        )
+    return lines
+
+
 def main() -> int:
     rows = run_regression()
     print(render(rows))
-    if all(row.ok() for row in rows):
-        print(f"all {len(rows)} strategies agree within {DEFAULT_TOLERANCE:g} s")
-        return 0
-    return 1
+    if not all(row.ok() for row in rows):
+        return 1
+    print(f"all {len(rows)} strategies agree within {DEFAULT_TOLERANCE:g} s")
+    for line in run_serve_regression():
+        print(line)
+    print("serving scheduler deterministic and within arena capacity")
+    return 0
 
 
 if __name__ == "__main__":

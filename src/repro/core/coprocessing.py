@@ -56,6 +56,10 @@ DEFAULT_CHUNK_BYTES = 256 * 1024 * 1024
 #: Fraction of device memory available to a build working set (the rest
 #: holds chunk buffers, output buffers, and sub-partitioning workspace).
 WORKING_SET_MEMORY_FRACTION = 0.65
+#: Cap on the working-set buffer a co-processing query *reserves* when it
+#: shares the device with other queries (§IV-B splits oversized
+#: partitions, so working sets shrink to whatever memory is granted).
+COPROC_RESERVED_WS_BYTES = 256 * 1024 * 1024
 
 
 @dataclass
@@ -97,10 +101,16 @@ class CoProcessingJoin(PipelinedJoinStrategy):
         *,
         cpu_bits: int = DEFAULT_CPU_BITS,
         staging: bool = True,
+        device_budget: int | None = None,
     ):
         if cpu_bits <= 0:
             raise InvalidConfigError("cpu_bits must be positive")
+        if device_budget is not None and device_budget <= 0:
+            raise InvalidConfigError("device_budget must be positive")
         self.system = system or SystemSpec()
+        #: Device memory granted to this query (the serving layer passes
+        #: its arena reservation); ``None`` means the whole device.
+        self.device_budget = device_budget
         self.config = config or default_config()
         self.cost_model = GpuCostModel(self.system, calibration)
         self.transfer = TransferModel(self.system, self.cost_model.calib)
@@ -111,9 +121,28 @@ class CoProcessingJoin(PipelinedJoinStrategy):
         self._resident = GpuPartitionedJoin(self.system, calibration, self.config)
 
     # ------------------------------------------------------------------
+    @classmethod
+    def device_bytes_needed(cls, spec: JoinSpec, system: SystemSpec) -> int:
+        """The always-feasible floor: one (capped) build working set plus
+        double-buffered input chunks and output buffers.  Both relations
+        live in host memory, so the device footprint stays small and
+        bounded no matter how large the workload is."""
+        chunk = min(DEFAULT_CHUNK_BYTES, max(spec.probe.nbytes, spec.probe.tuple_bytes))
+        working_set = min(2 * spec.build.nbytes, COPROC_RESERVED_WS_BYTES)
+        return int(working_set + 4 * chunk)
+
+    # ------------------------------------------------------------------
     # Planning
     # ------------------------------------------------------------------
     def working_set_capacity(self) -> int:
+        if self.device_budget is not None:
+            # A serving grant must cover the working set AND the chunk /
+            # output buffers priced into device_bytes_needed, so only the
+            # remainder after the (worst-case) buffer reservation may
+            # hold build working sets — the modelled footprint then
+            # stays within the arena reservation.
+            budget = min(self.system.gpu.device_memory, self.device_budget)
+            return max(budget - 4 * DEFAULT_CHUNK_BYTES, 32 * 1024 * 1024)
         return int(self.system.gpu.device_memory * WORKING_SET_MEMORY_FRACTION)
 
     def plan(

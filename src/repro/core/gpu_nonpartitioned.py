@@ -60,14 +60,12 @@ class GpuNonPartitionedJoin(PipelinedJoinStrategy):
 
     # ------------------------------------------------------------------
     @classmethod
-    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
+    def device_bytes_needed(cls, spec: JoinSpec, system: SystemSpec) -> int:
         """Inputs + the global hash table must be device resident."""
-        needed = spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
-        return needed <= system.gpu.device_memory
+        return spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
 
     def _check_device_memory(self, spec: JoinSpec) -> None:
-        # Inputs + the global hash table (slot array sized to the build).
-        needed = spec.build.nbytes + spec.probe.nbytes + spec.build.n * 16
+        needed = self.device_bytes_needed(spec, self.system)
         if needed > self.system.gpu.device_memory:
             raise DeviceMemoryOverflowError(
                 f"non-partitioned join needs {needed / 1e9:.2f} GB but the "

@@ -17,6 +17,8 @@ Both execution paths are provided:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 
 from repro.core.config import HASH_PROBE, NLJ_PROBE, GpuJoinConfig, default_config
@@ -135,9 +137,13 @@ class GpuPartitionedJoin(PipelinedJoinStrategy):
         return cost
 
     @classmethod
-    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
-        """Both relations plus partitioned copies fit in device memory."""
-        return gpu_resident_bytes_needed(spec) <= system.gpu.device_memory
+    def device_bytes_needed(cls, spec: JoinSpec, system: SystemSpec) -> int:
+        """Both relations plus partitioned copies must be device resident.
+
+        Rounded up so the admission gate can never accept a spec that
+        :meth:`_check_device_memory` (which compares the exact float)
+        would then reject."""
+        return math.ceil(gpu_resident_bytes_needed(spec))
 
     def _check_device_memory(self, spec: JoinSpec) -> None:
         """In-GPU execution holds inputs plus partitioned copies."""

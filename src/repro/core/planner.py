@@ -37,11 +37,26 @@ from repro.gpusim.spec import SystemSpec
 PLANNER_LADDER = (GPU_RESIDENT, STREAMING, COPROCESSING)
 
 
-def choose_strategy_name(spec: JoinSpec, system: SystemSpec | None = None) -> str:
-    """Which of the three execution strategies fits this workload."""
+def choose_strategy_name(
+    spec: JoinSpec,
+    system: SystemSpec | None = None,
+    *,
+    available_bytes: float | None = None,
+) -> str:
+    """Which of the three execution strategies fits this workload.
+
+    ``available_bytes`` restricts the choice to strategies whose device
+    footprint fits in that much *free* device memory — the serving
+    layer's admission control passes the arena's current headroom, so a
+    query that would run GPU-resident on an idle device degrades to
+    streaming (or co-processing) under memory pressure.  ``None`` means
+    the whole device is available (the single-query planner).
+    """
     system = system or SystemSpec()
+    if available_bytes is None:
+        available_bytes = system.gpu.device_memory
     for key in PLANNER_LADDER:
-        if strategy_factory(key).fits(spec, system):
+        if strategy_factory(key).fits_in(spec, system, available_bytes):
             return key
     return COPROCESSING
 

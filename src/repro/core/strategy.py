@@ -139,11 +139,32 @@ class PipelinedJoinStrategy:
     #: Display name used in figures and reports.
     name = ""
 
-    # -- planner hook ---------------------------------------------------
+    # -- planner hooks --------------------------------------------------
+    @classmethod
+    def device_bytes_needed(cls, spec: JoinSpec, system: "SystemSpec") -> int:
+        """Device-memory footprint this strategy reserves for ``spec``.
+
+        The planner and the serving layer's admission control both gate
+        on this number: a strategy fits a workload iff its footprint is
+        at most the device memory currently available.  The base class
+        claims nothing (always feasible); strategies that hold data on
+        the device override it.
+        """
+        return 0
+
+    @classmethod
+    def fits_in(
+        cls, spec: JoinSpec, system: "SystemSpec", available_bytes: float
+    ) -> bool:
+        """Whether this strategy's footprint fits in ``available_bytes``
+        of free device memory (admission-control variant of :meth:`fits`)."""
+        return cls.device_bytes_needed(spec, system) <= available_bytes
+
     @classmethod
     def fits(cls, spec: JoinSpec, system: "SystemSpec") -> bool:
-        """Whether the workload's data placement suits this strategy."""
-        return True
+        """Whether the workload's data placement suits this strategy
+        when it has the whole device to itself."""
+        return cls.fits_in(spec, system, system.gpu.device_memory)
 
     # -- protocol -------------------------------------------------------
     def prepare(

@@ -67,11 +67,11 @@ class StreamingProbeJoin(PipelinedJoinStrategy):
 
     # ------------------------------------------------------------------
     @classmethod
-    def fits(cls, spec: JoinSpec, system: SystemSpec) -> bool:
+    def device_bytes_needed(cls, spec: JoinSpec, system: SystemSpec) -> int:
         """Partitioned build + double-buffered chunk and output buffers
         must co-reside in device memory (§IV-A/§IV-C)."""
         chunk_bytes = max(1, spec.build.n // 2) * spec.probe.tuple_bytes
-        return 2 * spec.build.nbytes + 6 * chunk_bytes <= system.gpu.device_memory
+        return 2 * spec.build.nbytes + 6 * chunk_bytes
 
     def default_chunk_tuples(self, build_n: int) -> int:
         """Chunks half the size of the build table (Fig 11's setup)."""
@@ -260,11 +260,13 @@ class StreamingProbeJoin(PipelinedJoinStrategy):
         all_probe = np.concatenate(probe_payloads) if probe_payloads else np.empty(0, np.int64)
 
         spec = spec_from_relations(build, probe)
+        # An empty probe executes zero chunks, but the degenerate spec
+        # (n=1) still plans one; charge phantom chunks at zero cost.
         metrics = self.simulate(
             self._pipeline_plan(
                 spec,
                 chunk_tuples=chunk_tuples,
-                chunk_join_seconds=lambda i: chunk_costs[i],
+                chunk_join_seconds=lambda i: chunk_costs[i] if i < len(chunk_costs) else 0.0,
                 build_prep_seconds=build_partition_cost.seconds,
                 matches=float(all_build.shape[0]),
                 materialize=materialize,

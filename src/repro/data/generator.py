@@ -94,6 +94,8 @@ def generate_join(
 
 def naive_join_count(build: Relation, probe: Relation) -> int:
     """Reference join cardinality, used as the test oracle."""
+    if build.num_tuples == 0 or probe.num_tuples == 0:
+        return 0
     build_keys, build_counts = np.unique(build.key, return_counts=True)
     probe_keys, probe_counts = np.unique(probe.key, return_counts=True)
     idx = np.searchsorted(build_keys, probe_keys)

@@ -1,6 +1,7 @@
 """Simulated GPU substrate: hardware specs, warp primitives, memory
 accounting, the calibrated cost model, and transfer mechanisms."""
 
+from repro.gpusim.arena import DeviceMemoryArena, Reservation
 from repro.gpusim.atomics import NIL, HashTable, chain_insert, chain_insert_reference
 from repro.gpusim.calibration import DEFAULT_CALIBRATION, Calibration
 from repro.gpusim.cost import CoPartitionStats, GpuCostModel, KernelCost
@@ -34,6 +35,8 @@ __all__ = [
     "CpuSpec",
     "DEFAULT_CALIBRATION",
     "DeviceMemory",
+    "DeviceMemoryArena",
+    "Reservation",
     "Event",
     "GpuCostModel",
     "GpuSpec",

@@ -1,0 +1,115 @@
+"""Shared device-memory arena for multi-query serving.
+
+:class:`~repro.gpusim.device_memory.DeviceMemory` models one query's
+private allocations and *raises* on overflow — the right behaviour when
+a single strategy mis-sizes its buffers.  A serving GPU is different:
+many co-resident queries compete for the same physical memory, and a
+query that does not fit right now is not an error, it simply waits.
+
+The arena therefore exposes *reservations* with try-semantics: the
+scheduler asks for a query's whole device footprint up front
+(:meth:`try_reserve`), gets a yes/no answer, and releases the
+reservation when the query completes.  The arena guarantees the
+accounting invariant the serving benchmark asserts: the sum of live
+reservations never exceeds capacity, and the recorded high-water mark
+is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import DeviceMemoryOverflowError
+
+
+@dataclass(frozen=True)
+class Reservation:
+    """One query's granted slice of device memory."""
+
+    owner: str
+    nbytes: int
+    granted_at: float = 0.0
+
+
+@dataclass
+class DeviceMemoryArena:
+    """Capacity-checked reservation ledger shared by concurrent queries."""
+
+    capacity_bytes: int
+    reservations: dict[str, Reservation] = field(default_factory=dict)
+    peak_bytes: int = 0
+    #: Every (time, used_bytes) transition, for tests and reports.
+    timeline: list[tuple[float, int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise DeviceMemoryOverflowError(
+                f"arena capacity must be positive, got {self.capacity_bytes}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def used_bytes(self) -> int:
+        return sum(item.nbytes for item in self.reservations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self.used_bytes
+
+    def holds(self, owner: str) -> bool:
+        return owner in self.reservations
+
+    def fits(self, nbytes: int) -> bool:
+        return 0 <= nbytes <= self.free_bytes
+
+    # ------------------------------------------------------------------
+    def try_reserve(self, owner: str, nbytes: int, *, at: float = 0.0) -> bool:
+        """Reserve ``nbytes`` for ``owner`` if it fits; ``False`` (and no
+        state change) otherwise.  Overflow queues, it never raises."""
+        if nbytes < 0:
+            raise DeviceMemoryOverflowError(
+                f"negative reservation for {owner!r}: {nbytes}"
+            )
+        if owner in self.reservations:
+            raise DeviceMemoryOverflowError(f"duplicate reservation: {owner!r}")
+        if nbytes > self.free_bytes:
+            return False
+        self.reservations[owner] = Reservation(owner, int(nbytes), at)
+        used = self.used_bytes
+        self.peak_bytes = max(self.peak_bytes, used)
+        self.timeline.append((at, used))
+        self.check_invariants()
+        return True
+
+    def reserve(self, owner: str, nbytes: int, *, at: float = 0.0) -> None:
+        """Raising variant, for callers that already verified headroom."""
+        if not self.try_reserve(owner, nbytes, at=at):
+            raise DeviceMemoryOverflowError(
+                f"arena overflow reserving {nbytes / 1e9:.2f} GB for "
+                f"{owner!r}: {self.used_bytes / 1e9:.2f} GB of "
+                f"{self.capacity_bytes / 1e9:.2f} GB in use"
+            )
+
+    def release(self, owner: str, *, at: float = 0.0) -> int:
+        """Release ``owner``'s reservation, returning the freed bytes."""
+        if owner not in self.reservations:
+            raise DeviceMemoryOverflowError(
+                f"releasing unknown reservation {owner!r}"
+            )
+        freed = self.reservations.pop(owner).nbytes
+        self.timeline.append((at, self.used_bytes))
+        return freed
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """The accounting the serving benchmark asserts on every run."""
+        used = self.used_bytes
+        if used > self.capacity_bytes:
+            raise DeviceMemoryOverflowError(
+                f"arena over-reserved: {used} > {self.capacity_bytes}"
+            )
+        if self.peak_bytes > self.capacity_bytes:
+            raise DeviceMemoryOverflowError(
+                f"arena peak {self.peak_bytes} exceeds capacity "
+                f"{self.capacity_bytes}"
+            )

@@ -4,7 +4,7 @@ Semantics (mirroring CUDA streams + events):
 
 * every resource executes its tasks **in submission order** (FIFO);
 * a task starts when its resource is free *and* all its dependencies
-  have finished;
+  have finished (and not before its ``available_at`` release time);
 * durations are fixed when the task is created.
 
 The engine computes start/finish times for every task and the resulting
@@ -57,6 +57,8 @@ class PipelineEngine:
             raise SchedulingError(f"duplicate task name: {task.name!r}")
         if task.duration < 0:
             raise SchedulingError(f"negative duration for task {task.name!r}")
+        if task.available_at < 0:
+            raise SchedulingError(f"negative available_at for task {task.name!r}")
         self._tasks.append(task)
         self._by_name[task.name] = task
         return task
@@ -132,7 +134,7 @@ class PipelineEngine:
                     range(len(lane_free[resource])),
                     key=lane_free[resource].__getitem__,
                 )
-                start = max(lane_free[resource][lane], dep_ready)
+                start = max(lane_free[resource][lane], dep_ready, task.available_at)
                 if best_start is None or start < best_start:
                     best_start, best_name, best_lane = start, task.name, lane
             if best_name is None:

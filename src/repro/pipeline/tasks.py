@@ -57,6 +57,11 @@ class Task:
         Reporting label grouping this task into a named phase of the
         join (``partition``, ``join``, ...).  Defaults to the resource
         name, which reproduces per-resource busy-time reporting.
+    available_at:
+        Earliest simulated time the task may start (in addition to its
+        dependencies and resource FIFO order).  Models work submitted
+        mid-simulation — e.g. a query admitted by the serving layer once
+        device memory frees up.
     """
 
     name: str
@@ -64,6 +69,7 @@ class Task:
     duration: float
     deps: tuple[str, ...] = ()
     phase: str | None = None
+    available_at: float = 0.0
 
     def __post_init__(self) -> None:
         self.deps = tuple(self.deps)

@@ -100,10 +100,14 @@ class QueryExecutor:
             column = child.column(node.column)
             mask = _apply_comparison(column, node.op, node.literal)
             out = child.filter(mask)
-            # A filter is one coalesced scan of the predicate column.
+            # A filter is one coalesced scan of the predicate column, at
+            # the column's actual width (narrow flag/date columns cost
+            # proportionally less than 8-byte keys).
             from repro.gpusim.cost import GpuCostModel
 
-            seconds = GpuCostModel(self.system).scan_seconds(column.shape[0] * 8)
+            seconds = GpuCostModel(self.system).scan_seconds(
+                column.shape[0] * column.dtype.itemsize
+            )
             report.append(
                 OperatorReport(
                     "filter",

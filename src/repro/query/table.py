@@ -20,7 +20,12 @@ from repro.errors import InvalidRelationError
 
 @dataclass
 class Table:
-    """An immutable columnar table: named int64 columns of equal length."""
+    """An immutable columnar table: named integer columns of equal length.
+
+    Integer columns keep their declared width (an ``int8`` flag column
+    scans at 1 B/row in the cost model); everything else is coerced to
+    ``int64``, the width the join kernels operate on.
+    """
 
     name: str
     columns: dict[str, np.ndarray] = field(default_factory=dict)
@@ -32,7 +37,12 @@ class Table:
                 f"table {self.name!r} has ragged columns: {sorted(lengths)}"
             )
         self.columns = {
-            name: np.ascontiguousarray(column, dtype=np.int64)
+            name: (
+                np.ascontiguousarray(column)
+                if isinstance(column, np.ndarray)
+                and np.issubdtype(column.dtype, np.integer)
+                else np.ascontiguousarray(column, dtype=np.int64)
+            )
             for name, column in self.columns.items()
         }
 

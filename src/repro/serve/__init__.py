@@ -1,0 +1,27 @@
+"""Multi-query GPU serving: shared-arena admission and scheduling.
+
+The ROADMAP's north star — serving heavy concurrent traffic from one
+device — needs more than a single-query planner.  This package runs
+*batches* of queries against one simulated GPU: a
+:class:`~repro.gpusim.arena.DeviceMemoryArena` makes co-resident
+queries share device memory honestly, and the
+:class:`~repro.serve.scheduler.QueryScheduler` admits queries FIFO,
+re-planning each one against the memory actually free at admission and
+lowering all admitted plans into one shared pipeline-engine run.
+"""
+
+from repro.serve.scheduler import (
+    QueryOutcome,
+    QueryRequest,
+    QueryScheduler,
+    ServeReport,
+)
+from repro.serve.workload import mixed_workload
+
+__all__ = [
+    "QueryOutcome",
+    "QueryRequest",
+    "QueryScheduler",
+    "ServeReport",
+    "mixed_workload",
+]

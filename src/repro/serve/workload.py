@@ -1,0 +1,77 @@
+"""Deterministic mixed workloads for the serving benchmark.
+
+A serving GPU sees queries from every placement regime at once: small
+joins that are GPU-resident on an idle device, streaming joins whose
+probe side exceeds memory, and co-processing joins where nothing fits.
+:func:`mixed_workload` cycles through those regimes (with a size wobble
+so queries are not identical), which is exactly the mix where admission
+control matters: resident queries degrade under pressure, and the
+different strategies' H2D/GPU/D2H/CPU tasks interleave.
+"""
+
+from __future__ import annotations
+
+from repro.data.spec import Distribution, JoinSpec, RelationSpec, unique_pair
+from repro.errors import InvalidConfigError
+from repro.serve.scheduler import QueryRequest
+
+M = 1_000_000
+
+#: Size wobble applied per cycle position so repeated templates differ.
+_WOBBLE = (1.0, 0.75, 1.25)
+
+
+def _resident(n: int) -> JoinSpec:
+    return unique_pair(max(n, 2))
+
+
+def _streaming(build_n: int, probe_n: int) -> JoinSpec:
+    return JoinSpec(
+        build=RelationSpec(n=max(build_n, 2)),
+        probe=RelationSpec(
+            n=max(probe_n, 2),
+            distinct=max(build_n, 2),
+            distribution=Distribution.UNIFORM,
+        ),
+    )
+
+
+def mixed_workload(
+    n_queries: int,
+    *,
+    scale: float = 1.0,
+    spacing_seconds: float = 0.0,
+) -> list[QueryRequest]:
+    """``n_queries`` requests cycling through the three placement regimes.
+
+    ``scale`` shrinks cardinalities for smoke runs (strategy *regimes*
+    are preserved only near ``scale=1``; smaller scales simply make
+    everything cheaper and more resident).  ``spacing_seconds`` staggers
+    submissions to model an open arrival process instead of one batch.
+    """
+    if n_queries <= 0:
+        raise InvalidConfigError("n_queries must be positive")
+    if scale <= 0:
+        raise InvalidConfigError("scale must be positive")
+    requests: list[QueryRequest] = []
+    for i in range(n_queries):
+        wobble = _WOBBLE[(i // 4) % len(_WOBBLE)]
+        size = lambda base: max(2, int(base * scale * wobble))  # noqa: E731
+        kind = i % 4
+        if kind == 0:
+            spec, materialize = _resident(size(16 * M)), False
+        elif kind == 1:
+            spec, materialize = _streaming(size(64 * M), size(512 * M)), True
+        elif kind == 2:
+            spec, materialize = _resident(size(48 * M)), False
+        else:
+            spec, materialize = _resident(size(512 * M)), False  # co-processing
+        requests.append(
+            QueryRequest(
+                qid=f"q{i:03d}",
+                spec=spec,
+                submit_at=i * spacing_seconds,
+                materialize=materialize,
+            )
+        )
+    return requests

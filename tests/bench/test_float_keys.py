@@ -1,0 +1,50 @@
+"""Float-tolerant series lookup and figure-table deduplication."""
+
+import pytest
+
+from repro.bench.harness import FigureResult, Series, canonical_x
+from repro.errors import InvalidConfigError
+
+
+def test_y_at_matches_accumulated_floats():
+    series = Series("s")
+    series.add(0.1 + 0.2, 42.0)  # 0.30000000000000004
+    assert series.y_at(0.3) == 42.0
+    assert series.y_at(0.1 + 0.2) == 42.0
+
+
+def test_y_at_still_misses_distinct_points():
+    series = Series("s")
+    series.add(1.0, 10.0)
+    with pytest.raises(InvalidConfigError):
+        series.y_at(1.001)
+
+
+def test_y_at_exact_zero():
+    series = Series("s")
+    series.add(0.0, 7.0)
+    assert series.y_at(0.0) == 7.0
+
+
+def test_canonical_x_collapses_rounding_noise():
+    assert canonical_x(0.1 + 0.2) == canonical_x(0.3)
+    assert canonical_x(1024.0) == 1024.0
+    assert canonical_x(0.1) != canonical_x(0.2)
+
+
+def test_table_dedups_noisy_x_values():
+    """Two series whose x sweeps accumulated differently must share
+    rows, not produce duplicate rows with '-' holes."""
+    figure = FigureResult("figX", "title", "x", "y")
+    a = figure.new_series("a")
+    b = figure.new_series("b")
+    x = 0.0
+    for i in range(4):
+        a.add(x, float(i))
+        x += 0.1  # accumulates 0.30000000000000004 at i=3
+    for i in range(4):
+        b.add(i * 0.1, float(10 + i))  # computes 0.30000000000000001...
+    table = figure.table()
+    assert "-" not in table.split("\n", 3)[3:][0]  # no missing cells
+    # One row per logical x value.
+    assert len(table.strip().split("\n")) == 3 + 4

@@ -42,3 +42,12 @@ def test_render_marks_ok():
     table = render(run_regression(keys=("gpu_resident",)))
     assert "gpu_resident" in table
     assert "ok" in table
+
+
+def test_serve_regression_invariants():
+    """The per-PR serving smoke: deterministic, within capacity."""
+    from repro.bench.regress import run_serve_regression
+
+    lines = run_serve_regression(levels=(1, 2))
+    assert len(lines) == 2
+    assert all(line.endswith("ok") for line in lines)

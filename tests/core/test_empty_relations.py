@@ -1,0 +1,57 @@
+"""Degenerate empty inputs through the oracle and every strategy.
+
+The serving layer sees queries whose filters can wipe out either join
+side; neither the test oracle nor any registered strategy may crash on
+an empty build or probe relation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.strategy import create_strategy, registered_strategies
+from repro.data.generator import naive_join_count, naive_join_pairs
+from repro.data.relation import Relation
+
+
+def _empty():
+    return Relation.from_keys(np.empty(0, np.int64), name="empty")
+
+
+def _small():
+    return Relation.from_keys(np.arange(64, dtype=np.int64), name="small")
+
+
+def test_oracle_count_empty_build():
+    assert naive_join_count(_empty(), _small()) == 0
+
+
+def test_oracle_count_empty_probe():
+    assert naive_join_count(_small(), _empty()) == 0
+
+
+def test_oracle_count_both_empty():
+    assert naive_join_count(_empty(), _empty()) == 0
+
+
+def test_oracle_pairs_empty_sides():
+    assert naive_join_pairs(_empty(), _small()).shape == (0, 2)
+    assert naive_join_pairs(_small(), _empty()).shape == (0, 2)
+
+
+@pytest.mark.parametrize("key", registered_strategies())
+@pytest.mark.parametrize(
+    "build,probe",
+    [
+        (_empty(), _small()),
+        (_small(), _empty()),
+        (_empty(), _empty()),
+    ],
+    ids=["empty-build", "empty-probe", "both-empty"],
+)
+@pytest.mark.parametrize("materialize", [False, True])
+def test_every_strategy_handles_empty_inputs(key, build, probe, materialize):
+    result = create_strategy(key).execute(build, probe, materialize=materialize)
+    assert result.matches == 0
+    assert result.metrics.seconds >= 0.0
+    if materialize:
+        assert result.pairs().shape == (0, 2)

@@ -1,0 +1,39 @@
+"""Width-aware filter costing in the query executor."""
+
+import numpy as np
+
+from repro.gpusim.cost import GpuCostModel
+from repro.gpusim.spec import SystemSpec
+from repro.query.executor import QueryExecutor
+from repro.query.plan import Comparison, Filter, Scan
+from repro.query.table import Table
+
+N = 1 << 16
+
+
+def _filter_seconds(dtype) -> float:
+    table = Table("t", {"c": np.zeros(N, dtype=dtype)})
+    result = QueryExecutor().execute(
+        Filter(Scan(table), "c", Comparison.GE, 0)
+    )
+    (report,) = [item for item in result.report if item.operator == "filter"]
+    assert report.rows_out == N
+    return report.seconds
+
+
+def test_narrow_columns_cost_less_to_scan():
+    assert _filter_seconds(np.int8) < _filter_seconds(np.int64)
+
+
+def test_filter_cost_uses_dtype_itemsize():
+    model = GpuCostModel(SystemSpec())
+    for dtype, width in [(np.int8, 1), (np.int16, 2), (np.int32, 4), (np.int64, 8)]:
+        assert _filter_seconds(dtype) == model.scan_seconds(N * width)
+
+
+def test_tables_preserve_integer_widths():
+    table = Table("t", {"narrow": np.ones(8, np.int16), "wide": np.ones(8, np.int64)})
+    assert table.column("narrow").dtype == np.int16
+    # Non-array input (e.g. a python list) still coerces to int64.
+    listy = Table("u", {"c": np.asarray([1, 2, 3], dtype=np.float64)})
+    assert listy.column("c").dtype == np.int64

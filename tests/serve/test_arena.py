@@ -1,0 +1,89 @@
+"""Shared device-memory arena accounting."""
+
+import pytest
+
+from repro.errors import DeviceMemoryOverflowError
+from repro.gpusim import DeviceMemoryArena
+from repro.gpusim.spec import SystemSpec
+
+GB = 10**9
+
+
+def test_reserve_and_release_roundtrip():
+    arena = DeviceMemoryArena(8 * GB)
+    assert arena.try_reserve("q0", 3 * GB)
+    assert arena.try_reserve("q1", 4 * GB)
+    assert arena.used_bytes == 7 * GB
+    assert arena.free_bytes == 1 * GB
+    assert arena.release("q0") == 3 * GB
+    assert arena.used_bytes == 4 * GB
+    assert not arena.holds("q0")
+    assert arena.holds("q1")
+
+
+def test_overflow_queues_instead_of_crashing():
+    arena = DeviceMemoryArena(8 * GB)
+    assert arena.try_reserve("q0", 6 * GB)
+    # Does not fit: declined with no state change, no exception.
+    assert not arena.try_reserve("q1", 3 * GB)
+    assert arena.used_bytes == 6 * GB
+    assert not arena.holds("q1")
+    # After a release it fits.
+    arena.release("q0")
+    assert arena.try_reserve("q1", 3 * GB)
+
+
+def test_used_never_exceeds_capacity():
+    arena = DeviceMemoryArena(10 * GB)
+    granted = 0
+    for i, want in enumerate([4, 4, 4, 4, 4]):
+        if arena.try_reserve(f"q{i}", want * GB):
+            granted += want
+        assert arena.used_bytes <= arena.capacity_bytes
+        arena.check_invariants()
+    assert granted == 8  # two of five declined
+
+
+def test_peak_tracks_high_water_mark():
+    arena = DeviceMemoryArena(8 * GB)
+    arena.reserve("a", 2 * GB)
+    arena.reserve("b", 5 * GB)
+    arena.release("a")
+    arena.reserve("c", 1 * GB)
+    assert arena.peak_bytes == 7 * GB
+    assert arena.peak_bytes <= arena.capacity_bytes
+
+
+def test_peak_fits_the_default_device():
+    capacity = SystemSpec().gpu.device_memory
+    arena = DeviceMemoryArena(capacity)
+    assert arena.try_reserve("q", capacity)
+    assert not arena.try_reserve("overflow", 1)
+    assert arena.peak_bytes == capacity
+
+
+def test_reserve_raises_on_overflow():
+    arena = DeviceMemoryArena(1 * GB)
+    with pytest.raises(DeviceMemoryOverflowError):
+        arena.reserve("big", 2 * GB)
+
+
+def test_bad_reservations_rejected():
+    arena = DeviceMemoryArena(8 * GB)
+    arena.reserve("q0", GB)
+    with pytest.raises(DeviceMemoryOverflowError):
+        arena.try_reserve("q0", GB)  # duplicate owner
+    with pytest.raises(DeviceMemoryOverflowError):
+        arena.try_reserve("q1", -1)  # negative
+    with pytest.raises(DeviceMemoryOverflowError):
+        arena.release("unknown")
+    with pytest.raises(DeviceMemoryOverflowError):
+        DeviceMemoryArena(0)
+
+
+def test_timeline_records_transitions():
+    arena = DeviceMemoryArena(8 * GB)
+    arena.reserve("a", 2 * GB, at=0.0)
+    arena.reserve("b", 3 * GB, at=1.0)
+    arena.release("a", at=2.0)
+    assert arena.timeline == [(0.0, 2 * GB), (1.0, 5 * GB), (2.0, 3 * GB)]
