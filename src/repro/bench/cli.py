@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench --list              # what exists
     python -m repro.bench --figure 12 --scale 0.01   # quick smoke run
     python -m repro.bench serve --clients 16  # multi-query serving bench
+    python -m repro.bench perf --quick        # tracked micro-benchmarks
 """
 
 from __future__ import annotations
@@ -23,6 +24,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.bench.serve_bench import serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "perf":
+        from repro.bench.perf_bench import perf_main
+
+        return perf_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="repro-bench",

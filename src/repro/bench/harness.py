@@ -76,6 +76,12 @@ class Series:
 
     label: str
     points: list[tuple[float, float | None]] = field(default_factory=list)
+    #: Lazy canonical-x → y index backing :meth:`y_at` (rebuilt whenever
+    #: ``points`` grows; first occurrence wins, like the linear scan).
+    _index: dict[float, float | None] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _indexed: int = field(default=0, repr=False, compare=False)
 
     def add(self, x: float, y: float | None) -> None:
         self.points.append((x, y))
@@ -86,7 +92,28 @@ class Series:
     def ys(self) -> list[float | None]:
         return [y for _, y in self.points]
 
+    def _lookup(self) -> dict[float, float | None]:
+        if self._indexed != len(self.points):
+            index: dict[float, float | None] = {}
+            for px, py in self.points:
+                index.setdefault(canonical_x(px), py)
+            self._index = index
+            self._indexed = len(self.points)
+        return self._index
+
     def y_at(self, x: float) -> float | None:
+        """The y value at (canonically) ``x``.
+
+        Dict lookup on the canonical-x grid — O(1) instead of the former
+        per-call linear scan, which made dense figure tables quadratic in
+        their point count.  Values straddling a 12-significant-digit
+        rounding boundary (canonically unequal yet within the match
+        tolerance) fall back to the tolerance scan.
+        """
+        index = self._lookup()
+        canon = canonical_x(x)
+        if canon in index:
+            return index[canon]
         for px, py in self.points:
             if math.isclose(px, x, rel_tol=X_REL_TOL, abs_tol=X_ABS_TOL):
                 return py

@@ -1,14 +1,21 @@
-"""Equivalence harness guarding the strategy-registry refactor.
+"""Equivalence harness guarding the strategy-registry refactor and the
+cost-model fast path.
 
 For one reference workload per registered strategy, compares the
 simulated time produced by every entry point that must agree:
 
 * **direct** — instantiating the strategy class itself, the original
-  (pre-registry) entry point, which remains public API;
+  (pre-registry) entry point, which remains public API — computed with
+  the estimate cache *disabled*, so it exercises the uncached path;
 * **registry** — ``create_strategy(key)`` dispatch, the post-registry
-  entry point used by the planner, executor and benchmarks;
+  entry point used by the planner, executor and benchmarks; evaluated
+  twice (cold cache, then cache hit) so a divergence between memoized
+  and recomputed estimates trips the harness;
 * **pipeline** — the decomposed ``simulate(prepare(spec))`` path,
   proving ``estimate`` is nothing but plan + engine simulation;
+* **scanner** — the same plan simulated by the retained all-queue-heads
+  reference scanner (``PipelineEngine.run_reference``), pinning the
+  event-driven engine to its executable specification;
 * **hand-summed** (serial strategies only) — when a plan's tasks all
   occupy one resource, the engine's makespan must equal the summed task
   durations the pre-engine implementation computed by hand.
@@ -26,6 +33,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core import estimate_cache
 from repro.core.strategy import (
     COPROCESSING,
     COPROCESSING_ADAPTIVE,
@@ -72,6 +80,8 @@ class RegressRow:
     pipeline_seconds: float
     handsum_seconds: float | None
     max_abs_diff: float
+    cached_seconds: float = 0.0
+    scanner_seconds: float = 0.0
 
     def ok(self, tolerance: float = DEFAULT_TOLERANCE) -> bool:
         return self.max_abs_diff <= tolerance
@@ -79,23 +89,42 @@ class RegressRow:
 
 def run_regression(keys: tuple[str, ...] | None = None) -> list[RegressRow]:
     """Measure entry-point agreement for every (or the given) strategy."""
+    from repro.pipeline.engine import PipelineEngine
+
     rows: list[RegressRow] = []
     for key in keys if keys is not None else registered_strategies():
         spec = reference_spec(key)
 
-        direct = strategy_factory(key)().estimate(spec).seconds
-        registry = create_strategy(key).estimate(spec).seconds
+        # Uncached baseline: the memoization layer must be equivalence-
+        # checked, not trusted, so `direct` bypasses it entirely.
+        estimate_cache.clear()
+        estimate_cache.configure(enabled=False)
+        try:
+            direct = strategy_factory(key)().estimate(spec).seconds
+        finally:
+            estimate_cache.configure(enabled=True)
+        registry = create_strategy(key).estimate(spec).seconds  # cold cache
+        cached = create_strategy(key).estimate(spec).seconds  # cache hit
 
         strategy = create_strategy(key)
         plan = strategy.prepare(spec)
         pipeline = strategy.simulate(plan).seconds
+
+        engine = PipelineEngine(plan.resources)
+        for task in plan.tasks:
+            engine.add(task)
+        scanner = strategy.metrics_from_schedule(
+            plan, engine.run_reference()
+        ).seconds
 
         handsum: float | None = None
         resources = {task.resource for task in plan.tasks}
         if len(resources) == 1:
             handsum = sum(task.duration for task in plan.tasks)
 
-        candidates = [registry, pipeline] + ([handsum] if handsum is not None else [])
+        candidates = [registry, cached, pipeline, scanner] + (
+            [handsum] if handsum is not None else []
+        )
         max_abs_diff = max(abs(direct - value) for value in candidates)
         rows.append(
             RegressRow(
@@ -105,6 +134,8 @@ def run_regression(keys: tuple[str, ...] | None = None) -> list[RegressRow]:
                 pipeline_seconds=pipeline,
                 handsum_seconds=handsum,
                 max_abs_diff=max_abs_diff,
+                cached_seconds=cached,
+                scanner_seconds=scanner,
             )
         )
     return rows
@@ -113,13 +144,14 @@ def run_regression(keys: tuple[str, ...] | None = None) -> list[RegressRow]:
 def render(rows: list[RegressRow], tolerance: float = DEFAULT_TOLERANCE) -> str:
     lines = [
         f"{'strategy':28s} {'direct (s)':>14s} {'registry (s)':>14s} "
-        f"{'pipeline (s)':>14s} {'max |diff|':>12s}  verdict"
+        f"{'pipeline (s)':>14s} {'scanner (s)':>14s} {'max |diff|':>12s}  verdict"
     ]
     for row in rows:
         verdict = "ok" if row.ok(tolerance) else "DIVERGED"
         lines.append(
             f"{row.key:28s} {row.direct_seconds:14.9f} "
             f"{row.registry_seconds:14.9f} {row.pipeline_seconds:14.9f} "
+            f"{row.scanner_seconds:14.9f} "
             f"{row.max_abs_diff:12.3e}  {verdict}"
         )
     return "\n".join(lines)

@@ -1,5 +1,6 @@
 """The paper's contribution: the hardware-conscious GPU join family."""
 
+from repro.core import estimate_cache
 from repro.core.adaptive import (
     AdaptiveCoProcessingJoin,
     recommend_partition_threads,
@@ -71,6 +72,7 @@ __all__ = [
     "choose_strategy_name",
     "create_strategy",
     "default_config",
+    "estimate_cache",
     "estimate_with_planner",
     "fig5_config",
     "knapsack_first_working_set",

@@ -39,7 +39,7 @@ from repro.data.relation import Relation
 from repro.data.spec import JoinSpec
 from repro.errors import InvalidConfigError
 from repro.gpusim.calibration import Calibration
-from repro.gpusim.cost import CoPartitionStats, GpuCostModel
+from repro.gpusim.cost import GpuCostModel
 from repro.gpusim.spec import SystemSpec
 from repro.gpusim.transfer import TransferModel
 from repro.kernels.aggregate import aggregate_pairs
@@ -119,6 +119,10 @@ class CoProcessingJoin(PipelinedJoinStrategy):
         self.cpu_bits = cpu_bits
         self.staging = staging
         self._resident = GpuPartitionedJoin(self.system, calibration, self.config)
+
+    # ------------------------------------------------------------------
+    def _fingerprint_extras(self) -> tuple:
+        return (self.cpu_bits, self.staging, self.device_budget)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -390,31 +394,53 @@ class CoProcessingJoin(PipelinedJoinStrategy):
                 + self.cost_model.build_tables_seconds(elements, spec.build.tuple_bytes)
             )
 
+        # Per-working-set fast path: the build side (and thus every
+        # build-derived invariant of the join formula) is fixed per
+        # working set, and a chunk only scales the probe side by its
+        # fraction of the probe relation — which takes at most two
+        # distinct values.  Build one scaled evaluator per working set
+        # and memoize per chunk size, collapsing the ~n_ws * n_chunks
+        # kernel-formula evaluations of the inner loop to ~2 per
+        # working set.
+        evaluators: dict[int, tuple] = {}
+        join_memo: dict[tuple[int, int], float] = {}
+
+        def ws_evaluator(w: int) -> tuple:
+            cached = evaluators.get(w)
+            if cached is None:
+                factor = ws_factor(w)
+                live = factor > 0
+                b = (build_final * factor)[live]
+                s = (probe_final * factor)[live]
+                evaluator = self._resident._join_cost_evaluator(
+                    b,
+                    s,
+                    matches * plan.build_fractions[w],
+                    tuple_bytes=spec.build.tuple_bytes,
+                    radix_bits=final_bits,
+                    key_bits=key_bits,
+                    materialize=materialize,
+                    charge_build=False,
+                )
+                cached = (evaluator, float(s.sum()))
+                evaluators[w] = cached
+            return cached
+
         def ws_join_seconds(w: int, c: int) -> float:
             this_chunk = min(plan.chunk_tuples, spec.probe.n - c * plan.chunk_tuples)
-            chunk_frac = this_chunk / spec.probe.n
-            factor = ws_factor(w)
-            live = factor > 0
-            b = (build_final * factor)[live]
-            s = (probe_final * factor)[live] * chunk_frac
-            local_matches = matches * plan.build_fractions[w] * chunk_frac
-            stats = CoPartitionStats(
-                build_sizes=b,
-                probe_sizes=s,
-                matches=CoPartitionStats.split_matches(b, s, local_matches),
-            )
-            partition = estimate_partition_cost(
-                float(s.sum()), spec.probe.tuple_bytes, gpu_bits, self.cost_model
-            )
-            join = self._resident._join_cost(
-                stats,
-                tuple_bytes=spec.build.tuple_bytes,
-                radix_bits=final_bits,
-                key_bits=key_bits,
-                materialize=materialize,
-                charge_build=False,
-            )
-            return partition.seconds + join.seconds
+            cached = join_memo.get((w, this_chunk))
+            if cached is None:
+                chunk_frac = this_chunk / spec.probe.n
+                evaluator, probe_total = ws_evaluator(w)
+                partition = estimate_partition_cost(
+                    probe_total * chunk_frac,
+                    spec.probe.tuple_bytes,
+                    gpu_bits,
+                    self.cost_model,
+                )
+                cached = partition.seconds + evaluator.seconds(chunk_frac)
+                join_memo[(w, this_chunk)] = cached
+            return cached
 
         return self._pipeline_plan(
             spec,

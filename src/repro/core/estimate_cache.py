@@ -1,0 +1,152 @@
+"""Process-wide memoization of analytic strategy estimates.
+
+The analytic ``estimate()`` paths are pure functions of (strategy
+configuration, workload spec, keyword arguments): the same inputs always
+produce the same :class:`~repro.core.results.JoinMetrics`.  The serving
+layer re-plans every admitted query (solo baseline, degraded-placement
+estimate, wait-vs-degrade comparison), the planner ladder estimates the
+same spec it just sized, and the benchmark sweeps revisit identical
+workloads across concurrency levels and determinism re-runs — so the
+same kernel costs used to be recomputed hundreds of times per run.
+
+This module provides one shared cache:
+
+* :func:`lookup` / :func:`store` — consulted by
+  :meth:`repro.core.strategy.PipelinedJoinStrategy.estimate`; keys are
+  built from the strategy's *fingerprint* (class, key, system spec,
+  calibration, config, constructor extras), the frozen
+  :class:`~repro.data.spec.JoinSpec`, and the estimate kwargs.  Any
+  unhashable component simply bypasses the cache;
+* :func:`cached_ladder_choice` — memoizes the planner ladder's
+  feasibility decision per (spec, system, available-bytes);
+* :func:`clear` / :func:`stats` / :func:`configure` — test and
+  benchmark hooks.
+
+Metrics are stored and returned as defensive copies (their ``phases`` /
+``notes`` dicts are mutable), so callers can annotate a result without
+poisoning later hits.  Correctness does not depend on the cache: with
+``configure(enabled=False)`` every estimate recomputes and must produce
+the same numbers — asserted by ``tests/core/test_estimate_cache.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Callable, Hashable
+
+if TYPE_CHECKING:
+    from repro.core.results import JoinMetrics
+
+#: Entry cap — far above any benchmark's working set, only a safety net
+#: against unbounded growth in a long-lived serving process.
+MAX_ENTRIES = 65536
+
+_cache: dict[Hashable, "JoinMetrics"] = {}
+_ladder_cache: dict[Hashable, str] = {}
+_enabled = True
+_hits = 0
+_misses = 0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Hit/miss counters of the estimate cache."""
+
+    hits: int
+    misses: int
+    entries: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def configure(*, enabled: bool) -> None:
+    """Enable or disable the cache (disabling also clears it)."""
+    global _enabled
+    _enabled = enabled
+    if not enabled:
+        clear()
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def clear() -> None:
+    """Drop every cached estimate and reset the counters."""
+    global _hits, _misses
+    _cache.clear()
+    _ladder_cache.clear()
+    _hits = 0
+    _misses = 0
+
+
+def stats() -> CacheStats:
+    return CacheStats(hits=_hits, misses=_misses, entries=len(_cache))
+
+
+def make_key(
+    fingerprint: Hashable, spec: Hashable, materialize: bool, kwargs: dict[str, Any]
+) -> Hashable | None:
+    """Build a cache key, or ``None`` when any component is unhashable
+    (custom strategies with exotic kwargs fall back to recomputing)."""
+    try:
+        key = (fingerprint, spec, materialize, tuple(sorted(kwargs.items())))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def lookup(key: Hashable | None) -> "JoinMetrics | None":
+    """A defensive copy of the cached metrics, or ``None`` on a miss."""
+    global _hits, _misses
+    if not _enabled or key is None:
+        return None
+    cached = _cache.get(key)
+    if cached is None:
+        _misses += 1
+        return None
+    _hits += 1
+    return _copy(cached)
+
+
+def store(key: Hashable | None, metrics: "JoinMetrics") -> None:
+    if not _enabled or key is None:
+        return
+    if len(_cache) >= MAX_ENTRIES:
+        _cache.clear()
+    _cache[key] = _copy(metrics)
+
+
+def _copy(metrics: "JoinMetrics") -> "JoinMetrics":
+    return replace(metrics, phases=dict(metrics.phases), notes=dict(metrics.notes))
+
+
+# ---------------------------------------------------------------------------
+# Planner-ladder memoization
+# ---------------------------------------------------------------------------
+def cached_ladder_choice(
+    key: Hashable, compute: Callable[[], str]
+) -> str:
+    """Memoize the planner ladder's strategy choice.
+
+    The ladder's ``fits_in`` walk is pure in (spec, system,
+    available_bytes); admission control re-runs it on every scheduling
+    event and the determinism re-run repeats the whole sequence.
+    """
+    if not _enabled:
+        return compute()
+    try:
+        hash(key)
+    except TypeError:
+        return compute()
+    choice = _ladder_cache.get(key)
+    if choice is None:
+        choice = compute()
+        if len(_ladder_cache) >= MAX_ENTRIES:
+            _ladder_cache.clear()
+        _ladder_cache[key] = choice
+    return choice

@@ -58,6 +58,9 @@ class GpuNonPartitionedJoin(PipelinedJoinStrategy):
             return "GPU Non-partitioned w/ perfect hash"
         return "GPU Non-partitioned"
 
+    def _fingerprint_extras(self) -> tuple:
+        return (self.variant,)
+
     # ------------------------------------------------------------------
     @classmethod
     def device_bytes_needed(cls, spec: JoinSpec, system: SystemSpec) -> int:

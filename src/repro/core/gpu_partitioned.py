@@ -121,6 +121,51 @@ class GpuPartitionedJoin(PipelinedJoinStrategy):
             charge_build=charge_build,
         )
 
+    def _join_cost_evaluator(
+        self,
+        build_sizes: np.ndarray,
+        probe_sizes: np.ndarray,
+        total_matches: float,
+        *,
+        tuple_bytes: float,
+        radix_bits: int,
+        key_bits: int,
+        materialize: bool,
+        charge_build: bool = True,
+    ):
+        """Scaled twin of :meth:`_join_cost` for the out-of-GPU chunk
+        loops: the build side is fixed, the probe side is ``probe_sizes``
+        times a scalar chunk fraction.  Returns an evaluator whose
+        ``seconds(scale)`` agrees with :meth:`_join_cost` on the
+        correspondingly scaled stats within 1e-9 (memoized per scale)."""
+        cfg = self.config
+        if cfg.probe_kernel == NLJ_PROBE:
+            # The NLJ kernel always charges the build copy (as does
+            # :meth:`_join_cost`, which ignores ``charge_build`` for it).
+            return self.cost_model.nlj_join_evaluator(
+                build_sizes,
+                probe_sizes,
+                total_matches,
+                tuple_bytes,
+                differing_bits=max(1, key_bits - radix_bits),
+                threads_per_block=cfg.threads_per_block_join,
+                materialize=materialize,
+                out_tuple_bytes=OUT_TUPLE_BYTES,
+            )
+        return self.cost_model.hash_join_evaluator(
+            build_sizes,
+            probe_sizes,
+            total_matches,
+            tuple_bytes,
+            ht_slots=cfg.ht_slots,
+            elements_per_block=cfg.elements_per_block,
+            threads_per_block=cfg.threads_per_block_join,
+            use_shared_memory=cfg.use_shared_memory,
+            materialize=materialize,
+            out_tuple_bytes=OUT_TUPLE_BYTES,
+            charge_build=charge_build,
+        )
+
     def _gather_cost(self, spec: JoinSpec, matches: float) -> KernelCost:
         """Late-materialization gathers: partitioning reorders *both*
         sides, so every wide attribute fetch is a random access (§V-B,

@@ -18,6 +18,7 @@ no concrete strategy class.
 
 from __future__ import annotations
 
+from repro.core import estimate_cache
 from repro.core.config import GpuJoinConfig
 from repro.core.strategy import (
     COPROCESSING,
@@ -55,10 +56,19 @@ def choose_strategy_name(
     system = system or SystemSpec()
     if available_bytes is None:
         available_bytes = system.gpu.device_memory
-    for key in PLANNER_LADDER:
-        if strategy_factory(key).fits_in(spec, system, available_bytes):
-            return key
-    return COPROCESSING
+
+    def walk_ladder() -> str:
+        for key in PLANNER_LADDER:
+            if strategy_factory(key).fits_in(spec, system, available_bytes):
+                return key
+        return COPROCESSING
+
+    # The walk is pure in (spec, system, available_bytes); admission
+    # control re-runs it on every scheduling event, so memoize it
+    # alongside the estimates.
+    return estimate_cache.cached_ladder_choice(
+        (spec, system, available_bytes), walk_ladder
+    )
 
 
 def plan_join(

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, ClassVar, Protocol, runtime_checkable
 
+from repro.core import estimate_cache
 from repro.core.results import JoinMetrics, JoinRunResult
 from repro.data.spec import JoinSpec
 from repro.errors import InvalidConfigError, UnknownStrategyError
@@ -195,11 +196,45 @@ class PipelinedJoinStrategy:
         """Schedule the plan and fold the result into metrics."""
         return self.metrics_from_schedule(plan, self.schedule(plan))
 
+    # -- estimate memoization ------------------------------------------
+    def _fingerprint_extras(self) -> tuple:
+        """Constructor state beyond (system, calibration, config) that
+        changes estimates; subclasses with extra knobs override (e.g.
+        co-processing's ``cpu_bits``/``staging``/``device_budget``)."""
+        return ()
+
+    def cache_fingerprint(self) -> tuple:
+        """Everything that, together with (spec, kwargs), determines an
+        estimate.  The specs and calibration are frozen dataclasses, so
+        the tuple is hashable for the registry strategies."""
+        cost_model = getattr(self, "cost_model", None)
+        return (
+            type(self).__qualname__,
+            self.key,
+            getattr(self, "system", None),
+            getattr(self, "config", None),
+            getattr(cost_model, "calib", None),
+            *self._fingerprint_extras(),
+        )
+
     def estimate(
         self, spec: JoinSpec, *, materialize: bool = False, **kwargs: Any
     ) -> JoinMetrics:
-        """Modelled metrics: analytic plan, simulated makespan."""
-        return self.simulate(self.prepare(spec, materialize=materialize, **kwargs))
+        """Modelled metrics: analytic plan, simulated makespan.
+
+        Estimates are pure in (strategy fingerprint, spec, kwargs) and
+        memoized in :mod:`repro.core.estimate_cache`; the planner ladder
+        and the serving scheduler's re-planning hit the same cache, so a
+        workload's kernel costs are computed once per process."""
+        key = estimate_cache.make_key(
+            self.cache_fingerprint(), spec, materialize, kwargs
+        )
+        cached = estimate_cache.lookup(key)
+        if cached is not None:
+            return cached
+        metrics = self.simulate(self.prepare(spec, materialize=materialize, **kwargs))
+        estimate_cache.store(key, metrics)
+        return metrics
 
     def run(
         self,

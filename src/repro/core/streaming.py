@@ -34,7 +34,7 @@ from repro.data.relation import Relation
 from repro.data.spec import JoinSpec
 from repro.errors import DeviceMemoryOverflowError
 from repro.gpusim.calibration import Calibration
-from repro.gpusim.cost import CoPartitionStats, GpuCostModel
+from repro.gpusim.cost import GpuCostModel
 from repro.gpusim.device_memory import DeviceMemory
 from repro.gpusim.spec import SystemSpec
 from repro.gpusim.transfer import TransferModel
@@ -173,31 +173,36 @@ class StreamingProbeJoin(PipelinedJoinStrategy):
         matches = stats_mod.expected_join_cardinality(spec)
         key_bits = key_bit_width(max(spec.build.distinct, spec.probe.distinct) - 1)
 
+        # Fast path: every chunk probes the same resident build tables,
+        # so the join formula's build-side invariants are computed once
+        # and each chunk only scales the probe side by its fraction —
+        # at most two distinct values (full chunks + a trailing partial
+        # one), memoized per chunk size.
+        probe_sizes_base = stats_mod.expected_partition_sizes(spec.probe, total_bits)
+        evaluator = self._resident._join_cost_evaluator(
+            build_sizes,
+            probe_sizes_base,
+            matches,
+            tuple_bytes=spec.build.tuple_bytes,
+            radix_bits=total_bits,
+            key_bits=key_bits,
+            materialize=materialize,
+            charge_build=False,
+        )
+        join_memo: dict[int, float] = {}
+
         def chunk_join_seconds(i: int) -> float:
             this_chunk = min(chunk_tuples, spec.probe.n - i * chunk_tuples)
-            frac = this_chunk / spec.probe.n
-            probe_sizes = (
-                stats_mod.expected_partition_sizes(spec.probe, total_bits) * frac
-            )
-            stats = CoPartitionStats(
-                build_sizes=build_sizes,
-                probe_sizes=probe_sizes,
-                matches=CoPartitionStats.split_matches(
-                    build_sizes, probe_sizes, matches * frac
-                ),
-            )
-            partition = estimate_partition_cost(
-                this_chunk, spec.probe.tuple_bytes, bits_per_pass, self.cost_model
-            )
-            join = self._resident._join_cost(
-                stats,
-                tuple_bytes=spec.build.tuple_bytes,
-                radix_bits=total_bits,
-                key_bits=key_bits,
-                materialize=materialize,
-                charge_build=False,
-            )
-            return partition.seconds + join.seconds
+            cached = join_memo.get(this_chunk)
+            if cached is None:
+                partition = estimate_partition_cost(
+                    this_chunk, spec.probe.tuple_bytes, bits_per_pass, self.cost_model
+                )
+                cached = partition.seconds + evaluator.seconds(
+                    this_chunk / spec.probe.n
+                )
+                join_memo[this_chunk] = cached
+            return cached
 
         return self._pipeline_plan(
             spec,

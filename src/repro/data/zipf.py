@@ -10,9 +10,18 @@ distribution over a finite domain of ``n`` ranks with exponent ``s`` in
 * analytic moments (:func:`harmonic`, :func:`sum_pmf_sq`, :func:`pmf_head`)
   — consumed by :mod:`repro.data.stats` to predict partition histograms and
   join cardinalities at paper scale without materializing data.
+
+Both facilities are memoized per ``(n, s)``: the moments are pure and the
+exact/head CDFs are deterministic arrays, yet every skewed estimate and
+every sampled workload used to re-derive them from scratch — for the
+exact sampler that was a fresh up-to-4M-element power/cumsum per call.
+Cached arrays are returned *read-only* (and shared), so accidental
+mutation by a caller raises instead of corrupting later lookups.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 
@@ -27,12 +36,15 @@ _EXACT_LIMIT = 1 << 22
 HEAD_RANKS = 1 << 16
 
 
+@lru_cache(maxsize=None)
 def harmonic(n: int, s: float) -> float:
     """Generalized harmonic number ``H(n, s) = sum_{k=1..n} k**-s``.
 
     Exact summation for small ``n``; midpoint-rule integration of the tail
     beyond :data:`HEAD_RANKS` otherwise (relative error < 1e-6 for the
-    exponents used in the paper).
+    exponents used in the paper).  Memoized: the exact branch sums an
+    up-to-2^22-element array, and the statistics re-ask for the same
+    ``(n, s)`` on every skewed estimate.
     """
     if n <= 0:
         raise InvalidConfigError("harmonic() requires n >= 1")
@@ -52,11 +64,21 @@ def _tail_integral(k: int, n: int, s: float) -> float:
     return float((hi ** (1.0 - s) - lo ** (1.0 - s)) / (1.0 - s))
 
 
-def pmf_head(n: int, s: float, head: int = HEAD_RANKS) -> np.ndarray:
-    """Exact probabilities of the ``head`` most popular ranks."""
-    head = min(head, n)
+@lru_cache(maxsize=128)
+def _pmf_head_cached(n: int, s: float, head: int) -> np.ndarray:
     ranks = np.arange(1, head + 1, dtype=np.float64)
-    return ranks ** -s / harmonic(n, s)
+    pmf = ranks ** -s / harmonic(n, s)
+    pmf.setflags(write=False)
+    return pmf
+
+
+def pmf_head(n: int, s: float, head: int = HEAD_RANKS) -> np.ndarray:
+    """Exact probabilities of the ``head`` most popular ranks.
+
+    Returns a shared **read-only** array (memoized per ``(n, s, head)``);
+    copy before mutating.
+    """
+    return _pmf_head_cached(n, s, min(head, n))
 
 
 def sum_pmf_sq(n: int, s: float) -> float:
@@ -90,12 +112,40 @@ def sample(
     if s == 0.0:
         return rng.integers(0, n, size=size, dtype=np.int64)
     if n <= _EXACT_LIMIT:
+        u = rng.random(size)
+        return np.searchsorted(_exact_cdf(n, s), u, side="left").astype(np.int64)
+    return _sample_hybrid(n, s, size, rng)
+
+
+#: Exact-CDF memo for the small-domain sampler.  Entries are up to 32 MB
+#: (2^22 float64), so the cache is kept small and FIFO-evicted; skewed
+#: workload generation cycles through a handful of ``(n, s)`` pairs.
+_EXACT_CDF_CACHE: dict[tuple[int, float], np.ndarray] = {}
+_EXACT_CDF_CACHE_MAX = 8
+
+
+def _exact_cdf(n: int, s: float) -> np.ndarray:
+    """The (read-only, memoized) exact Zipf CDF over ``n`` ranks."""
+    key = (n, s)
+    cdf = _EXACT_CDF_CACHE.get(key)
+    if cdf is None:
         pmf = np.arange(1, n + 1, dtype=np.float64) ** -s
         cdf = np.cumsum(pmf)
         cdf /= cdf[-1]
-        u = rng.random(size)
-        return np.searchsorted(cdf, u, side="left").astype(np.int64)
-    return _sample_hybrid(n, s, size, rng)
+        cdf.setflags(write=False)
+        if len(_EXACT_CDF_CACHE) >= _EXACT_CDF_CACHE_MAX:
+            _EXACT_CDF_CACHE.pop(next(iter(_EXACT_CDF_CACHE)))
+        _EXACT_CDF_CACHE[key] = cdf
+    return cdf
+
+
+@lru_cache(maxsize=32)
+def _hybrid_head_cdf(n: int, s: float) -> np.ndarray:
+    """Read-only, memoized CDF of the exact head of the hybrid sampler."""
+    pmf = np.arange(1, HEAD_RANKS + 1, dtype=np.float64) ** -s / harmonic(n, s)
+    cdf = np.cumsum(pmf)
+    cdf.setflags(write=False)
+    return cdf
 
 
 def _sample_hybrid(
@@ -104,8 +154,7 @@ def _sample_hybrid(
     """Exact head + continuous tail inversion for very large domains."""
     h_n = harmonic(n, s)
     head = HEAD_RANKS
-    pmf = np.arange(1, head + 1, dtype=np.float64) ** -s / h_n
-    cdf_head = np.cumsum(pmf)
+    cdf_head = _hybrid_head_cdf(n, s)
     head_mass = cdf_head[-1]
 
     u = rng.random(size)

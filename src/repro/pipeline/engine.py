@@ -17,6 +17,7 @@ being hard-coded.
 
 from __future__ import annotations
 
+import heapq
 from collections import defaultdict
 
 from repro.errors import SchedulingError
@@ -88,12 +89,126 @@ class PipelineEngine:
 
     # ------------------------------------------------------------------
     def run(self) -> Schedule:
-        """Simulate the graph and return the schedule.
+        """Simulate the graph and return the schedule (event-driven).
 
-        Repeatedly starts the earliest-ready head-of-queue task.  If no
-        queue head is ready while tasks remain, the dependency structure
-        is cyclic (or references an unknown task) and a
-        :class:`SchedulingError` is raised.
+        A task is *dispatchable* once it reaches the head of its
+        resource's FIFO queue and all its dependencies have finished —
+        at that point its start time is final: every earlier task of the
+        same queue has already been placed (fixing the lane-free times)
+        and dependency finishes never change once recorded.  The
+        simulator therefore tracks dependency indegrees, keeps one heap
+        of free times per resource pool's lanes, and drains an event
+        calendar of dispatchable tasks ordered by start time — placing
+        each task exactly once, O((T + E) log T) overall, instead of
+        rescanning every queue head per decision as the original
+        scanner (retained as :meth:`run_reference`) did.
+
+        The schedule is identical to :meth:`run_reference`'s, including
+        lane assignment (ties go to the lowest lane index) and deadlock
+        detection: if no queue head is dispatchable while tasks remain,
+        the dependency structure is cyclic across the FIFO queues (or
+        references an unknown task) and a :class:`SchedulingError` is
+        raised.
+        """
+        for task in self._tasks:
+            for dep in task.deps:
+                if dep not in self._by_name:
+                    raise SchedulingError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+
+        queues: dict[str, list[Task]] = defaultdict(list)
+        position: dict[str, int] = {}
+        for task in self._tasks:
+            position[task.name] = len(queues[task.resource])
+            queues[task.resource].append(task)
+        cursor = {resource: 0 for resource in queues}
+        # One free-time per lane, as a heap of (free_at, lane_index): a
+        # pool's next task is dispatched onto whichever lane frees first
+        # (round-robin copy engines/streams), lowest index on ties.
+        lane_free = {
+            resource: [(0.0, lane) for lane in range(self.lanes_of(resource))]
+            for resource in queues
+        }
+        finish_at: dict[str, float] = {}
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = defaultdict(list)
+        for task in self._tasks:
+            unique_deps = set(task.deps)
+            indegree[task.name] = len(unique_deps)
+            for dep in unique_deps:
+                dependents[dep].append(task.name)
+
+        schedule = Schedule(
+            lanes={resource: self.lanes_of(resource) for resource in queues}
+        )
+
+        # Event calendar: dispatchable tasks keyed by their (final)
+        # start time; the sequence number makes heap entries total-ordered
+        # and preserves submission order among equal start times.
+        calendar: list[tuple[float, int, str]] = []
+        queued: set[str] = set()
+        sequence = 0
+
+        def maybe_push(task: Task) -> None:
+            nonlocal sequence
+            if (
+                task.name in queued
+                or indegree[task.name] > 0
+                or cursor[task.resource] != position[task.name]
+            ):
+                return
+            dep_ready = max(
+                (finish_at[dep] for dep in task.deps), default=0.0
+            )
+            start = max(lane_free[task.resource][0][0], dep_ready, task.available_at)
+            heapq.heappush(calendar, (start, sequence, task.name))
+            queued.add(task.name)
+            sequence += 1
+
+        for queue in queues.values():
+            maybe_push(queue[0])
+
+        remaining = len(self._tasks)
+        while remaining:
+            if not calendar:
+                pending = [
+                    queue[cursor[resource]].name
+                    for resource, queue in queues.items()
+                    if cursor[resource] < len(queue)
+                ]
+                raise SchedulingError(
+                    f"pipeline deadlock: queue heads {pending} all blocked "
+                    "(cyclic dependencies across FIFO queues?)"
+                )
+            start, _, name = heapq.heappop(calendar)
+            task = self._by_name[name]
+            _, lane = heapq.heappop(lane_free[task.resource])
+            finish = start + task.duration
+            schedule.tasks[name] = ScheduledTask(task, start, finish, lane=lane)
+            finish_at[name] = finish
+            heapq.heappush(lane_free[task.resource], (finish, lane))
+            cursor[task.resource] += 1
+            remaining -= 1
+            # Two kinds of tasks may have become dispatchable: the next
+            # task of this queue, and dependents that were only waiting
+            # on this finish.  (A dependent still behind its queue head
+            # is woken later, by its own queue's cursor reaching it.)
+            queue = queues[task.resource]
+            if cursor[task.resource] < len(queue):
+                maybe_push(queue[cursor[task.resource]])
+            for child in dependents[name]:
+                indegree[child] -= 1
+                maybe_push(self._by_name[child])
+        return schedule
+
+    # ------------------------------------------------------------------
+    def run_reference(self) -> Schedule:
+        """The original all-queue-heads scanner, kept as the executable
+        specification of :meth:`run`: repeatedly starts the earliest-
+        ready head-of-queue task, rescanning every queue per decision.
+        ``tests/pipeline/test_engine_reference.py`` asserts both produce
+        identical schedules on randomized DAGs.
         """
         for task in self._tasks:
             for dep in task.deps:

@@ -214,11 +214,12 @@ class QueryScheduler:
         self.config = config
         self.lanes = dict(lanes or {})
         self.max_degradation = max_degradation
-        #: Strategy-alone makespan cache keyed by
-        #: (key, spec, materialize, reserved_bytes).
-        self._alone_cache: dict[tuple[str, JoinSpec, bool, int], float] = {}
-        #: Solo-makespan cache; workloads repeat spec templates and the
-        #: baseline is a pure function of (spec, materialize, pin).
+        #: Solo-placement cache; workloads repeat spec templates and the
+        #: baseline is a pure function of (spec, materialize, pin).  The
+        #: makespans themselves are memoized process-wide by
+        #: :mod:`repro.core.estimate_cache` (underneath ``estimate()``),
+        #: so re-planning, determinism re-runs and sweep levels share
+        #: kernel-cost work; this dict only saves the re-dispatch.
         self._solo_cache: dict[tuple[JoinSpec, bool, str | None], tuple[str, float]] = {}
 
     # ------------------------------------------------------------------
@@ -251,22 +252,19 @@ class QueryScheduler:
         self, key: str, request: QueryRequest, reserved_bytes: int
     ) -> float:
         """Estimated makespan of running ``key`` alone for this query,
-        under the same memory grant the admitted strategy would get."""
-        cache_key = (key, request.spec, request.materialize, reserved_bytes)
-        cached = self._alone_cache.get(cache_key)
-        if cached is None:
-            strategy = create_strategy(
-                key,
-                self.system,
-                self.calibration,
-                self.config,
-                **self._strategy_kwargs(key, reserved_bytes),
-            )
-            cached = strategy.estimate(
-                request.spec, materialize=request.materialize
-            ).seconds
-            self._alone_cache[cache_key] = cached
-        return cached
+        under the same memory grant the admitted strategy would get.
+        Memoized by the shared estimate cache (the grant is part of the
+        strategy fingerprint via ``device_budget``)."""
+        strategy = create_strategy(
+            key,
+            self.system,
+            self.calibration,
+            self.config,
+            **self._strategy_kwargs(key, reserved_bytes),
+        )
+        return strategy.estimate(
+            request.spec, materialize=request.materialize
+        ).seconds
 
     @staticmethod
     def _estimated_wait(

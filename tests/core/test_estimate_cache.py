@@ -1,0 +1,112 @@
+"""Hit/miss and invalidation behavior of the shared estimate cache."""
+
+import pytest
+
+from repro.core import create_strategy, estimate_cache
+from repro.data import unique_pair
+from repro.gpusim.calibration import Calibration
+from repro.gpusim.spec import v100_system
+from repro.core.config import GpuJoinConfig
+
+SPEC = unique_pair(32_000_000)
+BIG = unique_pair(512_000_000)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    estimate_cache.clear()
+    yield
+    estimate_cache.configure(enabled=True)
+    estimate_cache.clear()
+
+
+def test_identical_estimates_hit():
+    create_strategy("gpu_resident").estimate(SPEC)
+    before = estimate_cache.stats()
+    create_strategy("gpu_resident").estimate(SPEC)
+    after = estimate_cache.stats()
+    assert after.hits == before.hits + 1
+    assert after.misses == before.misses
+    assert after.entries == before.entries
+
+
+def test_distinct_kwargs_and_specs_miss():
+    strategy = create_strategy("gpu_resident")
+    strategy.estimate(SPEC)
+    strategy.estimate(SPEC, materialize=True)
+    strategy.estimate(unique_pair(16_000_000))
+    assert estimate_cache.stats().entries == 3
+    assert estimate_cache.stats().hits == 0
+
+
+def test_config_differences_invalidate():
+    create_strategy("gpu_resident").estimate(SPEC)
+    create_strategy(
+        "gpu_resident", config=GpuJoinConfig(ht_slots=1024)
+    ).estimate(SPEC)
+    assert estimate_cache.stats().entries == 2
+    assert estimate_cache.stats().hits == 0
+
+
+def test_system_and_calibration_differences_invalidate():
+    create_strategy("gpu_resident").estimate(SPEC)
+    create_strategy("gpu_resident", v100_system()).estimate(SPEC)
+    create_strategy(
+        "gpu_resident", calibration=Calibration(gpu_scan_efficiency=0.5)
+    ).estimate(SPEC)
+    assert estimate_cache.stats().entries == 3
+    assert estimate_cache.stats().hits == 0
+
+
+def test_constructor_extras_invalidate():
+    create_strategy("coprocessing").estimate(BIG)
+    create_strategy("coprocessing", staging=False).estimate(BIG)
+    create_strategy("coprocessing", device_budget=2 * 1024**3).estimate(BIG)
+    create_strategy("coprocessing", cpu_bits=5).estimate(BIG)
+    assert estimate_cache.stats().entries == 4
+    assert estimate_cache.stats().hits == 0
+
+
+def test_nonpartitioned_variants_do_not_collide():
+    chaining = create_strategy("gpu_nonpartitioned").estimate(SPEC)
+    perfect = create_strategy("gpu_nonpartitioned_perfect").estimate(SPEC)
+    assert estimate_cache.stats().entries == 2
+    assert chaining.seconds != perfect.seconds
+
+
+def test_cached_result_is_copy_safe():
+    first = create_strategy("gpu_resident").estimate(SPEC)
+    first.phases["join"] = -1.0
+    first.notes["poison"] = 1.0
+    second = create_strategy("gpu_resident").estimate(SPEC)
+    assert second.phases["join"] != -1.0
+    assert "poison" not in second.notes
+
+
+def test_disabled_cache_recomputes_identically():
+    warm = create_strategy("coprocessing").estimate(BIG).seconds
+    estimate_cache.configure(enabled=False)
+    cold = create_strategy("coprocessing").estimate(BIG).seconds
+    assert estimate_cache.stats().entries == 0
+    assert warm == pytest.approx(cold, abs=1e-9)
+
+
+def test_clear_resets_entries_and_counters():
+    create_strategy("gpu_resident").estimate(SPEC)
+    create_strategy("gpu_resident").estimate(SPEC)
+    estimate_cache.clear()
+    stats = estimate_cache.stats()
+    assert (stats.hits, stats.misses, stats.entries) == (0, 0, 0)
+    assert stats.hit_rate == 0.0
+
+
+def test_ladder_choice_memoized_and_correct():
+    from repro.core import choose_strategy_name
+    from repro.gpusim.spec import SystemSpec
+
+    system = SystemSpec()
+    first = choose_strategy_name(SPEC, system)
+    second = choose_strategy_name(SPEC, system)
+    assert first == second == "gpu_resident"
+    constrained = choose_strategy_name(SPEC, system, available_bytes=1 << 20)
+    assert constrained == "coprocessing"

@@ -1,0 +1,53 @@
+"""Memoization of the Zipf analytic machinery and sampler CDFs."""
+
+import numpy as np
+import pytest
+
+from repro.data import zipf
+
+
+def test_harmonic_memoized_and_exact():
+    zipf.harmonic.cache_clear()
+    first = zipf.harmonic(1_000_000, 0.75)
+    info = zipf.harmonic.cache_info()
+    second = zipf.harmonic(1_000_000, 0.75)
+    assert first == second
+    assert zipf.harmonic.cache_info().hits == info.hits + 1
+    # Spot value: H(n, 0) is n, H(3, 1) = 1 + 1/2 + 1/3.
+    assert zipf.harmonic(10, 0.0) == 10.0
+    assert zipf.harmonic(3, 1.0) == pytest.approx(11.0 / 6.0)
+
+
+def test_pmf_head_returns_shared_read_only_array():
+    first = zipf.pmf_head(1 << 20, 0.5)
+    second = zipf.pmf_head(1 << 20, 0.5)
+    assert first is second
+    assert not first.flags.writeable
+    with pytest.raises(ValueError):
+        first[0] = 0.0
+    # Read-only arrays still work as bincount weights (the stats path).
+    np.bincount(np.zeros(first.shape[0], dtype=np.int64), weights=first)
+
+
+def test_exact_sampler_identical_and_cached():
+    n, s = 100_000, 0.9
+    draws_a = zipf.sample(n, s, 5000, np.random.default_rng(7))
+    draws_b = zipf.sample(n, s, 5000, np.random.default_rng(7))
+    np.testing.assert_array_equal(draws_a, draws_b)
+    assert (n, s) in zipf._EXACT_CDF_CACHE
+    assert not zipf._EXACT_CDF_CACHE[(n, s)].flags.writeable
+
+
+def test_exact_cdf_cache_is_bounded():
+    zipf._EXACT_CDF_CACHE.clear()
+    for i in range(zipf._EXACT_CDF_CACHE_MAX + 3):
+        zipf.sample(1000 + i, 0.5, 10, np.random.default_rng(0))
+    assert len(zipf._EXACT_CDF_CACHE) <= zipf._EXACT_CDF_CACHE_MAX
+
+
+def test_hybrid_sampler_identical_across_calls():
+    n = (1 << 22) + 1  # beyond the exact limit: hybrid path
+    draws_a = zipf.sample(n, 0.8, 4000, np.random.default_rng(3))
+    draws_b = zipf.sample(n, 0.8, 4000, np.random.default_rng(3))
+    np.testing.assert_array_equal(draws_a, draws_b)
+    assert draws_a.min() >= 0 and draws_a.max() < n
