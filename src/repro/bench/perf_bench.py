@@ -14,7 +14,11 @@ anecdotes:
   (2048 M-tuple build), the figure sweep's most expensive cell and the
   CI smoke's wall-clock ceiling;
 * ``serve_wall[<clients>]`` — end-to-end scheduler wall time for the
-  mixed serving workload, caches cleared per repetition;
+  mixed serving workload in batch mode (one full engine re-simulation
+  per admission wave), caches cleared per repetition;
+* ``serve_online_wall[<clients>]`` — the same workload through the
+  online admission mode (incremental schedule extension, bit-identical
+  outcomes), the serving layer's production path;
 * ``engine_tasks_per_sec`` — event-driven :class:`PipelineEngine`
   throughput on a synthetic double-buffered multi-query task graph.
 
@@ -115,6 +119,15 @@ def bench_serve(*, quick: bool) -> dict[str, PerfEntry]:
             run_serve(clients, check_determinism=False)
 
         entries[f"serve_wall[{clients}]"] = _measure(serve, repeats=1)
+    for clients in levels:
+
+        def serve_online(clients=clients) -> None:
+            estimate_cache.clear()
+            run_serve(clients, online=True, check_determinism=False)
+
+        entries[f"serve_online_wall[{clients}]"] = _measure(
+            serve_online, repeats=1
+        )
     return entries
 
 

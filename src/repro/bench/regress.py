@@ -25,8 +25,10 @@ call :func:`run_regression` from tests.
 
 The module also guards the serving layer (:func:`run_serve_regression`):
 a small concurrency sweep must be deterministic, keep the shared arena
-within device capacity, and beat serial back-to-back execution — the
-invariants the scheduler promises on every PR.
+within device capacity, beat serial back-to-back execution, and produce
+**identical** per-query outcomes through the online incremental-
+extension mode and the batch full-re-simulation mode — the invariants
+the scheduler promises on every PR.
 """
 
 from __future__ import annotations
@@ -167,21 +169,46 @@ def run_serve_regression(
 ) -> list[str]:
     """Assert the serving layer's invariants; returns report lines.
 
-    Each level runs twice (determinism is checked inside
-    :func:`repro.bench.serve_bench.run_serve`); any violation raises
+    Each level runs the batch scheduler twice (determinism is checked
+    inside :func:`repro.bench.serve_bench.run_serve`) plus once through
+    the online incremental-extension mode, whose per-query admissions,
+    placements and finish times must be **identical** to batch mode —
+    the serving-layer face of the ``extend()``-equals-``run()``
+    guarantee.  Any violation raises
     :class:`~repro.errors.SchedulingError`.
     """
-    from repro.bench.serve_bench import run_serve
+    import time
+
+    from repro.bench.serve_bench import fingerprint, run_serve
+    from repro.errors import SchedulingError
 
     lines: list[str] = []
     for clients in levels:
+        # Both modes run with the determinism re-run included (two
+        # scheduler passes each), so the reported walls compare
+        # like-for-like.
+        start = time.perf_counter()
         report = run_serve(clients, check_determinism=True)
+        batch_wall = time.perf_counter() - start
+        start = time.perf_counter()
+        online = run_serve(clients, online=True, check_determinism=True)
+        online_wall = time.perf_counter() - start
+        if fingerprint(online) != fingerprint(report):
+            raise SchedulingError(
+                f"online admission diverged from batch at {clients} clients"
+            )
+        if online.makespan != report.makespan:
+            raise SchedulingError(
+                f"online makespan {online.makespan!r} != batch "
+                f"{report.makespan!r} at {clients} clients"
+            )
         lines.append(
             f"serve[{clients:2d} clients]: makespan {report.makespan:10.6f} s, "
             f"serial {report.serial_makespan:10.6f} s, peak "
             f"{report.peak_reserved_bytes / 1e9:.2f}/"
             f"{report.capacity_bytes / 1e9:.2f} GB, "
-            f"{report.degraded_count} degraded  ok"
+            f"{report.degraded_count} degraded, online==batch "
+            f"(wall {online_wall:.2f} s vs {batch_wall:.2f} s)  ok"
         )
     return lines
 
@@ -194,7 +221,10 @@ def main() -> int:
     print(f"all {len(rows)} strategies agree within {DEFAULT_TOLERANCE:g} s")
     for line in run_serve_regression():
         print(line)
-    print("serving scheduler deterministic and within arena capacity")
+    print(
+        "serving scheduler deterministic, within arena capacity, and "
+        "online == batch"
+    )
     return 0
 
 

@@ -13,6 +13,13 @@ speedup: greedy FIFO interleaving is subject to Graham scheduling
 anomalies, so tiny workloads can lose a few percent to serial execution
 and that is a measurement, not a bug.
 
+``--online`` switches the scheduler to incremental schedule extension
+(:meth:`~repro.serve.scheduler.QueryScheduler.run_online`): outcomes are
+bit-identical to batch mode (asserted by ``bench/regress.py`` and
+``tests/serve/test_online.py``), only the wall clock changes.
+``--arrival-rate R`` spaces submissions ``1/R`` simulated seconds apart
+to model an open arrival process.
+
 Run via the CLI (``python -m repro.bench serve --clients 16``) or call
 :func:`run_serve` / :func:`sweep` from tests.
 """
@@ -107,7 +114,10 @@ def verify_report(
         )
 
 
-def _fingerprint(report: ServeReport) -> list[tuple]:
+def fingerprint(report: ServeReport) -> list[tuple]:
+    """Canonical per-query outcome fingerprint, used by every
+    determinism and online-vs-batch equivalence check (here, in
+    ``bench/regress.py`` and in ``tests/serve``)."""
     return [
         (o.qid, o.strategy, o.reserved_bytes, o.admit_at, o.finish_at)
         for o in report.outcomes
@@ -119,13 +129,21 @@ def run_serve(
     *,
     scale: float = 1.0,
     spacing_seconds: float = 0.0,
+    online: bool = False,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
-    """Schedule ``clients`` mixed queries and verify the guarantees."""
+    """Schedule ``clients`` mixed queries and verify the guarantees.
+
+    ``online=True`` runs the arrival-driven incremental-extension mode
+    (:meth:`~repro.serve.scheduler.QueryScheduler.run_online`); the
+    determinism re-run then also uses online mode, so the check guards
+    the incremental path itself.
+    """
     requests = mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
     scheduler = scheduler or QueryScheduler()
-    report = scheduler.run(requests)
+    run = scheduler.run_online if online else scheduler.run
+    report = run(requests)
     canonical = (
         scale == 1.0
         and spacing_seconds == 0.0
@@ -133,11 +151,15 @@ def run_serve(
     )
     verify_report(report, clients=clients, check_serial=canonical)
     if check_determinism:
-        rerun = QueryScheduler(
+        fresh = QueryScheduler(
             scheduler.system, scheduler.calibration, scheduler.config,
             lanes=scheduler.lanes, max_degradation=scheduler.max_degradation,
-        ).run(mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds))
-        if _fingerprint(rerun) != _fingerprint(report):
+        )
+        rerun_fn = fresh.run_online if online else fresh.run
+        rerun = rerun_fn(
+            mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
+        )
+        if fingerprint(rerun) != fingerprint(report):
             raise SchedulingError(
                 f"serve schedule is non-deterministic at {clients} clients"
             )
@@ -149,6 +171,7 @@ def sweep(
     *,
     scale: float = 1.0,
     spacing_seconds: float = 0.0,
+    online: bool = False,
     check_determinism: bool = True,
 ) -> list[ServePoint]:
     """Throughput/latency versus offered concurrency."""
@@ -158,6 +181,7 @@ def sweep(
             clients,
             scale=scale,
             spacing_seconds=spacing_seconds,
+            online=online,
             check_determinism=check_determinism,
         )
         points.append(
@@ -218,19 +242,46 @@ def serve_main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="seconds between query submissions (default 0: one batch)",
     )
+    parser.add_argument(
+        "--online",
+        action="store_true",
+        help="arrival-driven admission with incremental schedule "
+        "extension (same outcomes as batch mode, lower wall clock)",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="offered arrival rate in queries per simulated second "
+        "(submissions spaced 1/R apart; mutually exclusive with --spacing)",
+    )
     args = parser.parse_args(argv)
 
     if args.clients is not None and args.sweep:
         parser.error("--clients and --sweep are mutually exclusive")
     if args.clients is not None and args.clients <= 0:
         parser.error("--clients must be positive")
+    if args.arrival_rate is not None:
+        if args.arrival_rate <= 0:
+            parser.error("--arrival-rate must be positive")
+        if args.spacing != 0.0:
+            parser.error("--arrival-rate and --spacing are mutually exclusive")
+        spacing = 1.0 / args.arrival_rate
+    else:
+        spacing = args.spacing
 
-    canonical = args.scale == 1.0 and args.spacing == 0.0
+    canonical = args.scale == 1.0 and spacing == 0.0
+    mode = "online (incremental extension)" if args.online else "batch"
 
     if args.clients is not None:
         report = run_serve(
-            args.clients, scale=args.scale, spacing_seconds=args.spacing
+            args.clients,
+            scale=args.scale,
+            spacing_seconds=spacing,
+            online=args.online,
         )
+        print(f"admission mode: {mode}")
         print(report.render())
         if args.clients > 1 and canonical:
             print(
@@ -251,7 +302,10 @@ def serve_main(argv: list[str] | None = None) -> int:
             parser.error("--sweep levels must be positive")
     else:
         levels = DEFAULT_CLIENTS
-    points = sweep(levels, scale=args.scale, spacing_seconds=args.spacing)
+    points = sweep(
+        levels, scale=args.scale, spacing_seconds=spacing, online=args.online
+    )
+    print(f"admission mode: {mode}")
     print(render_sweep(points))
     if canonical:
         print(

@@ -26,7 +26,16 @@ Metrics are stored and returned as defensive copies (their ``phases`` /
 ``notes`` dicts are mutable), so callers can annotate a result without
 poisoning later hits.  Correctness does not depend on the cache: with
 ``configure(enabled=False)`` every estimate recomputes and must produce
-the same numbers — asserted by ``tests/core/test_estimate_cache.py``.
+the same numbers — asserted by ``tests/core/test_estimate_cache.py``
+and by ``bench/regress.py``'s cold-vs-hit column on every strategy.
+
+Caveats: the cache is **process-wide mutable state**.  Deterministic
+replay is unaffected (a hit returns exactly what recomputation would),
+but wall-clock benchmarks must :func:`clear` between repetitions or
+they measure memoization, and tests that disable the cache should
+re-enable it (``configure(enabled=True)``) to avoid slowing the rest
+of the suite.  All cached metrics are in the cost model's native
+units: simulated seconds and bytes.
 """
 
 from __future__ import annotations

@@ -24,7 +24,8 @@ from repro.errors import DeviceMemoryOverflowError
 
 @dataclass(frozen=True)
 class Reservation:
-    """One query's granted slice of device memory."""
+    """One query's granted slice of device memory (``nbytes`` bytes,
+    granted at ``granted_at`` simulated seconds)."""
 
     owner: str
     nbytes: int
@@ -33,7 +34,18 @@ class Reservation:
 
 @dataclass
 class DeviceMemoryArena:
-    """Capacity-checked reservation ledger shared by concurrent queries."""
+    """Capacity-checked reservation ledger shared by concurrent queries.
+
+    All sizes (``capacity_bytes``, ``used_bytes``, ``free_bytes``,
+    ``peak_bytes``) are **bytes**; the ``at`` timestamps recorded in
+    reservations and the :attr:`timeline` are **simulated seconds**
+    supplied by the scheduler's clock — the arena never reads a wall
+    clock, so a request sequence replays to an identical ledger.
+    Tasks placed incrementally by the online admission mode release
+    their reservations at the same simulated finish times as under
+    batch re-simulation, so both modes produce the same timeline and
+    the same exact high-water mark.
+    """
 
     capacity_bytes: int
     reservations: dict[str, Reservation] = field(default_factory=dict)

@@ -30,6 +30,15 @@ class PipelineEngine:
     ``resources`` optionally maps resource names to lane counts (or is a
     collection of :class:`ResourcePool`); unnamed resources default to a
     single lane, i.e. one serially-executing queue.
+
+    All task durations, release times and schedule timestamps are
+    **simulated seconds** on the modelled device, never wall clock.
+    Simulation is deterministic: the same submission order, durations,
+    dependencies and lane counts always yield the same schedule —
+    ties are broken by submission order and lowest lane index, and no
+    unordered-container iteration or randomness is involved.  The three
+    entry points (:meth:`run`, :meth:`run_reference`, :meth:`extend`)
+    are pinned to identical schedules by the pipeline test suite.
     """
 
     def __init__(
@@ -200,7 +209,218 @@ class PipelineEngine:
             for child in dependents[name]:
                 indegree[child] -= 1
                 maybe_push(self._by_name[child])
+        schedule.lane_state = {
+            resource: sorted(heap) for resource, heap in lane_free.items()
+        }
         return schedule
+
+    # ------------------------------------------------------------------
+    def extend(
+        self,
+        schedule: Schedule,
+        new_tasks: list[Task],
+        *,
+        in_place: bool = False,
+    ) -> Schedule:
+        """Incrementally place ``new_tasks`` on top of ``schedule``.
+
+        ``schedule`` must be the result of :meth:`run` (or a previous
+        :meth:`extend`) over *every* task currently in the engine; the
+        new tasks are appended to their resources' FIFO queues and the
+        combined schedule is returned, **without re-simulating the
+        already-placed graph**.  This is what makes per-arrival
+        re-scheduling in the serving layer cheap: one admission wave
+        costs O(new tasks), not O(all tasks admitted so far).
+
+        Equivalence (pinned by ``tests/pipeline/test_engine_extend.py``
+        and kept honest by retaining :meth:`run` as the oracle): since
+        tasks already in the engine occupy earlier positions of every
+        FIFO queue and never depend on later submissions, their start
+        times, finishes and lane assignments are unaffected by the new
+        tasks — so carrying over the end-of-run per-pool lane heaps
+        (:attr:`~repro.pipeline.tasks.Schedule.lane_state`) and the
+        recorded finish times reproduces, bit-for-bit, the schedule a
+        full :meth:`run` over old + new tasks would compute.
+
+        New tasks may depend on already-scheduled tasks or on each
+        other, carry ``available_at`` release times (simulated seconds,
+        e.g. the admission clock of a newly admitted query), and may
+        introduce new resources (defaulting to one lane).  The engine's
+        task list is extended, so a subsequent full :meth:`run` — or
+        another :meth:`extend` — covers old and new tasks alike.
+
+        By default the input ``schedule`` is left untouched and a
+        combined copy is returned — copying the accumulated task dict
+        costs O(all tasks so far) per wave.  Callers that retire the
+        input schedule anyway (the serve scheduler's online mode) pass
+        ``in_place=True`` to mutate and return ``schedule`` itself,
+        making a wave genuinely O(new tasks).
+
+        Raises :class:`SchedulingError` when ``schedule`` does not
+        cover the engine's current tasks, when a new task duplicates a
+        name / has negative duration or ``available_at`` / depends on
+        an unknown task, when lane counts changed since ``schedule``
+        was computed, or when the new tasks deadlock.  A rejected
+        batch — including a deadlocked one — rolls back: the engine
+        and, with ``in_place=True``, the schedule are left exactly as
+        they were, still extendable.
+        """
+        if len(schedule.tasks) != len(self._tasks):
+            raise SchedulingError(
+                f"stale schedule: covers {len(schedule.tasks)} tasks but "
+                f"the engine holds {len(self._tasks)}; extend() needs the "
+                "schedule of exactly the tasks already submitted"
+            )
+        new_names = {task.name for task in new_tasks}
+        if len(new_names) != len(new_tasks):
+            raise SchedulingError("duplicate task names in new_tasks")
+        # Validate everything up front so a bad batch leaves the engine
+        # (and the caller's schedule) untouched.
+        for task in new_tasks:
+            if task.name in self._by_name:
+                raise SchedulingError(f"duplicate task name: {task.name!r}")
+            if task.duration < 0:
+                raise SchedulingError(
+                    f"negative duration for task {task.name!r}"
+                )
+            if task.available_at < 0:
+                raise SchedulingError(
+                    f"negative available_at for task {task.name!r}"
+                )
+            for dep in task.deps:
+                if dep not in self._by_name and dep not in new_names:
+                    raise SchedulingError(
+                        f"task {task.name!r} depends on unknown task {dep!r}"
+                    )
+        for resource, lanes in schedule.lanes.items():
+            if lanes != self.lanes_of(resource):
+                raise SchedulingError(
+                    f"resource {resource!r} changed from {lanes} to "
+                    f"{self.lanes_of(resource)} lanes since the schedule "
+                    "was computed; lane counts must be declared up front"
+                )
+        for task in new_tasks:
+            self.add(task)  # validates name collisions and durations
+
+        queues: dict[str, list[Task]] = defaultdict(list)
+        position: dict[str, int] = {}
+        for task in new_tasks:
+            position[task.name] = len(queues[task.resource])
+            queues[task.resource].append(task)
+        cursor = {resource: 0 for resource in queues}
+        # Carried-over lane heaps: each pool resumes from the free
+        # times the previous run left behind (sorted lists are valid
+        # heaps, so pop order matches an uninterrupted simulation).
+        lane_free: dict[str, list[tuple[float, int]]] = {}
+        for resource in queues:
+            state = schedule.lane_state.get(resource)
+            if state is None:
+                state = self._reconstruct_lane_state(schedule, resource)
+            lane_free[resource] = list(state)
+
+        old = schedule.tasks
+        finish_at: dict[str, float] = {}
+
+        def dep_finish(dep: str) -> float:
+            got = finish_at.get(dep)
+            return got if got is not None else old[dep].finish
+
+        indegree: dict[str, int] = {}
+        dependents: dict[str, list[str]] = defaultdict(list)
+        for task in new_tasks:
+            unresolved = {dep for dep in task.deps if dep in new_names}
+            indegree[task.name] = len(unresolved)
+            for dep in unresolved:
+                dependents[dep].append(task.name)
+
+        if in_place:
+            combined = schedule
+        else:
+            combined = Schedule(
+                tasks=dict(schedule.tasks),
+                lanes=dict(schedule.lanes),
+                lane_state=dict(schedule.lane_state),
+            )
+        added_lanes: list[str] = []
+        for resource in queues:
+            if resource not in combined.lanes:
+                combined.lanes[resource] = self.lanes_of(resource)
+                added_lanes.append(resource)
+
+        calendar: list[tuple[float, int, str]] = []
+        queued: set[str] = set()
+        sequence = 0
+
+        def maybe_push(task: Task) -> None:
+            nonlocal sequence
+            if (
+                task.name in queued
+                or indegree[task.name] > 0
+                or cursor[task.resource] != position[task.name]
+            ):
+                return
+            dep_ready = max(
+                (dep_finish(dep) for dep in task.deps), default=0.0
+            )
+            start = max(lane_free[task.resource][0][0], dep_ready, task.available_at)
+            heapq.heappush(calendar, (start, sequence, task.name))
+            queued.add(task.name)
+            sequence += 1
+
+        for queue in queues.values():
+            maybe_push(queue[0])
+
+        remaining = len(new_tasks)
+        while remaining:
+            if not calendar:
+                pending = [
+                    queue[cursor[resource]].name
+                    for resource, queue in queues.items()
+                    if cursor[resource] < len(queue)
+                ]
+                # Roll back: a deadlocked batch must leave the engine
+                # (and, in place, the schedule) extendable, like every
+                # other rejected batch.
+                del self._tasks[len(self._tasks) - len(new_tasks):]
+                for task in new_tasks:
+                    del self._by_name[task.name]
+                    combined.tasks.pop(task.name, None)
+                for resource in added_lanes:
+                    del combined.lanes[resource]
+                raise SchedulingError(
+                    f"pipeline deadlock: queue heads {pending} all blocked "
+                    "(cyclic dependencies across FIFO queues?)"
+                )
+            start, _, name = heapq.heappop(calendar)
+            task = self._by_name[name]
+            _, lane = heapq.heappop(lane_free[task.resource])
+            finish = start + task.duration
+            combined.tasks[name] = ScheduledTask(task, start, finish, lane=lane)
+            finish_at[name] = finish
+            heapq.heappush(lane_free[task.resource], (finish, lane))
+            cursor[task.resource] += 1
+            remaining -= 1
+            queue = queues[task.resource]
+            if cursor[task.resource] < len(queue):
+                maybe_push(queue[cursor[task.resource]])
+            for child in dependents[name]:
+                indegree[child] -= 1
+                maybe_push(self._by_name[child])
+        for resource, heap in lane_free.items():
+            combined.lane_state[resource] = sorted(heap)
+        return combined
+
+    def _reconstruct_lane_state(
+        self, schedule: Schedule, resource: str
+    ) -> list[tuple[float, int]]:
+        """Per-lane free times of one pool, rebuilt from a schedule that
+        did not record :attr:`~repro.pipeline.tasks.Schedule.lane_state`
+        (e.g. one deserialized or hand-built by a test)."""
+        free = [0.0] * self.lanes_of(resource)
+        for item in schedule.tasks.values():
+            if item.task.resource == resource and item.finish > free[item.lane]:
+                free[item.lane] = item.finish
+        return sorted((free_at, lane) for lane, free_at in enumerate(free))
 
     # ------------------------------------------------------------------
     def run_reference(self) -> Schedule:
@@ -270,6 +490,12 @@ class PipelineEngine:
             lane_free[task.resource][best_lane] = finish
             cursor[task.resource] += 1
             remaining -= 1
+        schedule.lane_state = {
+            resource: sorted(
+                (free_at, lane) for lane, free_at in enumerate(frees)
+            )
+            for resource, frees in lane_free.items()
+        }
         return schedule
 
 

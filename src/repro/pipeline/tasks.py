@@ -91,11 +91,26 @@ class ScheduledTask:
 
 @dataclass
 class Schedule:
-    """The result of simulating a task graph."""
+    """The result of simulating a task graph.
+
+    All times are simulated seconds on the modelled device, not wall
+    clock.  A schedule is deterministic: the same task graph (same
+    submission order, durations, dependencies and lane counts) always
+    produces the same start/finish times and lane assignments.
+    """
 
     tasks: dict[str, ScheduledTask] = field(default_factory=dict)
     #: Lane counts of the pools the schedule ran on (default 1 each).
     lanes: dict[str, int] = field(default_factory=dict)
+    #: End-of-run per-pool lane state: ``resource -> sorted list of
+    #: (free_at_seconds, lane_index)``.  This is the carry-over that
+    #: lets :meth:`repro.pipeline.engine.PipelineEngine.extend` place
+    #: newly admitted tasks without re-simulating the whole graph; a
+    #: sorted list is a valid binary heap, so the extension pops lanes
+    #: in exactly the order a full re-run would.
+    lane_state: dict[str, list[tuple[float, int]]] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def makespan(self) -> float:

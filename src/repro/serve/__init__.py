@@ -7,7 +7,10 @@ device — needs more than a single-query planner.  This package runs
 queries share device memory honestly, and the
 :class:`~repro.serve.scheduler.QueryScheduler` admits queries FIFO,
 re-planning each one against the memory actually free at admission and
-lowering all admitted plans into one shared pipeline-engine run.
+lowering all admitted plans into one shared pipeline-engine run — per
+wave in batch mode (``run``), or incrementally per arrival in online
+mode (``run_online``, bit-identical outcomes at a fraction of the
+wall clock).  See ``docs/serving.md`` for the full policy.
 """
 
 from repro.serve.scheduler import (

@@ -24,6 +24,13 @@ is admitted*.  The scheduler:
 * releases the reservation at the query's simulated finish time, which
   is the event that admits the next waiting query.
 
+Two scheduling modes share that admission policy: batch
+(:meth:`QueryScheduler.run`, one full engine re-simulation per
+admission wave) and online (:meth:`QueryScheduler.run_online`,
+incremental schedule extension per arrival via
+:meth:`~repro.pipeline.engine.PipelineEngine.extend`).  Their outcomes
+are bit-identical; only the wall-clock cost differs.
+
 The simulation is deterministic: identical request lists produce
 identical schedules, admissions, and latencies.
 """
@@ -55,7 +62,11 @@ from repro.pipeline.tasks import Schedule, Task
 
 @dataclass(frozen=True)
 class QueryRequest:
-    """One client query: a join workload submitted at a point in time."""
+    """One client query: a join workload submitted at a point in time.
+
+    ``submit_at`` is the arrival time in **simulated seconds** (the
+    clock the scheduler and engine share), not wall clock.
+    """
 
     qid: str
     spec: JoinSpec
@@ -73,7 +84,11 @@ class QueryRequest:
 
 @dataclass
 class QueryOutcome:
-    """How one query fared: placement, timing, and memory."""
+    """How one query fared: placement, timing, and memory.
+
+    ``reserved_bytes`` is the arena grant in **bytes**; every ``*_at``
+    / ``*_seconds`` field is in **simulated seconds**.
+    """
 
     qid: str
     strategy: str
@@ -102,7 +117,14 @@ class QueryOutcome:
 
 @dataclass
 class ServeReport:
-    """The outcome of one scheduler run over a batch of queries."""
+    """The outcome of one scheduler run over a batch of queries.
+
+    ``makespan`` and the latency aggregates are **simulated seconds**;
+    ``capacity_bytes`` / ``peak_reserved_bytes`` are **bytes**.  Batch
+    (:meth:`QueryScheduler.run`) and online
+    (:meth:`QueryScheduler.run_online`) admission produce identical
+    reports for the same requests.
+    """
 
     outcomes: list[QueryOutcome]
     makespan: float
@@ -181,6 +203,16 @@ class ServeReport:
 
 class QueryScheduler:
     """Runs batches of queries concurrently on one simulated GPU.
+
+    Two entry points with **bit-identical outcomes**: :meth:`run`
+    (batch — full re-simulation per admission wave, the executable
+    specification) and :meth:`run_online` (incremental schedule
+    extension, the cheap production path).  Both are deterministic —
+    identical request lists produce identical reports — and both lean
+    on the process-wide :mod:`repro.core.estimate_cache` for every
+    solo/degraded/wait estimate, which is a pure memoization: cached
+    and recomputed estimates are interchangeable.  Memory quantities
+    are **bytes**, times **simulated seconds**.
 
     ``lanes`` optionally widens resource pools for the shared engine
     (e.g. ``{"h2d": 2}`` to model both DMA engines copying inputs);
@@ -314,7 +346,36 @@ class QueryScheduler:
 
     # ------------------------------------------------------------------
     def run(self, requests: list[QueryRequest]) -> ServeReport:
-        """Schedule a batch of queries and simulate to completion."""
+        """Schedule a batch of queries and simulate to completion.
+
+        Arrivals (``submit_at``, simulated seconds) are processed
+        event-by-event, but every admission wave re-simulates the whole
+        shared task graph from scratch — the executable specification
+        that :meth:`run_online` is pinned against.  Deterministic:
+        identical request lists produce identical reports.
+        """
+        return self._serve(requests, incremental=False)
+
+    def run_online(self, requests: list[QueryRequest]) -> ServeReport:
+        """Online admission: extend the shared schedule incrementally.
+
+        Same arrival-driven admission policy (admit / wait / degrade
+        against the arena's live headroom, all placement estimates
+        served by the process-wide estimate cache) and **bit-identical
+        outcomes** to :meth:`run` — later admissions join the tail of
+        every FIFO lane, so already-placed tasks never move.  The
+        difference is cost: each arrival wave is placed by
+        :meth:`~repro.pipeline.engine.PipelineEngine.extend` on top of
+        the carried-over lane heaps, O(new tasks) per wave instead of
+        one full re-simulation, which makes the serve wall clock
+        near-linear in client count.  Equivalence is asserted by
+        ``tests/serve/test_online.py`` and ``bench/regress.py``.
+        """
+        return self._serve(requests, incremental=True)
+
+    def _serve(
+        self, requests: list[QueryRequest], *, incremental: bool
+    ) -> ServeReport:
         if len({r.qid for r in requests}) != len(requests):
             raise InvalidConfigError("query ids must be unique")
         capacity = self.system.gpu.device_memory
@@ -329,6 +390,9 @@ class QueryScheduler:
             sorted(requests, key=lambda r: r.submit_at)
         )
         tasks: list[Task] = []
+        #: Tasks admitted since the last engine pass (incremental mode).
+        wave_tasks: list[Task] = []
+        engine: PipelineEngine | None = None
         resources: dict[str, int] = dict(self.lanes)
         task_names: dict[str, list[str]] = {}
         outcomes: dict[str, QueryOutcome] = {}
@@ -414,6 +478,8 @@ class QueryScheduler:
                     resources[name] = max(resources.get(name, 1), width)
                 namespaced = self._namespace(plan, request.qid, clock)
                 tasks.extend(namespaced)
+                if incremental:
+                    wave_tasks.extend(namespaced)
                 task_names[request.qid] = [task.name for task in namespaced]
                 outcomes[request.qid] = QueryOutcome(
                     qid=request.qid,
@@ -446,13 +512,26 @@ class QueryScheduler:
                     f"query {head.qid!r} cannot be admitted on an idle device"
                 )
 
-            # One shared engine run over every task admitted so far —
-            # re-run only when admissions added tasks: FIFO queues mean
+            # One shared engine pass over the tasks admitted so far —
+            # run only when admissions added tasks: FIFO queues mean
             # later admissions never perturb earlier queries' start
             # times, so finish events stay stable across re-runs and a
             # clean schedule can be reused across pure release events.
+            # Batch mode re-simulates the whole graph; online mode
+            # extends the carried-over schedule with just this wave's
+            # tasks (bit-identical by the FIFO-tail argument above).
             if schedule_dirty:
-                schedule = self._run_engine(tasks, resources)
+                if incremental:
+                    if engine is None:
+                        engine = PipelineEngine(resources)
+                    # The pre-extension schedule is never used again,
+                    # so extend in place: O(new tasks) per wave.
+                    schedule = engine.extend(
+                        schedule, wave_tasks, in_place=True
+                    )
+                    wave_tasks = []
+                else:
+                    schedule = self._run_engine(tasks, resources)
                 schedule_dirty = False
             finishes = {
                 qid: max(schedule.tasks[name].finish for name in task_names[qid])

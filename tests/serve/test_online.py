@@ -1,0 +1,96 @@
+"""Online admission (incremental schedule extension) vs batch mode.
+
+``QueryScheduler.run_online`` must reproduce ``run``'s per-query
+admissions, placements, start/finish times and lane assignments
+**exactly** — it only replaces the per-wave full re-simulation with
+``PipelineEngine.extend`` over the carried-over lane state.  These
+tests pin that equivalence on the mixed serving workload, batched and
+staggered, and check the online mode's own determinism and arena
+accounting.
+"""
+
+import pytest
+
+from repro.bench.serve_bench import fingerprint as _fingerprint
+from repro.bench.serve_bench import run_serve, verify_report
+from repro.serve import QueryScheduler, mixed_workload
+
+
+def _assert_schedules_identical(left, right):
+    assert set(left.schedule.tasks) == set(right.schedule.tasks)
+    for name, expected in right.schedule.tasks.items():
+        actual = left.schedule.tasks[name]
+        assert (actual.start, actual.finish, actual.lane) == (
+            expected.start,
+            expected.finish,
+            expected.lane,
+        ), name
+
+
+@pytest.mark.parametrize("clients", [1, 4, 8])
+def test_online_matches_batch_for_batched_arrivals(clients):
+    batch = QueryScheduler().run(mixed_workload(clients))
+    online = QueryScheduler().run_online(mixed_workload(clients))
+    assert _fingerprint(online) == _fingerprint(batch)
+    assert online.makespan == batch.makespan
+    assert online.peak_reserved_bytes == batch.peak_reserved_bytes
+    _assert_schedules_identical(online, batch)
+
+
+@pytest.mark.parametrize("spacing", [0.05, 0.25, 1.0])
+def test_online_matches_batch_for_staggered_arrivals(spacing):
+    """Arrival-driven admission: every submit_at is its own wave."""
+    batch = QueryScheduler().run(
+        mixed_workload(8, spacing_seconds=spacing)
+    )
+    online = QueryScheduler().run_online(
+        mixed_workload(8, spacing_seconds=spacing)
+    )
+    assert _fingerprint(online) == _fingerprint(batch)
+    assert online.makespan == batch.makespan
+    _assert_schedules_identical(online, batch)
+
+
+def test_online_matches_batch_under_eager_degradation():
+    """max_degradation=None exercises the degrade-eagerly policy arm."""
+    batch = QueryScheduler(max_degradation=None).run(mixed_workload(8))
+    online = QueryScheduler(max_degradation=None).run_online(
+        mixed_workload(8)
+    )
+    assert _fingerprint(online) == _fingerprint(batch)
+    assert online.makespan == batch.makespan
+
+
+def test_online_mode_is_deterministic():
+    first = QueryScheduler().run_online(
+        mixed_workload(8, spacing_seconds=0.1)
+    )
+    second = QueryScheduler().run_online(
+        mixed_workload(8, spacing_seconds=0.1)
+    )
+    assert _fingerprint(first) == _fingerprint(second)
+    assert first.makespan == second.makespan
+    # Same admission order (admit times are part of the fingerprint)
+    # and same wall-clock-independent simulated schedule.
+    _assert_schedules_identical(first, second)
+
+
+def test_online_report_passes_serving_guarantees():
+    report = QueryScheduler().run_online(mixed_workload(8))
+    verify_report(report, clients=8, check_serial=True)
+    assert report.peak_reserved_bytes <= report.capacity_bytes
+
+
+def test_run_serve_online_checks_determinism_and_guarantees():
+    report = run_serve(4, online=True, check_determinism=True)
+    assert len(report.outcomes) == 4
+    assert report.makespan > 0
+
+
+def test_online_matches_batch_with_widened_lanes():
+    """Up-front lane declarations flow into the incremental engine."""
+    batch = QueryScheduler(lanes={"h2d": 2}).run(mixed_workload(4))
+    online = QueryScheduler(lanes={"h2d": 2}).run_online(mixed_workload(4))
+    assert _fingerprint(online) == _fingerprint(batch)
+    assert online.makespan == batch.makespan
+    _assert_schedules_identical(online, batch)

@@ -5,15 +5,9 @@ import pytest
 from repro.core.strategy import GPU_RESIDENT, STREAMING, strategy_factory
 from repro.data.spec import unique_pair
 from repro.errors import InvalidConfigError, SchedulingError
+from repro.bench.serve_bench import fingerprint as _fingerprint
 from repro.serve import QueryRequest, QueryScheduler, mixed_workload
 from repro.serve.workload import M
-
-
-def _fingerprint(report):
-    return [
-        (o.qid, o.strategy, o.reserved_bytes, o.admit_at, o.finish_at)
-        for o in report.outcomes
-    ]
 
 
 def test_empty_batch():

@@ -1,0 +1,71 @@
+"""The CI docs checker: link resolution, anchors, and README doctests."""
+
+import importlib.util
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+
+spec = importlib.util.spec_from_file_location(
+    "check_docs", REPO_ROOT / "tools" / "check_docs.py"
+)
+check_docs = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(check_docs)
+
+
+def test_repo_docs_are_clean():
+    assert check_docs.check_links() == []
+    assert check_docs.check_doctests() == []
+
+
+def test_github_anchor_slugs():
+    assert check_docs.github_anchor("The arena ledger") == "the-arena-ledger"
+    assert check_docs.github_anchor("Batch vs online mode") == (
+        "batch-vs-online-mode"
+    )
+    assert check_docs.github_anchor("`JoinStrategy` protocol + registry "
+                                    "(`repro.core.strategy`)") == (
+        "joinstrategy-protocol--registry-reprocorestrategy"
+    )
+
+
+def test_broken_link_and_anchor_detected(tmp_path, monkeypatch):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "real.md").write_text("# A Heading\n\ntext\n")
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/real.md)\n"
+        "[ok anchor](docs/real.md#a-heading)\n"
+        "[ghost](docs/missing.md)\n"
+        "[bad anchor](docs/real.md#nope)\n"
+        "[external](https://example.com/nothing)\n"
+        "```pycon\n>>> 1 + 1\n2\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_links()
+    assert len(errors) == 2
+    assert any("missing.md" in error for error in errors)
+    assert any("#nope" in error for error in errors)
+    assert check_docs.check_doctests() == []
+
+
+def test_failing_doctest_detected(tmp_path, monkeypatch):
+    (tmp_path / "README.md").write_text("```pycon\n>>> 1 + 1\n3\n```\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_doctests()
+    assert len(errors) == 1
+    assert "doctest" in errors[0]
+
+
+def test_missing_quickstart_block_detected(tmp_path, monkeypatch):
+    (tmp_path / "README.md").write_text("no snippets here\n")
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_doctests()
+    assert any("pycon" in error for error in errors)
+
+
+def test_links_inside_code_fences_ignored(tmp_path, monkeypatch):
+    (tmp_path / "README.md").write_text(
+        "```\n[not a link](nowhere.md)\n```\n```pycon\n>>> 2\n2\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    assert check_docs.check_links() == []
