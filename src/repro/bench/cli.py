@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench --figure 12 --scale 0.01   # quick smoke run
     python -m repro.bench serve --clients 16  # multi-query serving bench
     python -m repro.bench serve --online --clients 64 --arrival-rate 8
+    python -m repro.bench serve --clients 16 --devices 2 --online  # sharded fleet
     python -m repro.bench perf --quick        # tracked micro-benchmarks
 """
 

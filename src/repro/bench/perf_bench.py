@@ -19,6 +19,10 @@ anecdotes:
 * ``serve_online_wall[<clients>]`` — the same workload through the
   online admission mode (incremental schedule extension, bit-identical
   outcomes), the serving layer's production path;
+* ``serve_sharded_wall[<clients>]`` — the same workload scheduled in
+  batch mode across a two-device fleet (per-device arenas + engines,
+  least-loaded placement); comparable against ``serve_wall`` to track
+  the sharding layer's scheduling overhead/win per release;
 * ``engine_tasks_per_sec`` — event-driven :class:`PipelineEngine`
   throughput on a synthetic double-buffered multi-query task graph.
 
@@ -111,23 +115,20 @@ def bench_serve(*, quick: bool) -> dict[str, PerfEntry]:
     from repro.bench.serve_bench import run_serve
 
     levels = (4, 16) if quick else (4, 16, 64)
+    variants = (
+        ("serve_wall", {}),
+        ("serve_online_wall", {"online": True}),
+        ("serve_sharded_wall", {"devices": 2}),
+    )
     entries: dict[str, PerfEntry] = {}
-    for clients in levels:
+    for name, kwargs in variants:
+        for clients in levels:
 
-        def serve(clients=clients) -> None:
-            estimate_cache.clear()
-            run_serve(clients, check_determinism=False)
+            def serve(clients=clients, kwargs=kwargs) -> None:
+                estimate_cache.clear()
+                run_serve(clients, check_determinism=False, **kwargs)
 
-        entries[f"serve_wall[{clients}]"] = _measure(serve, repeats=1)
-    for clients in levels:
-
-        def serve_online(clients=clients) -> None:
-            estimate_cache.clear()
-            run_serve(clients, online=True, check_determinism=False)
-
-        entries[f"serve_online_wall[{clients}]"] = _measure(
-            serve_online, repeats=1
-        )
+            entries[f"{name}[{clients}]"] = _measure(serve, repeats=1)
     return entries
 
 

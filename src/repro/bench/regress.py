@@ -24,10 +24,12 @@ Run as a module (``python -m repro.bench.regress``) for a table, or
 call :func:`run_regression` from tests.
 
 The module also guards the serving layer (:func:`run_serve_regression`):
-a small concurrency sweep must be deterministic, keep the shared arena
-within device capacity, beat serial back-to-back execution, and produce
-**identical** per-query outcomes through the online incremental-
-extension mode and the batch full-re-simulation mode — the invariants
+a small concurrency sweep must be deterministic, keep every device's
+arena within capacity and drained, beat serial back-to-back execution,
+and produce **identical** per-query outcomes through the online
+incremental-extension mode and the batch full-re-simulation mode — on
+one device *and* on a two-device sharded fleet, whose makespan must
+additionally never exceed the single-device makespan — the invariants
 the scheduler promises on every PR.
 """
 
@@ -164,6 +166,10 @@ def render(rows: list[RegressRow], tolerance: float = DEFAULT_TOLERANCE) -> str:
 SERVE_REGRESSION_CLIENTS = (1, 4, 8)
 
 
+#: Fleet size of the sharded serving regression.
+SERVE_REGRESSION_DEVICES = 2
+
+
 def run_serve_regression(
     levels: tuple[int, ...] = SERVE_REGRESSION_CLIENTS,
 ) -> list[str]:
@@ -174,12 +180,20 @@ def run_serve_regression(
     the online incremental-extension mode, whose per-query admissions,
     placements and finish times must be **identical** to batch mode —
     the serving-layer face of the ``extend()``-equals-``run()``
-    guarantee.  Any violation raises
+    guarantee — and then repeats the pair on a
+    :data:`SERVE_REGRESSION_DEVICES`-device sharded fleet, where the
+    same online==batch identity must hold (device assignments included)
+    and the fleet makespan must never exceed the single-device
+    makespan.  Any violation raises
     :class:`~repro.errors.SchedulingError`.
     """
     import time
 
-    from repro.bench.serve_bench import fingerprint, run_serve
+    from repro.bench.serve_bench import (
+        fingerprint,
+        fingerprint_sharded,
+        run_serve,
+    )
     from repro.errors import SchedulingError
 
     lines: list[str] = []
@@ -210,6 +224,35 @@ def run_serve_regression(
             f"{report.degraded_count} degraded, online==batch "
             f"(wall {online_wall:.2f} s vs {batch_wall:.2f} s)  ok"
         )
+
+        devices = SERVE_REGRESSION_DEVICES
+        sharded = run_serve(clients, devices=devices, check_determinism=True)
+        sharded_online = run_serve(
+            clients, devices=devices, online=True, check_determinism=True
+        )
+        if fingerprint_sharded(sharded_online) != fingerprint_sharded(sharded):
+            raise SchedulingError(
+                f"sharded online admission diverged from batch at "
+                f"{clients} clients on {devices} devices"
+            )
+        if sharded_online.makespan != sharded.makespan:
+            raise SchedulingError(
+                f"sharded online makespan {sharded_online.makespan!r} != "
+                f"batch {sharded.makespan!r} at {clients} clients"
+            )
+        if sharded.makespan > report.makespan * (1 + 1e-9):
+            raise SchedulingError(
+                f"sharding regressed the makespan at {clients} clients: "
+                f"{devices} devices {sharded.makespan:.6f} s vs one device "
+                f"{report.makespan:.6f} s"
+            )
+        lines.append(
+            f"serve[{clients:2d} clients, {devices} devices]: makespan "
+            f"{sharded.makespan:10.6f} s "
+            f"({report.makespan / sharded.makespan:.2f}x vs one device), "
+            f"peaks {'/'.join(f'{p / 1e9:.2f}' for p in sharded.device_peak_bytes)} GB, "
+            "online==batch  ok"
+        )
     return lines
 
 
@@ -222,8 +265,8 @@ def main() -> int:
     for line in run_serve_regression():
         print(line)
     print(
-        "serving scheduler deterministic, within arena capacity, and "
-        "online == batch"
+        "serving scheduler deterministic, every arena within capacity and "
+        "drained, online == batch, sharding never regresses the makespan"
     )
     return 0
 

@@ -3,11 +3,12 @@
 Sweeps offered concurrency (1–64 clients) over the deterministic mixed
 workload of :mod:`repro.serve.workload` and reports queries/second,
 per-query latency, and the speedup of the concurrent schedule over
-serial back-to-back execution.  Every run is verified: the arena must
-never over-reserve device memory and the schedule must be bit-identical
-across repeated runs.  For the canonical workload (default scale, one
-batch, bounded degradation) the concurrent makespan must additionally
-never exceed the serial sum of solo times, strictly beating it whenever
+serial back-to-back execution.  Every run is verified: no device's
+arena may ever over-reserve its memory, every arena must drain (all
+reservations returned), and the schedule must be bit-identical across
+repeated runs.  For the canonical workload (default scale, one batch,
+bounded degradation) the concurrent makespan must additionally never
+exceed the serial sum of solo times, strictly beating it whenever
 queries actually overlapped.  Off-scale workloads only *report* the
 speedup: greedy FIFO interleaving is subject to Graham scheduling
 anomalies, so tiny workloads can lose a few percent to serial execution
@@ -18,9 +19,14 @@ and that is a measurement, not a bug.
 bit-identical to batch mode (asserted by ``bench/regress.py`` and
 ``tests/serve/test_online.py``), only the wall clock changes.
 ``--arrival-rate R`` spaces submissions ``1/R`` simulated seconds apart
-to model an open arrival process.
+to model an open arrival process.  ``--devices K`` shards the fleet —
+per-device arenas and engines with a placement policy
+(``--placement``, default least-loaded) choosing the device per
+admission; ``--devices 1`` is bit-identical to the historical
+single-device scheduler.
 
-Run via the CLI (``python -m repro.bench serve --clients 16``) or call
+Run via the CLI (``python -m repro.bench serve --clients 16``, or
+``... serve --clients 16 --devices 2 --online``) or call
 :func:`run_serve` / :func:`sweep` from tests.
 """
 
@@ -30,6 +36,7 @@ import argparse
 from dataclasses import dataclass
 
 from repro.errors import SchedulingError
+from repro.serve.placement import LEAST_LOADED, registered_placement_policies
 from repro.serve.scheduler import QueryScheduler, ServeReport
 from repro.serve.workload import mixed_workload
 
@@ -49,6 +56,7 @@ class ServePoint:
     p95_latency: float
     degraded: int
     peak_gb: float
+    devices: int = 1
 
     @property
     def speedup(self) -> float:
@@ -61,6 +69,8 @@ def _has_cross_query_overlap(report: ServeReport) -> bool:
     Batches whose admitted plans are all serial chains on the GPU queue
     (tiny workloads at small ``--scale``) cannot overlap at all; for
     them concurrent == serial is the correct result, not a failure.
+    Queries on different fleet devices count as overlapping whenever
+    their task windows intersect in time — that *is* the sharding win.
     """
     if report.schedule is None:
         return False
@@ -91,11 +101,20 @@ def verify_report(
     percent to Graham scheduling anomalies of the greedy FIFO
     interleaving — reported as a sub-1.0x speedup rather than raised.
     """
-    if report.peak_reserved_bytes > report.capacity_bytes:
-        raise SchedulingError(
-            f"arena over-reserved: peak {report.peak_reserved_bytes} > "
-            f"capacity {report.capacity_bytes}"
-        )
+    peaks = report.device_peak_bytes or (report.peak_reserved_bytes,)
+    for device, peak in enumerate(peaks):
+        if peak > report.capacity_bytes:
+            raise SchedulingError(
+                f"arena over-reserved on device {device}: peak {peak} > "
+                f"capacity {report.capacity_bytes}"
+            )
+    for arena in report.arenas or ():
+        arena.check_invariants()
+        if not arena.drained:
+            raise SchedulingError(
+                f"device {arena.device} arena did not drain: "
+                f"{sorted(arena.reservations)} still reserved"
+            )
     if clients <= 1 or not check_serial:
         return
     # Concurrency may never lose to serial back-to-back execution
@@ -117,9 +136,20 @@ def verify_report(
 def fingerprint(report: ServeReport) -> list[tuple]:
     """Canonical per-query outcome fingerprint, used by every
     determinism and online-vs-batch equivalence check (here, in
-    ``bench/regress.py`` and in ``tests/serve``)."""
+    ``bench/regress.py`` and in ``tests/serve``).  Deliberately
+    device-blind so recorded single-device golden schedules stay
+    comparable; sharded checks add :func:`fingerprint_sharded`."""
     return [
         (o.qid, o.strategy, o.reserved_bytes, o.admit_at, o.finish_at)
+        for o in report.outcomes
+    ]
+
+
+def fingerprint_sharded(report: ServeReport) -> list[tuple]:
+    """:func:`fingerprint` plus the placement device per query — the
+    fingerprint sharded determinism and online==batch checks compare."""
+    return [
+        (o.qid, o.device, o.strategy, o.reserved_bytes, o.admit_at, o.finish_at)
         for o in report.outcomes
     ]
 
@@ -130,6 +160,8 @@ def run_serve(
     scale: float = 1.0,
     spacing_seconds: float = 0.0,
     online: bool = False,
+    devices: int = 1,
+    placement: str = LEAST_LOADED,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
@@ -138,10 +170,11 @@ def run_serve(
     ``online=True`` runs the arrival-driven incremental-extension mode
     (:meth:`~repro.serve.scheduler.QueryScheduler.run_online`); the
     determinism re-run then also uses online mode, so the check guards
-    the incremental path itself.
+    the incremental path itself.  ``devices``/``placement`` shard the
+    fleet (ignored when an explicit ``scheduler`` is passed).
     """
     requests = mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
-    scheduler = scheduler or QueryScheduler()
+    scheduler = scheduler or QueryScheduler(devices=devices, placement=placement)
     run = scheduler.run_online if online else scheduler.run
     report = run(requests)
     canonical = (
@@ -154,14 +187,16 @@ def run_serve(
         fresh = QueryScheduler(
             scheduler.system, scheduler.calibration, scheduler.config,
             lanes=scheduler.lanes, max_degradation=scheduler.max_degradation,
+            devices=scheduler.devices, placement=scheduler.placement,
         )
         rerun_fn = fresh.run_online if online else fresh.run
         rerun = rerun_fn(
             mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
         )
-        if fingerprint(rerun) != fingerprint(report):
+        if fingerprint_sharded(rerun) != fingerprint_sharded(report):
             raise SchedulingError(
-                f"serve schedule is non-deterministic at {clients} clients"
+                f"serve schedule is non-deterministic at {clients} clients "
+                f"on {scheduler.devices} device(s)"
             )
     return report
 
@@ -172,6 +207,8 @@ def sweep(
     scale: float = 1.0,
     spacing_seconds: float = 0.0,
     online: bool = False,
+    devices: int = 1,
+    placement: str = LEAST_LOADED,
     check_determinism: bool = True,
 ) -> list[ServePoint]:
     """Throughput/latency versus offered concurrency."""
@@ -182,6 +219,8 @@ def sweep(
             scale=scale,
             spacing_seconds=spacing_seconds,
             online=online,
+            devices=devices,
+            placement=placement,
             check_determinism=check_determinism,
         )
         points.append(
@@ -194,20 +233,25 @@ def sweep(
                 p95_latency=report.p95_latency,
                 degraded=report.degraded_count,
                 peak_gb=report.peak_reserved_bytes / 1e9,
+                devices=report.devices,
             )
         )
     return points
 
 
 def render_sweep(points: list[ServePoint]) -> str:
+    sharded = any(p.devices > 1 for p in points)
+    device_header = f" {'devs':>4s}" if sharded else ""
     lines = [
-        f"{'clients':>7s} {'q/s':>7s} {'makespan':>9s} {'serial':>8s} "
-        f"{'speedup':>8s} {'mean lat':>9s} {'p95 lat':>8s} "
+        f"{'clients':>7s}{device_header} {'q/s':>7s} {'makespan':>9s} "
+        f"{'serial':>8s} {'speedup':>8s} {'mean lat':>9s} {'p95 lat':>8s} "
         f"{'degraded':>8s} {'peak GB':>8s}"
     ]
     for p in points:
+        device_cell = f" {p.devices:4d}" if sharded else ""
         lines.append(
-            f"{p.clients:7d} {p.queries_per_second:7.2f} {p.makespan:8.3f}s "
+            f"{p.clients:7d}{device_cell} {p.queries_per_second:7.2f} "
+            f"{p.makespan:8.3f}s "
             f"{p.serial_makespan:7.3f}s {p.speedup:7.2f}x {p.mean_latency:8.3f}s "
             f"{p.p95_latency:7.3f}s {p.degraded:8d} {p.peak_gb:8.2f}"
         )
@@ -218,7 +262,7 @@ def serve_main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench serve",
         description="Multi-query GPU serving benchmark: queries/sec and "
-        "latency versus offered concurrency on one simulated device.",
+        "latency versus offered concurrency on a simulated device fleet.",
     )
     parser.add_argument(
         "--clients",
@@ -256,12 +300,30 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="offered arrival rate in queries per simulated second "
         "(submissions spaced 1/R apart; mutually exclusive with --spacing)",
     )
+    parser.add_argument(
+        "--devices",
+        type=int,
+        default=1,
+        metavar="K",
+        help="shard the fleet across K simulated GPUs, each with its own "
+        "memory arena and pipeline engine (default 1: the classic "
+        "single-device scheduler, bit-identical to pre-sharding output)",
+    )
+    parser.add_argument(
+        "--placement",
+        default=LEAST_LOADED,
+        choices=registered_placement_policies(),
+        help="device-placement policy for --devices > 1 "
+        f"(default {LEAST_LOADED})",
+    )
     args = parser.parse_args(argv)
 
     if args.clients is not None and args.sweep:
         parser.error("--clients and --sweep are mutually exclusive")
     if args.clients is not None and args.clients <= 0:
         parser.error("--clients must be positive")
+    if args.devices <= 0:
+        parser.error("--devices must be positive")
     if args.arrival_rate is not None:
         if args.arrival_rate <= 0:
             parser.error("--arrival-rate must be positive")
@@ -273,6 +335,8 @@ def serve_main(argv: list[str] | None = None) -> int:
 
     canonical = args.scale == 1.0 and spacing == 0.0
     mode = "online (incremental extension)" if args.online else "batch"
+    if args.devices > 1:
+        mode += f", {args.devices} devices ({args.placement} placement)"
 
     if args.clients is not None:
         report = run_serve(
@@ -280,17 +344,19 @@ def serve_main(argv: list[str] | None = None) -> int:
             scale=args.scale,
             spacing_seconds=spacing,
             online=args.online,
+            devices=args.devices,
+            placement=args.placement,
         )
         print(f"admission mode: {mode}")
         print(report.render())
         if args.clients > 1 and canonical:
             print(
-                "verified: deterministic, arena within capacity, "
-                "concurrent no worse than serial (strictly better "
-                "wherever queries overlapped)"
+                "verified: deterministic, every arena within capacity and "
+                "drained, concurrent no worse than serial (strictly "
+                "better wherever queries overlapped)"
             )
         else:
-            print("verified: deterministic, arena within capacity")
+            print("verified: deterministic, every arena within capacity and drained")
         return 0
 
     if args.sweep:
@@ -303,18 +369,23 @@ def serve_main(argv: list[str] | None = None) -> int:
     else:
         levels = DEFAULT_CLIENTS
     points = sweep(
-        levels, scale=args.scale, spacing_seconds=spacing, online=args.online
+        levels,
+        scale=args.scale,
+        spacing_seconds=spacing,
+        online=args.online,
+        devices=args.devices,
+        placement=args.placement,
     )
     print(f"admission mode: {mode}")
     print(render_sweep(points))
     if canonical:
         print(
-            "verified: deterministic, arena within capacity, concurrent no "
-            "worse than serial at every level (strictly better wherever "
-            "queries overlapped)"
+            "verified: deterministic, every arena within capacity and "
+            "drained, concurrent no worse than serial at every level "
+            "(strictly better wherever queries overlapped)"
         )
     else:
-        print("verified: deterministic, arena within capacity")
+        print("verified: deterministic, every arena within capacity and drained")
     return 0
 
 

@@ -19,8 +19,25 @@ This module provides one shared cache:
   unhashable component simply bypasses the cache;
 * :func:`cached_ladder_choice` — memoizes the planner ladder's
   feasibility decision per (spec, system, available-bytes);
+* :func:`cached_plan` — memoizes ``prepare()``'s analytic
+  :class:`~repro.core.strategy.JoinPlan` per strategy fingerprint.
+  Plan preparation (chunking, working-set packing, task-graph
+  construction) dominated the serving wall clock once estimates were
+  cached; the sharded serving layer re-prepares the same (spec,
+  placement, memory-grant) combination on every device-placement
+  candidate and determinism re-run, so plans are memoized the same way.
+  Cached plans are **shared, read-only** objects: callers must not
+  mutate ``plan.tasks`` / ``plan.resources`` (the serving scheduler
+  only reads them, re-materializing namespaced copies of the tasks);
 * :func:`clear` / :func:`stats` / :func:`configure` — test and
   benchmark hooks.
+
+Per-device memory budgets are part of every key already: a strategy's
+fingerprint includes its constructor extras (co-processing's
+``device_budget`` grant), and the ladder key includes the free bytes
+the admission decision saw — so a sharded fleet's devices, each with
+its own headroom, share cache entries exactly when their placement
+inputs coincide and never otherwise.
 
 Metrics are stored and returned as defensive copies (their ``phases`` /
 ``notes`` dicts are mutable), so callers can annotate a result without
@@ -45,6 +62,7 @@ from typing import TYPE_CHECKING, Any, Callable, Hashable
 
 if TYPE_CHECKING:
     from repro.core.results import JoinMetrics
+    from repro.core.strategy import JoinPlan
 
 #: Entry cap — far above any benchmark's working set, only a safety net
 #: against unbounded growth in a long-lived serving process.
@@ -52,18 +70,26 @@ MAX_ENTRIES = 65536
 
 _cache: dict[Hashable, "JoinMetrics"] = {}
 _ladder_cache: dict[Hashable, str] = {}
+_plan_cache: dict[Hashable, "JoinPlan"] = {}
 _enabled = True
 _hits = 0
 _misses = 0
+_plan_hits = 0
+_plan_misses = 0
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of the estimate cache."""
+    """Hit/miss counters of the estimate cache (and the plan cache,
+    tracked separately so estimate-path accounting stays comparable
+    across releases)."""
 
     hits: int
     misses: int
     entries: int
+    plan_hits: int = 0
+    plan_misses: int = 0
+    plan_entries: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -85,15 +111,25 @@ def enabled() -> bool:
 
 def clear() -> None:
     """Drop every cached estimate and reset the counters."""
-    global _hits, _misses
+    global _hits, _misses, _plan_hits, _plan_misses
     _cache.clear()
     _ladder_cache.clear()
+    _plan_cache.clear()
     _hits = 0
     _misses = 0
+    _plan_hits = 0
+    _plan_misses = 0
 
 
 def stats() -> CacheStats:
-    return CacheStats(hits=_hits, misses=_misses, entries=len(_cache))
+    return CacheStats(
+        hits=_hits,
+        misses=_misses,
+        entries=len(_cache),
+        plan_hits=_plan_hits,
+        plan_misses=_plan_misses,
+        plan_entries=len(_plan_cache),
+    )
 
 
 def make_key(
@@ -159,3 +195,39 @@ def cached_ladder_choice(
             _ladder_cache.clear()
         _ladder_cache[key] = choice
     return choice
+
+
+# ---------------------------------------------------------------------------
+# Plan memoization
+# ---------------------------------------------------------------------------
+def cached_plan(
+    key: Hashable | None, compute: Callable[[], "JoinPlan"]
+) -> "JoinPlan":
+    """Memoize an analytic ``prepare()`` plan.
+
+    ``prepare`` is pure in the strategy fingerprint plus (spec,
+    materialize) — the same purity contract estimates rely on, with the
+    per-device memory grant captured by the fingerprint's constructor
+    extras (``device_budget``).  The returned plan is a **shared,
+    read-only** object: callers that need to adapt tasks (the serving
+    scheduler's qid/device namespacing) must build new ``Task``
+    instances rather than mutate the cached ones.  ``key=None`` (an
+    unhashable fingerprint) and a disabled cache both recompute.
+    Hits/misses are tracked separately from the estimate counters
+    (``stats().plan_hits`` / ``plan_misses`` / ``plan_entries``), so a
+    key mismatch that silently stops the cache from hitting shows up
+    in the accounting.
+    """
+    global _plan_hits, _plan_misses
+    if not _enabled or key is None:
+        return compute()
+    plan = _plan_cache.get(key)
+    if plan is None:
+        _plan_misses += 1
+        plan = compute()
+        if len(_plan_cache) >= MAX_ENTRIES:
+            _plan_cache.clear()
+        _plan_cache[key] = plan
+    else:
+        _plan_hits += 1
+    return plan

@@ -13,6 +13,12 @@ reservation when the query completes.  The arena guarantees the
 accounting invariant the serving benchmark asserts: the sum of live
 reservations never exceeds capacity, and the recorded high-water mark
 is exact.
+
+In a sharded fleet every GPU gets its own arena, identified by
+``device``; the id is stamped into every ledger entry so a misrouted
+release (a query releasing on a device it was never placed on) fails
+loudly with both sides named, instead of silently corrupting another
+device's accounting.
 """
 
 from __future__ import annotations
@@ -25,11 +31,12 @@ from repro.errors import DeviceMemoryOverflowError
 @dataclass(frozen=True)
 class Reservation:
     """One query's granted slice of device memory (``nbytes`` bytes,
-    granted at ``granted_at`` simulated seconds)."""
+    granted at ``granted_at`` simulated seconds, on arena ``device``)."""
 
     owner: str
     nbytes: int
     granted_at: float = 0.0
+    device: int = 0
 
 
 @dataclass
@@ -45,9 +52,20 @@ class DeviceMemoryArena:
     their reservations at the same simulated finish times as under
     batch re-simulation, so both modes produce the same timeline and
     the same exact high-water mark.
+
+    ``device`` names which GPU of a sharded fleet this arena accounts
+    for (0 for the single-device scheduler); it appears in every
+    :class:`Reservation` and every error message.  Releasing a
+    reservation the arena does not hold — a double release, or a
+    release routed to the wrong device — always raises
+    :class:`~repro.errors.DeviceMemoryOverflowError` (a
+    :class:`~repro.errors.ReproError`): the ledger must sum to zero
+    after a drain *because every grant was returned exactly once*, not
+    because stray releases were ignored.
     """
 
     capacity_bytes: int
+    device: int = 0
     reservations: dict[str, Reservation] = field(default_factory=dict)
     peak_bytes: int = 0
     #: Every (time, used_bytes) transition, for tests and reports.
@@ -58,6 +76,10 @@ class DeviceMemoryArena:
             raise DeviceMemoryOverflowError(
                 f"arena capacity must be positive, got {self.capacity_bytes}"
             )
+        if self.device < 0:
+            raise DeviceMemoryOverflowError(
+                f"arena device id must be >= 0, got {self.device}"
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -67,6 +89,16 @@ class DeviceMemoryArena:
     @property
     def free_bytes(self) -> int:
         return self.capacity_bytes - self.used_bytes
+
+    @property
+    def drained(self) -> bool:
+        """No live reservations: every grant was released exactly once.
+
+        The property-based serving suite asserts this (plus a final
+        :attr:`timeline` entry of 0 used bytes) after every simulated
+        run on every device of the fleet.
+        """
+        return not self.reservations
 
     def holds(self, owner: str) -> bool:
         return owner in self.reservations
@@ -83,10 +115,14 @@ class DeviceMemoryArena:
                 f"negative reservation for {owner!r}: {nbytes}"
             )
         if owner in self.reservations:
-            raise DeviceMemoryOverflowError(f"duplicate reservation: {owner!r}")
+            raise DeviceMemoryOverflowError(
+                f"duplicate reservation on device {self.device}: {owner!r}"
+            )
         if nbytes > self.free_bytes:
             return False
-        self.reservations[owner] = Reservation(owner, int(nbytes), at)
+        self.reservations[owner] = Reservation(
+            owner, int(nbytes), at, self.device
+        )
         used = self.used_bytes
         self.peak_bytes = max(self.peak_bytes, used)
         self.timeline.append((at, used))
@@ -98,15 +134,25 @@ class DeviceMemoryArena:
         if not self.try_reserve(owner, nbytes, at=at):
             raise DeviceMemoryOverflowError(
                 f"arena overflow reserving {nbytes / 1e9:.2f} GB for "
-                f"{owner!r}: {self.used_bytes / 1e9:.2f} GB of "
+                f"{owner!r} on device {self.device}: "
+                f"{self.used_bytes / 1e9:.2f} GB of "
                 f"{self.capacity_bytes / 1e9:.2f} GB in use"
             )
 
     def release(self, owner: str, *, at: float = 0.0) -> int:
-        """Release ``owner``'s reservation, returning the freed bytes."""
+        """Release ``owner``'s reservation, returning the freed bytes.
+
+        Raises :class:`~repro.errors.DeviceMemoryOverflowError` when the
+        arena holds no reservation for ``owner`` — an unknown id, a
+        double release, or a release routed to the wrong device of a
+        sharded fleet.  Silently accepting any of those would let the
+        ledger drift from the schedule it is supposed to mirror.
+        """
         if owner not in self.reservations:
             raise DeviceMemoryOverflowError(
-                f"releasing unknown reservation {owner!r}"
+                f"releasing unknown reservation {owner!r} on device "
+                f"{self.device} (double release, or a release routed to "
+                "the wrong device?)"
             )
         freed = self.reservations.pop(owner).nbytes
         self.timeline.append((at, self.used_bytes))
@@ -118,10 +164,11 @@ class DeviceMemoryArena:
         used = self.used_bytes
         if used > self.capacity_bytes:
             raise DeviceMemoryOverflowError(
-                f"arena over-reserved: {used} > {self.capacity_bytes}"
+                f"arena over-reserved on device {self.device}: "
+                f"{used} > {self.capacity_bytes}"
             )
         if self.peak_bytes > self.capacity_bytes:
             raise DeviceMemoryOverflowError(
                 f"arena peak {self.peak_bytes} exceeds capacity "
-                f"{self.capacity_bytes}"
+                f"{self.capacity_bytes} on device {self.device}"
             )

@@ -44,17 +44,38 @@ class PipelineEngine:
     def __init__(
         self,
         resources: dict[str, int] | list[ResourcePool] | None = None,
+        *,
+        device: int = 0,
     ) -> None:
+        if device < 0:
+            raise SchedulingError(f"engine device must be >= 0, got {device}")
+        #: Which GPU of a sharded fleet this engine simulates.  Every
+        #: submitted task must carry the same tag — a task routed to the
+        #: wrong device's engine is a placement bug, not a schedulable
+        #: input.  Single-device code never sets it (both default to 0).
+        self.device = device
         self._tasks: list[Task] = []
         self._by_name: dict[str, Task] = {}
         self._lanes: dict[str, int] = {}
         if resources:
             pools = (
-                [ResourcePool(name, lanes) for name, lanes in resources.items()]
+                # A bare name->lanes dict describes THIS engine's pools,
+                # so they inherit its device tag; explicit ResourcePool
+                # lists must already carry the right device.
+                [
+                    ResourcePool(name, lanes, device=device)
+                    for name, lanes in resources.items()
+                ]
                 if isinstance(resources, dict)
                 else list(resources)
             )
             for pool in pools:
+                if pool.device != device:
+                    raise SchedulingError(
+                        f"resource pool {pool.name!r} belongs to device "
+                        f"{pool.device} but the engine simulates device "
+                        f"{device}"
+                    )
                 self._lanes[pool.name] = pool.lanes
 
     def lanes_of(self, resource: str) -> int:
@@ -69,6 +90,11 @@ class PipelineEngine:
             raise SchedulingError(f"negative duration for task {task.name!r}")
         if task.available_at < 0:
             raise SchedulingError(f"negative available_at for task {task.name!r}")
+        if task.device != self.device:
+            raise SchedulingError(
+                f"task {task.name!r} is placed on device {task.device} but "
+                f"this engine simulates device {self.device}"
+            )
         self._tasks.append(task)
         self._by_name[task.name] = task
         return task
@@ -256,7 +282,10 @@ class PipelineEngine:
         ``in_place=True`` to mutate and return ``schedule`` itself,
         making a wave genuinely O(new tasks).
 
-        Raises :class:`SchedulingError` when ``schedule`` does not
+        Raises :class:`SchedulingError` when ``schedule`` is a merged
+        multi-device reporting view
+        (:attr:`~repro.pipeline.tasks.Schedule.is_merged_view`), when
+        ``schedule`` does not
         cover the engine's current tasks, when a new task duplicates a
         name / has negative duration or ``available_at`` / depends on
         an unknown task, when lane counts changed since ``schedule``
@@ -265,6 +294,13 @@ class PipelineEngine:
         and, with ``in_place=True``, the schedule are left exactly as
         they were, still extendable.
         """
+        if schedule.is_merged_view:
+            raise SchedulingError(
+                "cannot extend a merged reporting view: it unions "
+                "per-device schedules whose same-named pools are distinct "
+                "physical resources; extend the owning device's schedule "
+                "instead"
+            )
         if len(schedule.tasks) != len(self._tasks):
             raise SchedulingError(
                 f"stale schedule: covers {len(schedule.tasks)} tasks but "
@@ -286,6 +322,11 @@ class PipelineEngine:
             if task.available_at < 0:
                 raise SchedulingError(
                     f"negative available_at for task {task.name!r}"
+                )
+            if task.device != self.device:
+                raise SchedulingError(
+                    f"task {task.name!r} is placed on device {task.device} "
+                    f"but this engine simulates device {self.device}"
                 )
             for dep in task.deps:
                 if dep not in self._by_name and dep not in new_names:

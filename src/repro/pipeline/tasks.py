@@ -27,15 +27,22 @@ class ResourcePool:
     GPU compute queue); ``lanes=n`` models *n* interchangeable CUDA
     streams or copy engines fed from one FIFO submission queue: each
     task is dispatched, in submission order, onto whichever lane frees
-    first.
+    first.  ``device`` tags which GPU of a sharded fleet owns the pool:
+    device 0's ``h2d`` engine and device 1's ``h2d`` engine are distinct
+    physical resources even though they share a name, and every device's
+    pools live in that device's own :class:`~repro.pipeline.engine.
+    PipelineEngine`.
     """
 
     name: str
     lanes: int = 1
+    device: int = 0
 
     def __post_init__(self) -> None:
         if self.lanes < 1:
             raise ValueError(f"resource {self.name!r} needs >= 1 lane")
+        if self.device < 0:
+            raise ValueError(f"resource {self.name!r} needs a device >= 0")
 
 
 @dataclass
@@ -62,6 +69,11 @@ class Task:
         dependencies and resource FIFO order).  Models work submitted
         mid-simulation — e.g. a query admitted by the serving layer once
         device memory frees up.
+    device:
+        Which GPU of a sharded fleet executes the task.  Single-device
+        code never sets it (``0``); the sharded serving layer tags every
+        task with its placement so an engine can refuse tasks routed to
+        the wrong device.
     """
 
     name: str
@@ -70,6 +82,7 @@ class Task:
     deps: tuple[str, ...] = ()
     phase: str | None = None
     available_at: float = 0.0
+    device: int = 0
 
     def __post_init__(self) -> None:
         self.deps = tuple(self.deps)
@@ -111,6 +124,11 @@ class Schedule:
     lane_state: dict[str, list[tuple[float, int]]] = field(
         default_factory=dict, repr=False
     )
+    #: True for the read-only union built by :meth:`merged`.  A merged
+    #: view spans devices whose same-named pools are physically
+    #: distinct, so it cannot seed an engine extension;
+    #: :meth:`repro.pipeline.engine.PipelineEngine.extend` refuses it.
+    is_merged_view: bool = False
 
     @property
     def makespan(self) -> float:
@@ -158,3 +176,33 @@ class Schedule:
         if not resources:
             return None
         return max(resources, key=self.busy_time)
+
+    @classmethod
+    def merged(cls, schedules: "list[Schedule]") -> "Schedule":
+        """One read-only view over per-device schedules of a sharded run.
+
+        Task dicts are unioned (names must be globally unique — the
+        serving layer's qid prefixes guarantee it, since a query runs
+        entirely on one device) and lane counts are merged at their
+        maximum per resource name.  The merged view is for *reporting*
+        (makespan, per-query latency, cross-query overlap); same-named
+        resources on different devices are distinct physical pools, so
+        :meth:`busy_time` aggregates over all devices sharing the name
+        and lane counts are **summed** per resource name — the fleet's
+        real capacity — keeping :meth:`utilization` a genuine occupancy
+        fraction.  ``lane_state`` is deliberately empty and
+        :attr:`is_merged_view` is set: a merged view cannot be
+        extended, and the engine enforces that.
+        """
+        merged = cls(is_merged_view=True)
+        for schedule in schedules:
+            for name, item in schedule.tasks.items():
+                if name in merged.tasks:
+                    raise ValueError(
+                        f"cannot merge schedules: task {name!r} appears on "
+                        "more than one device"
+                    )
+                merged.tasks[name] = item
+            for resource, lanes in schedule.lanes.items():
+                merged.lanes[resource] = merged.lanes.get(resource, 0) + lanes
+        return merged

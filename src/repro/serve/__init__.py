@@ -1,30 +1,48 @@
 """Multi-query GPU serving: shared-arena admission and scheduling.
 
-The ROADMAP's north star — serving heavy concurrent traffic from one
-device — needs more than a single-query planner.  This package runs
-*batches* of queries against one simulated GPU: a
-:class:`~repro.gpusim.arena.DeviceMemoryArena` makes co-resident
-queries share device memory honestly, and the
+The ROADMAP's north star — serving heavy concurrent traffic — needs
+more than a single-query planner.  This package runs *batches* of
+queries against a simulated GPU fleet: every device gets its own
+:class:`~repro.gpusim.arena.DeviceMemoryArena` so co-resident queries
+share device memory honestly, the
+:class:`~repro.serve.placement.DeviceFleet` and its
+:class:`~repro.serve.placement.PlacementPolicy` decide *which* device
+hosts each admission, and the
 :class:`~repro.serve.scheduler.QueryScheduler` admits queries FIFO,
 re-planning each one against the memory actually free at admission and
-lowering all admitted plans into one shared pipeline-engine run — per
-wave in batch mode (``run``), or incrementally per arrival in online
-mode (``run_online``, bit-identical outcomes at a fraction of the
-wall clock).  See ``docs/serving.md`` for the full policy.
+lowering all admitted plans into the placed device's pipeline-engine
+run — per wave in batch mode (``run``), or incrementally per arrival
+in online mode (``run_online``, bit-identical outcomes at a fraction
+of the wall clock).  ``devices=1`` (the default) is the classic
+single-GPU scheduler, bit-identical to the pre-sharding
+implementation.  See ``docs/serving.md`` for the full policy.
 """
 
+from repro.serve.placement import (
+    DeviceFleet,
+    PlacementCandidate,
+    PlacementPolicy,
+    create_placement_policy,
+    registered_placement_policies,
+)
 from repro.serve.scheduler import (
     QueryOutcome,
     QueryRequest,
     QueryScheduler,
     ServeReport,
 )
-from repro.serve.workload import mixed_workload
+from repro.serve.workload import mixed_workload, random_workload
 
 __all__ = [
+    "DeviceFleet",
+    "PlacementCandidate",
+    "PlacementPolicy",
     "QueryOutcome",
     "QueryRequest",
     "QueryScheduler",
     "ServeReport",
+    "create_placement_policy",
+    "registered_placement_policies",
     "mixed_workload",
+    "random_workload",
 ]

@@ -1,0 +1,292 @@
+"""Multi-GPU placement: a device fleet and the policies that shard it.
+
+The single-device scheduler answers "admit, degrade, or wait?" against
+one arena and one engine.  Sharded serving adds a third axis — *where*
+— and this module owns it:
+
+* :class:`DeviceState` — one GPU's serving state: its private
+  :class:`~repro.gpusim.arena.DeviceMemoryArena`, its own
+  :class:`~repro.pipeline.engine.PipelineEngine` (with independent
+  ``lane_state``, so online extension stays per-device), the tasks
+  lowered onto it so far, and the running/predicted-finish books the
+  wait-vs-degrade estimator reads;
+* :class:`DeviceFleet` — the ordered collection of K device states plus
+  the aggregate views reports need (merged schedule, fleet makespan,
+  per-device peaks, drain check);
+* :class:`PlacementPolicy` and its registry — given the per-device
+  admission candidates for one query, pick the device.  Policies only
+  ever choose among *feasible, non-degraded* candidates; whether to
+  accept a degraded placement or wait is the scheduler's
+  admission-policy call (it compares the best degraded placement across
+  devices against the fleet-wide estimated wait, using cached
+  estimates), not a placement concern.
+
+Everything here is deterministic: candidate lists arrive in device
+order, ties break toward the lowest device index, and the round-robin
+cursor is per-run state — identical request lists shard identically.
+With one device every policy degenerates to "device 0", which is what
+keeps ``devices=1`` bit-identical to the historical single-device
+scheduler (pinned against recorded golden schedules by
+``tests/serve/test_placement_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import ClassVar, Iterator
+
+from repro.errors import InvalidConfigError, SchedulingError
+from repro.gpusim.arena import DeviceMemoryArena
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.tasks import Schedule, Task
+
+#: Registry keys of the built-in policies.
+LEAST_LOADED = "least_loaded"
+FIRST_FIT = "first_fit"
+ROUND_ROBIN = "round_robin"
+
+
+@dataclass
+class DeviceState:
+    """One GPU's serving state inside a scheduler run.
+
+    Memory quantities are **bytes**, every time is **simulated
+    seconds**.  The engine is created lazily (online mode) with the lane
+    widths declared up to the first wave; ``schedule`` always covers
+    exactly the tasks lowered onto this device so far.
+    """
+
+    index: int
+    arena: DeviceMemoryArena
+    #: Lane widths declared for this device's resource pools so far.
+    resources: dict[str, int] = field(default_factory=dict)
+    #: Every task lowered onto this device, in admission order.
+    tasks: list[Task] = field(default_factory=list)
+    #: Tasks admitted since the last engine pass (online mode).
+    wave_tasks: list[Task] = field(default_factory=list)
+    engine: PipelineEngine | None = None
+    schedule: Schedule = field(default_factory=Schedule)
+    #: Tasks were added since ``schedule`` was computed.
+    dirty: bool = False
+    #: Query ids currently holding a reservation on this device.
+    running: set[str] = field(default_factory=set)
+    #: Expected finish per running query — engine-accurate once the
+    #: query has been through a pass, alone-estimate before that.
+    predicted_finish: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.arena.free_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.arena.capacity_bytes
+
+    def busy_until(self) -> float:
+        """Estimated time this device finishes everything now running
+        (0.0 when idle) — the load signal :data:`LEAST_LOADED` ranks."""
+        return max(self.predicted_finish.values(), default=0.0)
+
+
+@dataclass(frozen=True)
+class PlacementCandidate:
+    """One device's admission offer for the query under consideration.
+
+    ``strategy`` is the registry key the planner ladder picks under the
+    device's *current* headroom, ``need_bytes`` that strategy's whole
+    device footprint, ``fits`` whether the footprint fits the headroom
+    right now, and ``degraded`` whether the offer is cheaper than the
+    query's unconstrained solo placement.
+    """
+
+    device: int
+    strategy: str
+    need_bytes: int
+    fits: bool
+    degraded: bool
+
+
+class PlacementPolicy:
+    """Picks the device for one admission from feasible candidates.
+
+    :meth:`select` receives only candidates with ``fits=True`` and
+    ``degraded=False``, in device order, and must return one of them.
+    Implementations must be deterministic; any per-run state (the
+    round-robin cursor) lives on the instance, and the scheduler
+    creates a fresh instance per run.
+    """
+
+    #: Registry key; subclasses must override.
+    key: ClassVar[str] = ""
+
+    def reset(self) -> None:
+        """Forget per-run state.  The scheduler calls this at the start
+        of every run so a policy *instance* reused across runs (rather
+        than recreated from its registry key) still places
+        deterministically."""
+
+    def select(
+        self, candidates: list[PlacementCandidate], fleet: "DeviceFleet"
+    ) -> PlacementCandidate:
+        raise NotImplementedError
+
+
+class LeastLoadedPolicy(PlacementPolicy):
+    """Default: the device estimated to finish its running work first.
+
+    Load is :meth:`DeviceState.busy_until` — the max predicted finish
+    of the queries currently holding memory — so an idle device always
+    wins and ties (e.g. an all-idle fleet) break toward the lowest
+    device index.
+    """
+
+    key = LEAST_LOADED
+
+    def select(
+        self, candidates: list[PlacementCandidate], fleet: "DeviceFleet"
+    ) -> PlacementCandidate:
+        return min(
+            candidates,
+            key=lambda c: (fleet[c.device].busy_until(), c.device),
+        )
+
+
+class FirstFitPolicy(PlacementPolicy):
+    """Memory-fit first: the lowest-indexed device where the query fits.
+
+    Packs queries onto early devices and only spills rightward under
+    memory pressure — maximizing co-residency per device, at the cost
+    of lane contention the least-loaded policy avoids.
+    """
+
+    key = FIRST_FIT
+
+    def select(
+        self, candidates: list[PlacementCandidate], fleet: "DeviceFleet"
+    ) -> PlacementCandidate:
+        return min(candidates, key=lambda c: c.device)
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Baseline: cycle the admission cursor across devices.
+
+    Ignores load entirely; each admission goes to the first feasible
+    device at or after the cursor (wrapping), and the cursor advances
+    past it.  Kept as the control the smarter policies are measured
+    against.
+    """
+
+    key = ROUND_ROBIN
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def reset(self) -> None:
+        self._cursor = 0
+
+    def select(
+        self, candidates: list[PlacementCandidate], fleet: "DeviceFleet"
+    ) -> PlacementCandidate:
+        by_device = {c.device: c for c in candidates}
+        for offset in range(len(fleet)):
+            device = (self._cursor + offset) % len(fleet)
+            candidate = by_device.get(device)
+            if candidate is not None:
+                self._cursor = (device + 1) % len(fleet)
+                return candidate
+        raise InvalidConfigError("select() called with no candidates")
+
+
+_POLICIES: dict[str, type[PlacementPolicy]] = {
+    policy.key: policy
+    for policy in (LeastLoadedPolicy, FirstFitPolicy, RoundRobinPolicy)
+}
+
+
+def registered_placement_policies() -> tuple[str, ...]:
+    """Registry keys of the available policies, in preference order."""
+    return tuple(_POLICIES)
+
+
+def create_placement_policy(key: str | PlacementPolicy) -> PlacementPolicy:
+    """Instantiate a policy by registry key (or pass an instance through).
+
+    A fresh instance per scheduler run keeps stateful policies (the
+    round-robin cursor) deterministic across runs.
+    """
+    if isinstance(key, PlacementPolicy):
+        return key
+    try:
+        factory = _POLICIES[key]
+    except KeyError:
+        raise InvalidConfigError(
+            f"unknown placement policy {key!r}; registered: "
+            f"{', '.join(_POLICIES)}"
+        ) from None
+    return factory()
+
+
+class DeviceFleet:
+    """K per-device arenas and engines, indexed by device id.
+
+    ``capacities`` gives each device's memory in **bytes** (one entry
+    per device; a homogeneous fleet repeats the same value).  ``lanes``
+    seeds every device's resource pools with the same lane widths —
+    each device still gets its *own* pools; the shared dict only sets
+    their widths.
+    """
+
+    def __init__(
+        self, capacities: list[int], *, lanes: dict[str, int] | None = None
+    ) -> None:
+        if not capacities:
+            raise InvalidConfigError("a fleet needs at least one device")
+        self.devices = [
+            DeviceState(
+                index=index,
+                arena=DeviceMemoryArena(capacity, device=index),
+                resources=dict(lanes or {}),
+            )
+            for index, capacity in enumerate(capacities)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.devices)
+
+    def __iter__(self) -> Iterator[DeviceState]:
+        return iter(self.devices)
+
+    def __getitem__(self, index: int) -> DeviceState:
+        return self.devices[index]
+
+    # -- aggregate views ------------------------------------------------
+    def any_running(self) -> bool:
+        return any(device.running for device in self.devices)
+
+    def merged_schedule(self) -> Schedule:
+        """One reporting view over all devices (see
+        :meth:`~repro.pipeline.tasks.Schedule.merged`).  With one device
+        this is *the* device's schedule object, unchanged — the
+        ``devices=1`` bit-identity guarantee extends to the report."""
+        if len(self.devices) == 1:
+            return self.devices[0].schedule
+        return Schedule.merged([device.schedule for device in self.devices])
+
+    def device_peaks(self) -> tuple[int, ...]:
+        return tuple(device.arena.peak_bytes for device in self.devices)
+
+    def check_drained(self) -> None:
+        """Every arena's invariants plus: all reservations returned.
+
+        Called once per completed run; a reservation that outlives its
+        query is a scheduler bug (a leaked grant would starve later
+        admissions), so it raises rather than warns.
+        """
+        for device in self.devices:
+            device.arena.check_invariants()
+            if not device.arena.drained:
+                raise SchedulingError(
+                    f"device {device.index} still holds reservations for "
+                    f"{sorted(device.arena.reservations)} after the run "
+                    "drained"
+                )

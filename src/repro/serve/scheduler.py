@@ -1,38 +1,45 @@
-"""Admission-controlled multi-query scheduling on one simulated GPU.
+"""Admission-controlled multi-query scheduling on a simulated GPU fleet.
 
 The single-query planner answers "which join strategy fits this
 workload on an idle device?".  Serving inverts the question: many
-queries contend for one device's memory and copy/exec lanes, and the
-right strategy for a query depends on how much memory is free *when it
-is admitted*.  The scheduler:
+queries contend for device memory and copy/exec lanes, and the right
+strategy for a query depends on how much memory is free *when it is
+admitted* — and, on a sharded fleet, *where*.  The scheduler:
 
-* keeps a FIFO of submitted queries and a shared
-  :class:`~repro.gpusim.arena.DeviceMemoryArena`;
-* on admission, re-plans the query with the ladder restricted to the
-  arena's current headroom (``choose_strategy_name(...,
-  available_bytes=...)``) — a query that would run GPU-resident alone
-  degrades to streaming or co-processing under load — and reserves the
-  chosen strategy's whole device footprint.  Degradation is *bounded*:
-  if the cheaper placement is estimated to run more than
-  ``max_degradation`` times slower than the unconstrained one, the
-  query waits for memory instead (a pathologically degraded plan can
-  cost more GPU time than simply queueing);
-* lowers every admitted query's :class:`JoinPlan` into **one** shared
-  :class:`~repro.pipeline.engine.PipelineEngine`, task names prefixed
-  with the query id and released at the admission time, so H2D/D2H/GPU
-  resource lanes interleave across co-resident queries;
+* keeps a FIFO of submitted queries and a
+  :class:`~repro.serve.placement.DeviceFleet` of K devices, each with
+  its own :class:`~repro.gpusim.arena.DeviceMemoryArena` and its own
+  :class:`~repro.pipeline.engine.PipelineEngine` (``devices=1``, the
+  default, is the classic single-GPU scheduler, bit-identical to the
+  pre-sharding implementation);
+* on admission, re-plans the query against every device's current
+  headroom (``choose_strategy_name(..., available_bytes=...)``) and
+  asks the :class:`~repro.serve.placement.PlacementPolicy` to pick
+  among the devices that can host the query's *unconstrained* solo
+  placement right now.  When no device can, the best degraded
+  placement across the fleet (by cached alone-estimate) competes with
+  the fleet-wide estimated wait: a query degrades only when the
+  cheaper placement is within ``max_degradation`` of its solo makespan
+  *and* starting now beats queueing for the memory the solo placement
+  wants on whichever device frees it first;
+* lowers every admitted query's :class:`JoinPlan` into **its device's**
+  engine, task names prefixed with the query id, tagged with the
+  device, and released at the admission time, so H2D/D2H/GPU resource
+  lanes interleave across co-resident queries per device;
 * releases the reservation at the query's simulated finish time, which
   is the event that admits the next waiting query.
 
 Two scheduling modes share that admission policy: batch
-(:meth:`QueryScheduler.run`, one full engine re-simulation per
-admission wave) and online (:meth:`QueryScheduler.run_online`,
-incremental schedule extension per arrival via
-:meth:`~repro.pipeline.engine.PipelineEngine.extend`).  Their outcomes
-are bit-identical; only the wall-clock cost differs.
+(:meth:`QueryScheduler.run`, one full per-device re-simulation per
+admission wave — only devices that gained tasks re-simulate) and online
+(:meth:`QueryScheduler.run_online`, incremental schedule extension per
+arrival via :meth:`~repro.pipeline.engine.PipelineEngine.extend`, each
+device carrying its own ``lane_state``).  Their outcomes are
+bit-identical; only the wall-clock cost differs.
 
 The simulation is deterministic: identical request lists produce
-identical schedules, admissions, and latencies.
+identical schedules, admissions, placements and latencies, for any
+device count and placement policy.
 """
 
 from __future__ import annotations
@@ -42,6 +49,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.core import estimate_cache
 from repro.core.config import GpuJoinConfig
 from repro.core.planner import choose_strategy_name
 from repro.core.strategy import (
@@ -58,6 +66,14 @@ from repro.gpusim.calibration import Calibration
 from repro.gpusim.spec import SystemSpec
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import Schedule, Task
+from repro.serve.placement import (
+    LEAST_LOADED,
+    DeviceFleet,
+    DeviceState,
+    PlacementCandidate,
+    PlacementPolicy,
+    create_placement_policy,
+)
 
 
 @dataclass(frozen=True)
@@ -87,7 +103,8 @@ class QueryOutcome:
     """How one query fared: placement, timing, and memory.
 
     ``reserved_bytes`` is the arena grant in **bytes**; every ``*_at``
-    / ``*_seconds`` field is in **simulated seconds**.
+    / ``*_seconds`` field is in **simulated seconds**.  ``device`` is
+    the fleet device the query ran on (always 0 with ``devices=1``).
     """
 
     qid: str
@@ -100,6 +117,7 @@ class QueryOutcome:
     #: Makespan of this query run alone on an idle device with the
     #: planner's unconstrained choice — the serial-execution baseline.
     solo_seconds: float = 0.0
+    device: int = 0
 
     @property
     def wait_seconds(self) -> float:
@@ -120,8 +138,13 @@ class ServeReport:
     """The outcome of one scheduler run over a batch of queries.
 
     ``makespan`` and the latency aggregates are **simulated seconds**;
-    ``capacity_bytes`` / ``peak_reserved_bytes`` are **bytes**.  Batch
-    (:meth:`QueryScheduler.run`) and online
+    ``capacity_bytes`` / ``peak_reserved_bytes`` are **bytes** — with a
+    sharded fleet, ``capacity_bytes`` is *per device* and
+    ``peak_reserved_bytes`` is the highest single-device peak
+    (per-device peaks in :attr:`device_peak_bytes`).  ``schedule`` is
+    the single device's schedule with ``devices=1`` and the merged
+    reporting view (:meth:`~repro.pipeline.tasks.Schedule.merged`)
+    otherwise.  Batch (:meth:`QueryScheduler.run`) and online
     (:meth:`QueryScheduler.run_online`) admission produce identical
     reports for the same requests.
     """
@@ -131,6 +154,12 @@ class ServeReport:
     capacity_bytes: int
     peak_reserved_bytes: int
     schedule: Schedule | None = field(default=None, repr=False)
+    devices: int = 1
+    #: Exact per-device reservation high-water marks, in **bytes**.
+    device_peak_bytes: tuple[int, ...] = ()
+    #: The drained per-device arenas — their ledgers and timelines are
+    #: what the property-based suite audits after every run.
+    arenas: list[DeviceMemoryArena] | None = field(default=None, repr=False)
 
     @property
     def serial_seconds(self) -> float:
@@ -140,8 +169,8 @@ class ServeReport:
     @property
     def serial_makespan(self) -> float:
         """Serial back-to-back baseline honouring submission times: each
-        query starts at ``max(previous finish, submit_at)``.  For one
-        batch (all submitted together) this equals
+        query starts at ``max(previous finish, submit_at)`` on **one**
+        device.  For one batch (all submitted together) this equals
         :attr:`serial_seconds`; for staggered arrivals it includes the
         idle gaps a serial executor would also sit through."""
         clock = 0.0
@@ -179,54 +208,68 @@ class ServeReport:
 
     def render(self) -> str:
         """Aligned per-query table plus the summary line."""
+        sharded = self.devices > 1
+        device_header = f" {'dev':>3s}" if sharded else ""
         lines = [
-            f"{'query':10s} {'strategy':22s} {'reserved':>10s} "
+            f"{'query':10s} {'strategy':22s}{device_header} {'reserved':>10s} "
             f"{'admit (s)':>10s} {'finish (s)':>11s} {'latency (s)':>12s}  note"
         ]
         for o in self.outcomes:
             note = f"degraded from {o.solo_strategy}" if o.degraded else ""
+            device_cell = f" {o.device:3d}" if sharded else ""
             lines.append(
-                f"{o.qid:10s} {o.strategy:22s} "
+                f"{o.qid:10s} {o.strategy:22s}{device_cell} "
                 f"{o.reserved_bytes / 1e9:8.2f}GB "
                 f"{o.admit_at:10.3f} {o.finish_at:11.3f} "
                 f"{o.latency_seconds:12.3f}  {note}"
             )
+        fleet = f" across {self.devices} devices" if sharded else ""
         lines.append(
             f"makespan {self.makespan:.3f} s vs serial "
             f"{self.serial_makespan:.3f} s ({self.speedup:.2f}x), "
             f"{self.queries_per_second:.2f} q/s, peak memory "
             f"{self.peak_reserved_bytes / 1e9:.2f} of "
-            f"{self.capacity_bytes / 1e9:.2f} GB"
+            f"{self.capacity_bytes / 1e9:.2f} GB{fleet}"
         )
         return "\n".join(lines)
 
 
 class QueryScheduler:
-    """Runs batches of queries concurrently on one simulated GPU.
+    """Runs batches of queries concurrently on a simulated GPU fleet.
 
     Two entry points with **bit-identical outcomes**: :meth:`run`
-    (batch — full re-simulation per admission wave, the executable
-    specification) and :meth:`run_online` (incremental schedule
-    extension, the cheap production path).  Both are deterministic —
-    identical request lists produce identical reports — and both lean
-    on the process-wide :mod:`repro.core.estimate_cache` for every
-    solo/degraded/wait estimate, which is a pure memoization: cached
-    and recomputed estimates are interchangeable.  Memory quantities
-    are **bytes**, times **simulated seconds**.
+    (batch — full per-device re-simulation per admission wave, the
+    executable specification) and :meth:`run_online` (incremental
+    schedule extension, the cheap production path).  Both are
+    deterministic — identical request lists produce identical reports —
+    and both lean on the process-wide :mod:`repro.core.estimate_cache`
+    for every solo/degraded/wait estimate *and* every prepared plan,
+    which are pure memoizations: cached and recomputed values are
+    interchangeable.  Memory quantities are **bytes**, times
+    **simulated seconds**.
 
-    ``lanes`` optionally widens resource pools for the shared engine
+    ``devices`` shards the fleet: each device gets its own arena,
+    engine and resource lanes, and ``placement`` (a registry key from
+    :mod:`repro.serve.placement`, or a policy instance) picks the
+    device per admission.  ``devices=1`` — the default — reduces every
+    policy to "device 0" and is pinned bit-identical to the historical
+    single-device scheduler.
+
+    ``lanes`` optionally widens resource pools on every device
     (e.g. ``{"h2d": 2}`` to model both DMA engines copying inputs);
     per-plan resource declarations are merged in at their maximum, but
-    only before the first engine run — widening a pool mid-run would
-    silently re-place already-recorded finishes, so it raises instead.
+    only before the first engine run on that device — widening a pool
+    mid-run would silently re-place already-recorded finishes, so it
+    raises instead.
 
     ``max_degradation`` bounds how much slower an admission-time
     placement may be (estimated solo-vs-solo) than the unconstrained
     one before the query prefers waiting for memory; a degraded
     placement is also rejected when queueing for the unconstrained
-    placement's memory is estimated to finish sooner than starting the
-    cheaper plan now.  ``None`` degrades eagerly whenever anything
-    fits, trading the no-worse-than-serial guarantee for admission
+    placement's memory — on whichever device is estimated to free it
+    first — is estimated to finish sooner than starting the cheaper
+    plan now.  ``None`` degrades eagerly whenever anything fits,
+    trading the no-worse-than-serial guarantee for admission
     throughput.
     """
 
@@ -238,14 +281,22 @@ class QueryScheduler:
         *,
         lanes: dict[str, int] | None = None,
         max_degradation: float | None = 2.0,
+        devices: int = 1,
+        placement: str | PlacementPolicy = LEAST_LOADED,
     ):
         if max_degradation is not None and max_degradation < 1.0:
             raise InvalidConfigError("max_degradation must be >= 1.0")
+        if devices < 1:
+            raise InvalidConfigError("devices must be >= 1")
         self.system = system or SystemSpec()
         self.calibration = calibration
         self.config = config
         self.lanes = dict(lanes or {})
         self.max_degradation = max_degradation
+        self.devices = devices
+        self.placement = placement
+        if isinstance(placement, str):
+            create_placement_policy(placement)  # validate the key eagerly
         #: Solo-placement cache; workloads repeat spec templates and the
         #: baseline is a pure function of (spec, materialize, pin).  The
         #: makespans themselves are memoized process-wide by
@@ -298,6 +349,32 @@ class QueryScheduler:
             request.spec, materialize=request.materialize
         ).seconds
 
+    def _prepare_plan(self, key: str, request: QueryRequest, need: int) -> JoinPlan:
+        """The admitted strategy's plan, memoized process-wide.
+
+        Plans are pure in (strategy fingerprint, spec, materialize) —
+        the per-device memory grant rides in the fingerprint via
+        ``device_budget`` — and the scheduler only *reads* them (tasks
+        are re-materialized by :meth:`_namespace`), so cached plans are
+        shared safely across runs, determinism re-runs and devices.
+        """
+        strategy = create_strategy(
+            key,
+            self.system,
+            self.calibration,
+            self.config,
+            **self._strategy_kwargs(key, need),
+        )
+        plan_key = estimate_cache.make_key(
+            strategy.cache_fingerprint(), request.spec, request.materialize, {}
+        )
+        return estimate_cache.cached_plan(
+            plan_key,
+            lambda: strategy.prepare(
+                request.spec, materialize=request.materialize
+            ),
+        )
+
     @staticmethod
     def _estimated_wait(
         need_bytes: int,
@@ -307,11 +384,12 @@ class QueryScheduler:
         reserved: dict[str, int],
         predicted_finish: dict[str, float],
     ) -> float:
-        """Time until ``need_bytes`` could be free, assuming running
-        queries release at their predicted finishes and nothing else is
-        admitted meanwhile.  Optimistic (contention can stretch the
-        predictions), which biases the degrade-vs-wait choice toward
-        waiting — the direction that never loses to serial execution."""
+        """Time until ``need_bytes`` could be free on one device,
+        assuming running queries release at their predicted finishes and
+        nothing else is admitted meanwhile.  Optimistic (contention can
+        stretch the predictions), which biases the degrade-vs-wait
+        choice toward waiting — the direction that never loses to serial
+        execution."""
         if need_bytes <= free_bytes:
             return 0.0
         freed = free_bytes
@@ -322,8 +400,11 @@ class QueryScheduler:
         return float("inf")
 
     @staticmethod
-    def _namespace(plan: JoinPlan, qid: str, available_at: float) -> list[Task]:
-        """Prefix a plan's task graph so it can share one engine."""
+    def _namespace(
+        plan: JoinPlan, qid: str, available_at: float, device: int
+    ) -> list[Task]:
+        """Prefix a plan's task graph so it can share one engine, and
+        tag every task with the device the query was placed on."""
         return [
             Task(
                 name=f"{qid}:{task.name}",
@@ -332,14 +413,15 @@ class QueryScheduler:
                 deps=tuple(f"{qid}:{dep}" for dep in task.deps),
                 phase=task.phase,
                 available_at=available_at,
+                device=device,
             )
             for task in plan.tasks
         ]
 
     def _run_engine(
-        self, tasks: list[Task], resources: dict[str, int]
+        self, tasks: list[Task], resources: dict[str, int], device: int
     ) -> Schedule:
-        engine = PipelineEngine(resources)
+        engine = PipelineEngine(resources, device=device)
         for task in tasks:
             engine.add(task)
         return engine.run()
@@ -349,29 +431,131 @@ class QueryScheduler:
         """Schedule a batch of queries and simulate to completion.
 
         Arrivals (``submit_at``, simulated seconds) are processed
-        event-by-event, but every admission wave re-simulates the whole
-        shared task graph from scratch — the executable specification
+        event-by-event, but every admission wave re-simulates each
+        device's whole task graph from scratch (devices untouched by
+        the wave keep their schedule) — the executable specification
         that :meth:`run_online` is pinned against.  Deterministic:
         identical request lists produce identical reports.
         """
         return self._serve(requests, incremental=False)
 
     def run_online(self, requests: list[QueryRequest]) -> ServeReport:
-        """Online admission: extend the shared schedule incrementally.
+        """Online admission: extend per-device schedules incrementally.
 
-        Same arrival-driven admission policy (admit / wait / degrade
-        against the arena's live headroom, all placement estimates
-        served by the process-wide estimate cache) and **bit-identical
-        outcomes** to :meth:`run` — later admissions join the tail of
-        every FIFO lane, so already-placed tasks never move.  The
-        difference is cost: each arrival wave is placed by
+        Same arrival-driven admission policy (admit / place / wait /
+        degrade against every device's live headroom, all placement
+        estimates served by the process-wide estimate cache) and
+        **bit-identical outcomes** to :meth:`run` — later admissions
+        join the tail of every FIFO lane on their device, so
+        already-placed tasks never move.  The difference is cost: each
+        arrival wave is placed by
         :meth:`~repro.pipeline.engine.PipelineEngine.extend` on top of
-        the carried-over lane heaps, O(new tasks) per wave instead of
-        one full re-simulation, which makes the serve wall clock
-        near-linear in client count.  Equivalence is asserted by
-        ``tests/serve/test_online.py`` and ``bench/regress.py``.
+        the placed device's carried-over lane heaps, O(new tasks) per
+        wave instead of a re-simulation, which makes the serve wall
+        clock near-linear in client count.  Equivalence is asserted by
+        ``tests/serve/test_online.py``,
+        ``tests/serve/test_placement_properties.py`` and
+        ``bench/regress.py``.
         """
         return self._serve(requests, incremental=True)
+
+    # ------------------------------------------------------------------
+    def _place(
+        self,
+        request: QueryRequest,
+        fleet: DeviceFleet,
+        policy: PlacementPolicy,
+        outcomes: dict[str, QueryOutcome],
+        clock: float,
+    ) -> tuple[DeviceState, str, int] | None:
+        """Pick (device, strategy, footprint) for the FIFO head query.
+
+        Returns ``None`` when the query should wait: nothing fits
+        anywhere, or every feasible placement is degraded and loses to
+        the bounded-degradation / wait comparison.  Raises when the
+        query could never be admitted on any device.
+        """
+        offers = [
+            (device, self._choose(request, device.free_bytes))
+            for device in fleet
+        ]
+        needs = {
+            key: strategy_factory(key).device_bytes_needed(
+                request.spec, self.system
+            )
+            for key in {key for _, key in offers}
+        }
+        if all(
+            needs[key] > device.capacity_bytes for device, key in offers
+        ):
+            # Checked before the solo estimate on purpose: estimating a
+            # pinned, never-fitting strategy can itself overflow device
+            # memory, and "can never be admitted" is the clearer error.
+            _, key = offers[0]
+            raise SchedulingError(
+                f"query {request.qid!r} needs {needs[key] / 1e9:.2f} GB "
+                f"({key}) but no fleet device has that much memory; "
+                "it can never be admitted"
+            )
+        solo_key, solo_seconds = self._solo(request)
+        candidates = [
+            PlacementCandidate(
+                device=device.index,
+                strategy=key,
+                need_bytes=needs[key],
+                fits=needs[key] <= device.free_bytes,
+                degraded=key != solo_key,
+            )
+            for device, key in offers
+        ]
+
+        feasible_solo = [c for c in candidates if c.fits and not c.degraded]
+        if feasible_solo:
+            chosen = policy.select(feasible_solo, fleet)
+            return fleet[chosen.device], chosen.strategy, chosen.need_bytes
+
+        feasible = [c for c in candidates if c.fits]
+        if not feasible:
+            return None  # wait for a release event
+        # Best degraded placement across the fleet, by cached
+        # alone-estimate under each candidate's own memory grant; ties
+        # break toward the lowest device index.
+        best = min(
+            feasible,
+            key=lambda c: (
+                self._estimate_alone(c.strategy, request, c.need_bytes),
+                c.device,
+            ),
+        )
+        if self.max_degradation is not None and fleet.any_running():
+            degraded_alone = self._estimate_alone(
+                best.strategy, request, best.need_bytes
+            )
+            solo_need = strategy_factory(solo_key).device_bytes_needed(
+                request.spec, self.system
+            )
+            wait = min(
+                self._estimated_wait(
+                    solo_need,
+                    clock=clock,
+                    free_bytes=device.free_bytes,
+                    reserved={
+                        qid: outcomes[qid].reserved_bytes
+                        for qid in device.running
+                    },
+                    predicted_finish=device.predicted_finish,
+                )
+                for device in fleet
+            )
+            if (
+                degraded_alone > self.max_degradation * solo_seconds
+                or degraded_alone >= wait + solo_seconds
+            ):
+                # Starting now with the cheaper placement is estimated
+                # to lose to queueing for the memory the unconstrained
+                # placement wants on the first device to free it.
+                return None
+        return fleet[best.device], best.strategy, best.need_bytes
 
     def _serve(
         self, requests: list[QueryRequest], *, incremental: bool
@@ -379,107 +563,71 @@ class QueryScheduler:
         if len({r.qid for r in requests}) != len(requests):
             raise InvalidConfigError("query ids must be unique")
         capacity = self.system.gpu.device_memory
-        arena = DeviceMemoryArena(capacity)
+        fleet = DeviceFleet([capacity] * self.devices, lanes=self.lanes)
+        policy = create_placement_policy(self.placement)
+        policy.reset()
         if not requests:
             return ServeReport(
                 outcomes=[], makespan=0.0, capacity_bytes=capacity,
-                peak_reserved_bytes=0,
+                peak_reserved_bytes=0, devices=self.devices,
+                device_peak_bytes=fleet.device_peaks(),
+                arenas=[device.arena for device in fleet],
             )
 
         pending: deque[QueryRequest] = deque(
             sorted(requests, key=lambda r: r.submit_at)
         )
-        tasks: list[Task] = []
-        #: Tasks admitted since the last engine pass (incremental mode).
-        wave_tasks: list[Task] = []
-        engine: PipelineEngine | None = None
-        resources: dict[str, int] = dict(self.lanes)
         task_names: dict[str, list[str]] = {}
         outcomes: dict[str, QueryOutcome] = {}
-        running: set[str] = set()
-        #: Expected finish per running query: engine-accurate once the
-        #: query has been through a run, alone-estimate for queries
-        #: admitted since — used only for the wait-vs-degrade heuristic.
-        predicted_finish: dict[str, float] = {}
-        schedule = Schedule()
-        schedule_dirty = False
+        owner: dict[str, DeviceState] = {}
         clock = 0.0
 
-        while pending or running:
-            if not running and pending and pending[0].submit_at > clock:
+        while pending or fleet.any_running():
+            if (
+                not fleet.any_running()
+                and pending
+                and pending[0].submit_at > clock
+            ):
                 clock = pending[0].submit_at
 
-            # Admit in FIFO order while the head's re-planned footprint
-            # fits; head-of-line blocking keeps admission starvation-free.
+            # Admit in FIFO order while the head can be placed somewhere;
+            # head-of-line blocking keeps admission starvation-free.
             while pending and pending[0].submit_at <= clock:
                 request = pending[0]
-                key = self._choose(request, arena.free_bytes)
-                need = strategy_factory(key).device_bytes_needed(
-                    request.spec, self.system
-                )
-                if need > capacity:
-                    raise SchedulingError(
-                        f"query {request.qid!r} needs {need / 1e9:.2f} GB "
-                        f"({key}) but the device has {capacity / 1e9:.2f} GB; "
-                        "it can never be admitted"
-                    )
-                solo_key, solo_seconds = self._solo(request)
-                if (
-                    self.max_degradation is not None
-                    and running
-                    and key != solo_key
-                ):
-                    degraded_alone = self._estimate_alone(key, request, need)
-                    solo_need = strategy_factory(solo_key).device_bytes_needed(
-                        request.spec, self.system
-                    )
-                    wait = self._estimated_wait(
-                        solo_need,
-                        clock=clock,
-                        free_bytes=arena.free_bytes,
-                        reserved={
-                            qid: outcomes[qid].reserved_bytes for qid in running
-                        },
-                        predicted_finish=predicted_finish,
-                    )
-                    if (
-                        degraded_alone > self.max_degradation * solo_seconds
-                        or degraded_alone >= wait + solo_seconds
-                    ):
-                        # Starting now with the cheaper placement is
-                        # estimated to lose to queueing for the memory
-                        # the unconstrained placement wants.
-                        break
-                if not arena.try_reserve(request.qid, need, at=clock):
+                placed = self._place(request, fleet, policy, outcomes, clock)
+                if placed is None:
                     break
+                device, key, need = placed
+                if not device.arena.try_reserve(request.qid, need, at=clock):
+                    raise SchedulingError(  # pragma: no cover - _place bug
+                        f"placement chose device {device.index} for "
+                        f"{request.qid!r} but the reservation failed"
+                    )
                 pending.popleft()
-                strategy = create_strategy(
-                    key,
-                    self.system,
-                    self.calibration,
-                    self.config,
-                    **self._strategy_kwargs(key, need),
-                )
-                plan = strategy.prepare(
-                    request.spec, materialize=request.materialize
-                )
+                solo_key, solo_seconds = self._solo(request)
+                plan = self._prepare_plan(key, request, need)
                 for name, width in plan.resources.items():
-                    if width > resources.get(name, 1) and schedule.tasks:
-                        # Widening a pool after tasks were scheduled
-                        # would re-place already-recorded finishes on
-                        # the next re-run; fail loudly instead of
-                        # silently corrupting latencies.
+                    if width > device.resources.get(name, 1) and device.schedule.tasks:
+                        # Widening a pool after tasks were scheduled on
+                        # this device would re-place already-recorded
+                        # finishes on the next re-run; fail loudly
+                        # instead of silently corrupting latencies.
                         raise SchedulingError(
                             f"query {request.qid!r} widens resource "
                             f"{name!r} to {width} lanes after scheduling "
-                            "started; declare lane counts up front via "
+                            f"started on device {device.index}; declare "
+                            "lane counts up front via "
                             "QueryScheduler(lanes=...)"
                         )
-                    resources[name] = max(resources.get(name, 1), width)
-                namespaced = self._namespace(plan, request.qid, clock)
-                tasks.extend(namespaced)
+                    device.resources[name] = max(
+                        device.resources.get(name, 1), width
+                    )
+                namespaced = self._namespace(
+                    plan, request.qid, clock, device.index
+                )
+                device.tasks.extend(namespaced)
                 if incremental:
-                    wave_tasks.extend(namespaced)
+                    device.wave_tasks.extend(namespaced)
                 task_names[request.qid] = [task.name for task in namespaced]
                 outcomes[request.qid] = QueryOutcome(
                     qid=request.qid,
@@ -489,71 +637,87 @@ class QueryScheduler:
                     submit_at=request.submit_at,
                     admit_at=clock,
                     solo_seconds=solo_seconds,
+                    device=device.index,
                 )
-                running.add(request.qid)
+                device.running.add(request.qid)
+                owner[request.qid] = device
                 # For the common non-degraded, no-extras admission the
                 # solo estimate IS the alone estimate — skip recomputing.
                 if key == solo_key and not self._strategy_kwargs(key, need):
                     alone = solo_seconds
                 else:
                     alone = self._estimate_alone(key, request, need)
-                predicted_finish[request.qid] = clock + alone
-                schedule_dirty = True
+                device.predicted_finish[request.qid] = clock + alone
+                device.dirty = True
 
-            if not running:
+            if not fleet.any_running():
                 # Livelock guard: an admission `break` with nothing
                 # running would spin forever (no release event can
                 # advance the clock).  Unreachable under the current
-                # policy — with an empty arena the unconstrained
-                # placement always fits — but a future gate that drops
+                # policy — with an empty arena every device offers the
+                # unconstrained placement — but a future gate that drops
                 # the `running` condition must fail loudly, not hang.
                 head = pending[0]  # pragma: no cover
                 raise SchedulingError(  # pragma: no cover
-                    f"query {head.qid!r} cannot be admitted on an idle device"
+                    f"query {head.qid!r} cannot be admitted on an idle fleet"
                 )
 
-            # One shared engine pass over the tasks admitted so far —
-            # run only when admissions added tasks: FIFO queues mean
-            # later admissions never perturb earlier queries' start
+            # One engine pass per device that gained tasks — FIFO queues
+            # mean later admissions never perturb earlier queries' start
             # times, so finish events stay stable across re-runs and a
-            # clean schedule can be reused across pure release events.
-            # Batch mode re-simulates the whole graph; online mode
-            # extends the carried-over schedule with just this wave's
-            # tasks (bit-identical by the FIFO-tail argument above).
-            if schedule_dirty:
+            # clean device's schedule can be reused across pure release
+            # events.  Batch mode re-simulates the device's whole graph;
+            # online mode extends the carried-over schedule with just
+            # this wave's tasks (bit-identical by the FIFO-tail
+            # argument above).
+            for device in fleet:
+                if not device.dirty:
+                    continue
                 if incremental:
-                    if engine is None:
-                        engine = PipelineEngine(resources)
+                    if device.engine is None:
+                        device.engine = PipelineEngine(
+                            device.resources, device=device.index
+                        )
                     # The pre-extension schedule is never used again,
                     # so extend in place: O(new tasks) per wave.
-                    schedule = engine.extend(
-                        schedule, wave_tasks, in_place=True
+                    device.schedule = device.engine.extend(
+                        device.schedule, device.wave_tasks, in_place=True
                     )
-                    wave_tasks = []
+                    device.wave_tasks = []
                 else:
-                    schedule = self._run_engine(tasks, resources)
-                schedule_dirty = False
-            finishes = {
-                qid: max(schedule.tasks[name].finish for name in task_names[qid])
-                for qid in running
-            }
-            predicted_finish.update(finishes)
-            events = [finishes[qid] for qid in running]
+                    device.schedule = self._run_engine(
+                        device.tasks, device.resources, device.index
+                    )
+                device.dirty = False
+            finishes: dict[str, float] = {}
+            for device in fleet:
+                for qid in device.running:
+                    finishes[qid] = max(
+                        device.schedule.tasks[name].finish
+                        for name in task_names[qid]
+                    )
+                    device.predicted_finish[qid] = finishes[qid]
+            events = list(finishes.values())
             if pending and pending[0].submit_at > clock:
                 events.append(pending[0].submit_at)
             clock = min(events)
-            for qid in sorted(q for q in running if finishes[q] <= clock):
+            for qid in sorted(q for q in finishes if finishes[q] <= clock):
                 outcomes[qid].finish_at = finishes[qid]
-                arena.release(qid, at=clock)
-                running.remove(qid)
-                del predicted_finish[qid]
+                device = owner[qid]
+                device.arena.release(qid, at=clock)
+                device.running.remove(qid)
+                del device.predicted_finish[qid]
 
-        arena.check_invariants()
+        fleet.check_drained()
+        merged = fleet.merged_schedule()
         ordered = [outcomes[r.qid] for r in requests]
         return ServeReport(
             outcomes=ordered,
-            makespan=schedule.makespan,
+            makespan=merged.makespan,
             capacity_bytes=capacity,
-            peak_reserved_bytes=arena.peak_bytes,
-            schedule=schedule,
+            peak_reserved_bytes=max(fleet.device_peaks()),
+            schedule=merged,
+            devices=self.devices,
+            device_peak_bytes=fleet.device_peaks(),
+            arenas=[device.arena for device in fleet],
         )

@@ -7,9 +7,20 @@ probe side exceeds memory, and co-processing joins where nothing fits.
 so queries are not identical), which is exactly the mix where admission
 control matters: resident queries degrade under pressure, and the
 different strategies' H2D/GPU/D2H/CPU tasks interleave.
+
+:func:`random_workload` draws the same regimes at random from a seeded
+generator — the input source for the property-based differential suite
+(``tests/serve/test_placement_properties.py``).  It is **stable by
+contract**: the same seed must produce the same request list across
+releases, because recorded golden schedules
+(``tests/serve/golden_single_device.json``) pin the scheduler's output
+on these workloads.  Cardinalities come from small discrete grids, so
+the process-wide estimate cache absorbs repeated specs across seeds.
 """
 
 from __future__ import annotations
+
+import random
 
 from repro.data.spec import Distribution, JoinSpec, RelationSpec, unique_pair
 from repro.errors import InvalidConfigError
@@ -71,6 +82,69 @@ def mixed_workload(
                 qid=f"q{i:03d}",
                 spec=spec,
                 submit_at=i * spacing_seconds,
+                materialize=materialize,
+            )
+        )
+    return requests
+
+
+#: Cardinality grids (millions of tuples) the randomized workloads draw
+#: from.  Discrete on purpose: repeated sizes keep the estimate cache
+#: hot across hundreds of seeds.  Do not reorder or edit in place —
+#: the golden single-device schedules are pinned against these draws;
+#: extend only by appending new grids behind a new ``kind``.
+_RANDOM_RESIDENT_M = (4, 8, 16, 32)
+_RANDOM_PRESSURE_M = (48, 96, 128)
+_RANDOM_STREAM_BUILD_M = (16, 32, 64)
+_RANDOM_STREAM_PROBE_M = (128, 256, 512)
+_RANDOM_COPROC_M = (256, 384, 512)
+
+
+def random_workload(
+    seed: int,
+    *,
+    max_queries: int = 6,
+    spacing_max_seconds: float = 0.6,
+) -> list[QueryRequest]:
+    """A seeded random request list mixing all placement regimes.
+
+    Every draw comes from one :class:`random.Random` seeded with
+    ``seed``, so the same seed always yields the same workload — the
+    determinism the property-based differential suite and its recorded
+    golden schedules rely on.  Arrivals are a mix of batched
+    (``submit_at`` repeats) and staggered submissions; cardinality
+    grids span idle-resident, memory-pressure, streaming and
+    co-processing regimes so admission control, degradation and
+    waiting all get exercised.
+    """
+    if max_queries < 2:
+        raise InvalidConfigError("max_queries must be at least 2")
+    if spacing_max_seconds < 0:
+        raise InvalidConfigError("spacing_max_seconds must be non-negative")
+    rng = random.Random(seed)
+    n_queries = rng.randint(2, max_queries)
+    requests: list[QueryRequest] = []
+    clock = 0.0
+    for i in range(n_queries):
+        kind = rng.randrange(4)
+        materialize = False
+        if kind == 0:  # small, GPU-resident even under load
+            spec = _resident(rng.choice(_RANDOM_RESIDENT_M) * M)
+        elif kind == 1:  # resident alone, degrades under pressure
+            spec = _resident(rng.choice(_RANDOM_PRESSURE_M) * M)
+        elif kind == 2:  # streaming probe
+            build = rng.choice(_RANDOM_STREAM_BUILD_M) * M
+            spec = _streaming(build, rng.choice(_RANDOM_STREAM_PROBE_M) * M)
+            materialize = rng.random() < 0.5
+        else:  # co-processing: nothing fits
+            spec = _resident(rng.choice(_RANDOM_COPROC_M) * M)
+        if i and rng.random() < 0.5:
+            clock += round(rng.uniform(0.05, spacing_max_seconds), 3)
+        requests.append(
+            QueryRequest(
+                qid=f"q{i:03d}",
+                spec=spec,
+                submit_at=clock,
                 materialize=materialize,
             )
         )

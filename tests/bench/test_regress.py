@@ -45,9 +45,38 @@ def test_render_marks_ok():
 
 
 def test_serve_regression_invariants():
-    """The per-PR serving smoke: deterministic, within capacity."""
+    """The per-PR serving smoke: deterministic, within capacity, and
+    covering both the single-device and the two-device sharded fleet."""
     from repro.bench.regress import run_serve_regression
 
     lines = run_serve_regression(levels=(1, 2))
-    assert len(lines) == 2
+    assert len(lines) == 4  # one single-device + one sharded line per level
     assert all(line.endswith("ok") for line in lines)
+    assert sum("2 devices" in line for line in lines) == 2
+
+
+def test_serve_regression_propagates_mid_ladder_failures(monkeypatch):
+    """A strategy raising mid-ladder must surface as the library error,
+    not hang the online==batch comparison or report a bogus divergence.
+
+    The serving regression re-plans every admission through the planner
+    ladder; if a rung's feasibility probe explodes (a buggy strategy, a
+    bad calibration), both the batch and the online pass must fail with
+    that error before any equivalence verdict is printed.
+    """
+    import pytest
+
+    from repro.bench.regress import run_serve_regression
+    from repro.core import estimate_cache
+    from repro.core.streaming import StreamingProbeJoin
+    from repro.errors import ReproError, SchedulingError
+
+    estimate_cache.clear()  # drop memoized ladder walks from other tests
+
+    def explode(cls, spec, system, available_bytes):
+        raise SchedulingError("streaming rung exploded mid-ladder")
+
+    monkeypatch.setattr(StreamingProbeJoin, "fits_in", classmethod(explode))
+    with pytest.raises(ReproError, match="mid-ladder"):
+        run_serve_regression(levels=(2,))
+    estimate_cache.clear()  # don't leak poisoned ladder entries

@@ -110,3 +110,50 @@ def test_ladder_choice_memoized_and_correct():
     assert first == second == "gpu_resident"
     constrained = choose_strategy_name(SPEC, system, available_bytes=1 << 20)
     assert constrained == "coprocessing"
+
+
+def test_plan_cache_counts_hits_and_misses_separately():
+    """The plan cache keeps its own accounting, so a key mismatch that
+    silently stops plans from hitting is visible in stats() without
+    perturbing the estimate counters older tests pin exactly."""
+    sentinel = object()
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return sentinel
+
+    assert estimate_cache.cached_plan(("plan", 1), compute) is sentinel
+    assert estimate_cache.cached_plan(("plan", 1), compute) is sentinel
+    assert len(calls) == 1
+    stats = estimate_cache.stats()
+    assert (stats.plan_hits, stats.plan_misses, stats.plan_entries) == (1, 1, 1)
+    assert (stats.hits, stats.misses) == (0, 0)  # estimate counters untouched
+    # Unhashable/None keys bypass the cache and recompute every time.
+    assert estimate_cache.cached_plan(None, compute) is sentinel
+    assert len(calls) == 2
+    estimate_cache.clear()
+    stats = estimate_cache.stats()
+    assert (stats.plan_hits, stats.plan_misses, stats.plan_entries) == (0, 0, 0)
+
+
+def test_plan_cache_disabled_recomputes():
+    estimate_cache.configure(enabled=False)
+    calls = []
+    estimate_cache.cached_plan(("k",), lambda: calls.append(1))
+    estimate_cache.cached_plan(("k",), lambda: calls.append(1))
+    assert len(calls) == 2
+
+
+def test_scheduler_reuses_cached_plans_across_runs():
+    """The serving scheduler's prepared plans hit process-wide: a second
+    run over the same workload re-prepares nothing."""
+    from repro.serve import QueryScheduler, mixed_workload
+
+    QueryScheduler().run(mixed_workload(4))
+    after_first = estimate_cache.stats()
+    assert after_first.plan_entries > 0
+    QueryScheduler().run(mixed_workload(4))
+    after_second = estimate_cache.stats()
+    assert after_second.plan_misses == after_first.plan_misses
+    assert after_second.plan_hits > after_first.plan_hits

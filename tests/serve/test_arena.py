@@ -87,3 +87,48 @@ def test_timeline_records_transitions():
     arena.reserve("b", 3 * GB, at=1.0)
     arena.release("a", at=2.0)
     assert arena.timeline == [(0.0, 2 * GB), (1.0, 5 * GB), (2.0, 3 * GB)]
+
+
+def test_double_release_raises_repro_error():
+    """A release the arena does not hold must raise, never be ignored:
+    a swallowed double release would let the ledger drift below the
+    schedule it mirrors.  Pinned as ReproError so serving callers can
+    catch the library hierarchy."""
+    from repro.errors import ReproError
+
+    arena = DeviceMemoryArena(8 * GB)
+    arena.reserve("q0", GB)
+    assert arena.release("q0") == GB
+    with pytest.raises(DeviceMemoryOverflowError, match="double release"):
+        arena.release("q0")
+    assert issubclass(DeviceMemoryOverflowError, ReproError)
+    # The failed release changed nothing: ledger still drained.
+    assert arena.drained and arena.used_bytes == 0
+
+
+def test_release_on_wrong_device_names_the_device():
+    fleet = [DeviceMemoryArena(8 * GB, device=index) for index in range(2)]
+    fleet[0].reserve("q0", GB)
+    with pytest.raises(DeviceMemoryOverflowError, match="device 1"):
+        fleet[1].release("q0")  # misrouted: q0 lives on device 0
+    assert fleet[0].holds("q0")
+
+
+def test_ledger_records_device_ids():
+    arena = DeviceMemoryArena(8 * GB, device=3)
+    arena.reserve("q0", GB, at=1.5)
+    reservation = arena.reservations["q0"]
+    assert reservation.device == 3
+    assert reservation.granted_at == 1.5
+    with pytest.raises(DeviceMemoryOverflowError):
+        DeviceMemoryArena(GB, device=-1)
+
+
+def test_drained_tracks_live_reservations():
+    arena = DeviceMemoryArena(8 * GB)
+    assert arena.drained
+    arena.reserve("a", GB)
+    assert not arena.drained
+    arena.release("a")
+    assert arena.drained
+    assert arena.timeline[-1][1] == 0

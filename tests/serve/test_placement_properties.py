@@ -1,0 +1,131 @@
+"""Property-based differential suite for the sharded serving layer.
+
+Runs the scheduler over 200 seeded randomized workloads
+(:func:`repro.serve.workload.random_workload` — mixed placement
+regimes, batched and staggered arrivals) and asserts, per seed:
+
+(a) **Legacy equivalence** — ``devices=1`` reproduces, bit for bit,
+    the single-device schedule recorded *before* the placement layer
+    existed (``golden_single_device.json``, captured by
+    ``tools/capture_serve_golden.py``): same admissions, strategies,
+    reservations, admit/finish times, makespan and peak;
+(b) **Online == batch** — for every fleet size, incremental extension
+    (:meth:`~repro.serve.scheduler.QueryScheduler.run_online`) matches
+    the batch re-simulation exactly, device assignments included;
+(c) **Arena accounting** — every device's peak stays within capacity,
+    every ledger drains (no reservation outlives its query), and every
+    timeline ends at zero used bytes;
+(d) **Sharding monotonicity** — adding devices never increases the
+    fleet makespan on these workloads.
+
+The golden file is the refactor's falsifier: regenerating it
+re-baselines (a) from current behaviour, so only do that deliberately
+for a reviewed change — never to turn a red suite green.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.serve_bench import fingerprint, fingerprint_sharded
+from repro.serve import QueryScheduler, mixed_workload, random_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden_single_device.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+
+#: Fleet sizes the differential checks sweep.
+FLEETS = (1, 2, 3)
+
+SEEDS = sorted(int(seed) for seed in GOLDEN["seeds"])
+
+
+def _golden_matches(report, entry) -> None:
+    assert [list(item) for item in fingerprint(report)] == entry["fingerprint"]
+    assert report.makespan == entry["makespan"]
+    assert report.peak_reserved_bytes == entry["peak_reserved_bytes"]
+
+
+def _check_arenas(report) -> None:
+    assert report.arenas is not None and len(report.arenas) == report.devices
+    for arena in report.arenas:
+        assert arena.peak_bytes <= arena.capacity_bytes
+        arena.check_invariants()
+        # Ledger sums to zero after drain: no reservation outlived its
+        # query, and the recorded timeline returns to an empty device.
+        assert arena.drained
+        assert arena.used_bytes == 0
+        if arena.timeline:
+            assert arena.timeline[-1][1] == 0
+
+
+def test_golden_covers_200_seeds():
+    assert len(SEEDS) >= 200
+    assert SEEDS == list(range(len(SEEDS)))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_randomized_differential(seed):
+    entry = GOLDEN["seeds"][str(seed)]
+    spans = {}
+    for devices in FLEETS:
+        batch = QueryScheduler(devices=devices).run(random_workload(seed))
+        online = QueryScheduler(devices=devices).run_online(
+            random_workload(seed)
+        )
+        # (b) online == batch, including which device each query ran on.
+        assert fingerprint_sharded(online) == fingerprint_sharded(batch)
+        assert online.makespan == batch.makespan
+        assert online.device_peak_bytes == batch.device_peak_bytes
+        # (c) per-device arena accounting, both modes.
+        _check_arenas(batch)
+        _check_arenas(online)
+        assert all(0 <= o.device < devices for o in batch.outcomes)
+        spans[devices] = batch.makespan
+        if devices == 1:
+            # (a) sharded devices=1 == the recorded legacy schedule.
+            _golden_matches(batch, entry)
+            assert all(o.device == 0 for o in batch.outcomes)
+    # (d) makespan never increases with fleet size.
+    for smaller, larger in zip(FLEETS, FLEETS[1:]):
+        assert spans[larger] <= spans[smaller] * (1 + 1e-12), (
+            f"seed {seed}: {larger} devices made the makespan worse "
+            f"({spans[larger]!r} vs {spans[smaller]!r})"
+        )
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN["canonical"]))
+def test_canonical_workloads_match_golden(name):
+    clients, spacing = name.split("x")
+    report = QueryScheduler(devices=1).run(
+        mixed_workload(int(clients), spacing_seconds=float(spacing))
+    )
+    _golden_matches(report, GOLDEN["canonical"][name])
+
+
+def test_two_devices_beat_one_on_the_64_client_acceptance_workload():
+    """The acceptance bar: sharding the canonical serve_wall[64]
+    workload across two devices must strictly beat one device (online
+    mode — outcomes are identical to batch, pinned above)."""
+    one = QueryScheduler(devices=1).run_online(mixed_workload(64))
+    two = QueryScheduler(devices=2).run_online(mixed_workload(64))
+    assert two.makespan < one.makespan
+    # Genuine sharding, not one hot device: both devices took queries.
+    assert {o.device for o in two.outcomes} == {0, 1}
+    _check_arenas(two)
+
+
+@pytest.mark.parametrize("placement", ["first_fit", "round_robin"])
+def test_alternative_policies_hold_the_core_properties(placement):
+    """Every registered policy keeps determinism, online==batch and the
+    arena invariants — only the default policy's makespan is tracked."""
+    for seed in SEEDS[:25]:
+        batch = QueryScheduler(devices=2, placement=placement).run(
+            random_workload(seed)
+        )
+        online = QueryScheduler(devices=2, placement=placement).run_online(
+            random_workload(seed)
+        )
+        assert fingerprint_sharded(online) == fingerprint_sharded(batch)
+        assert online.makespan == batch.makespan
+        _check_arenas(batch)

@@ -69,3 +69,45 @@ def test_links_inside_code_fences_ignored(tmp_path, monkeypatch):
     )
     monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
     assert check_docs.check_links() == []
+
+
+def test_anchor_with_code_backticks_resolves(tmp_path, monkeypatch):
+    """GitHub strips backticks (and other emphasis) when slugging a
+    heading; a link written against the rendered anchor must resolve
+    even though the source heading contains `` ` `` characters."""
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "api.md").write_text(
+        "# The `QueryScheduler` API\n\n"
+        "## `run` vs `run_online` **modes**\n\ntext\n"
+    )
+    (tmp_path / "README.md").write_text(
+        "[api](docs/api.md#the-queryscheduler-api)\n"
+        "[modes](docs/api.md#run-vs-run_online-modes)\n"
+        "[wrong](docs/api.md#the-%60queryscheduler%60-api)\n"
+        "```pycon\n>>> 1\n1\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_links()
+    # The two stripped-backtick anchors resolve; the percent-encoded
+    # backtick form is not a rendered anchor and must be flagged.
+    assert len(errors) == 1
+    assert "%60" in errors[0]
+
+
+def test_link_to_directory_resolves_without_anchor_check(tmp_path, monkeypatch):
+    """A link target may be a directory (``docs/``, a package path);
+    it resolves by existence and never gets anchor-checked — but a
+    fragment on a *missing* directory is still a broken link."""
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "docs" / "guide.md").write_text("# Guide\n")
+    (tmp_path / "README.md").write_text(
+        "[docs tree](docs/)\n"
+        "[docs noslash](docs)\n"
+        "[ghost dir](missing/)\n"
+        "```pycon\n>>> 1\n1\n```\n"
+    )
+    monkeypatch.setattr(check_docs, "REPO_ROOT", tmp_path)
+    errors = check_docs.check_links()
+    assert len(errors) == 1
+    assert "missing/" in errors[0]
