@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench serve --clients 16  # multi-query serving bench
     python -m repro.bench serve --online --clients 64 --arrival-rate 8
     python -m repro.bench serve --clients 16 --devices 2 --online  # sharded fleet
+    python -m repro.bench serve --stream --arrivals 100000 --devices 2  # steady state
     python -m repro.bench perf --quick        # tracked micro-benchmarks
 """
 

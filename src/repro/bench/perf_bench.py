@@ -217,6 +217,15 @@ def perf_main(argv: list[str] | None = None) -> int:
 
     entries = run_perf(quick=args.quick)
     print(render(entries))
+    stats = estimate_cache.stats()
+    print(
+        "cache counters (hits/misses/evictions): estimate "
+        f"{stats.hits}/{stats.misses}/{stats.evictions}, plan "
+        f"{stats.plan_hits}/{stats.plan_misses}/{stats.plan_evictions}, "
+        f"ladder {stats.ladder_hits}/{stats.ladder_misses}/"
+        f"{stats.ladder_evictions} "
+        f"(LRU cap {stats.max_entries} entries per cache)"
+    )
     if args.out != "-":
         write_json(entries, args.out)
         print(f"written to {args.out}")

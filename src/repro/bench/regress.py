@@ -30,7 +30,11 @@ and produce **identical** per-query outcomes through the online
 incremental-extension mode and the batch full-re-simulation mode — on
 one device *and* on a two-device sharded fleet, whose makespan must
 additionally never exceed the single-device makespan — the invariants
-the scheduler promises on every PR.
+the scheduler promises on every PR.  :func:`run_stream_regression`
+extends the same guarantee to steady-state streaming: on a mid-size
+open-arrival stream, ``run_stream`` with aggressive schedule
+compaction must match ``run_stream`` without compaction *and*
+``run_online`` on every per-query outcome and the final makespan.
 """
 
 from __future__ import annotations
@@ -256,6 +260,95 @@ def run_serve_regression(
     return lines
 
 
+#: Stream length of the compaction-equivalence regression — mid-size on
+#: purpose: big enough for many compaction sweeps, small enough for
+#: every PR.
+STREAM_REGRESSION_ARRIVALS = 400
+
+
+def run_stream_regression(
+    arrivals: int = STREAM_REGRESSION_ARRIVALS,
+) -> list[str]:
+    """Assert compacted streaming == uncompacted == online; returns
+    report lines.
+
+    For a mid-size open-arrival stream on one device and on a
+    :data:`SERVE_REGRESSION_DEVICES`-device fleet, runs
+    :meth:`~repro.serve.scheduler.QueryScheduler.run_stream` twice —
+    aggressive compaction versus compaction disabled — and
+    :meth:`~repro.serve.scheduler.QueryScheduler.run_online` once on
+    the same requests.  All three must produce **identical** per-query
+    admissions, placements, reservations and finish times, and the
+    same makespan: compaction must be pure bookkeeping, invisible in
+    every outcome.  Any divergence raises
+    :class:`~repro.errors.SchedulingError`.
+    """
+    from repro.errors import SchedulingError
+    from repro.serve.scheduler import QueryScheduler
+    from repro.serve.workload import stream_workload
+
+    def outcome_fingerprint(outcomes) -> list[tuple]:
+        return sorted(
+            (o.qid, o.device, o.strategy, o.reserved_bytes,
+             o.admit_at, o.finish_at)
+            for o in outcomes
+        )
+
+    lines: list[str] = []
+    for devices in (1, SERVE_REGRESSION_DEVICES):
+        requests = list(
+            stream_workload(arrivals, arrival_rate=120.0, seed=7)
+        )
+        compacted = QueryScheduler(devices=devices).run_stream(
+            iter(requests), compact_every=16
+        )
+        uncompacted = QueryScheduler(devices=devices).run_stream(
+            iter(requests), compact_every=None
+        )
+        online = QueryScheduler(devices=devices).run_online(requests)
+        if compacted.shed or uncompacted.shed:
+            raise SchedulingError(
+                "stream regression must not shed (no queue cap, no SLO)"
+            )
+        if outcome_fingerprint(compacted.outcomes) != outcome_fingerprint(
+            uncompacted.outcomes
+        ):
+            raise SchedulingError(
+                f"compacted stream diverged from uncompacted at "
+                f"{arrivals} arrivals on {devices} device(s)"
+            )
+        if outcome_fingerprint(compacted.outcomes) != outcome_fingerprint(
+            online.outcomes
+        ):
+            raise SchedulingError(
+                f"streaming admission diverged from run_online at "
+                f"{arrivals} arrivals on {devices} device(s)"
+            )
+        if not (
+            compacted.makespan == uncompacted.makespan == online.makespan
+        ):
+            raise SchedulingError(
+                f"stream makespans diverged on {devices} device(s): "
+                f"compacted {compacted.makespan!r}, uncompacted "
+                f"{uncompacted.makespan!r}, online {online.makespan!r}"
+            )
+        if compacted.retired_tasks == 0:
+            raise SchedulingError(
+                "stream regression compacted run retired nothing — the "
+                "equivalence check is vacuous"
+            )
+        lines.append(
+            f"stream[{arrivals} arrivals, {devices} device(s)]: makespan "
+            f"{compacted.makespan:10.6f} s, retained peak "
+            f"{compacted.peak_retained_tasks} vs "
+            f"{uncompacted.peak_retained_tasks} tasks uncompacted "
+            f"({compacted.retired_tasks} retired in "
+            f"{compacted.compactions} sweeps), compacted == uncompacted "
+            "== online  ok"
+        )
+    return lines
+
+
 def main() -> int:
     rows = run_regression()
     print(render(rows))
@@ -267,6 +360,12 @@ def main() -> int:
     print(
         "serving scheduler deterministic, every arena within capacity and "
         "drained, online == batch, sharding never regresses the makespan"
+    )
+    for line in run_stream_regression():
+        print(line)
+    print(
+        "streaming admission: compacted == uncompacted == online on every "
+        "outcome; compaction is pure bookkeeping"
     )
     return 0
 

@@ -25,23 +25,48 @@ per-device arenas and engines with a placement policy
 admission; ``--devices 1`` is bit-identical to the historical
 single-device scheduler.
 
-Run via the CLI (``python -m repro.bench serve --clients 16``, or
-``... serve --clients 16 --devices 2 --online``) or call
-:func:`run_serve` / :func:`sweep` from tests.
+``--stream`` runs the steady-state streaming harness instead of the
+concurrency sweep: ``--arrivals N`` open arrivals (default 100000) from
+:func:`~repro.serve.workload.stream_workload` through
+:meth:`~repro.serve.scheduler.QueryScheduler.run_stream`, with a
+bounded wait queue (``--max-queue``), an optional admission-wait SLO
+(``--slo``) and periodic schedule compaction (``--compact-every``).
+The run is verified (:func:`verify_stream_report`): arenas drained and
+within capacity, every arrival accounted for (completed + shed ==
+arrivals), and the peak retained schedule bounded by a constant
+multiple of the in-flight work — the compaction guarantee.  Results
+land in ``BENCH_perf.json`` as ``serve_stream_*`` entries merged next
+to the ``perf`` suite's records.
+
+Run via the CLI (``python -m repro.bench serve --clients 16``,
+``... serve --clients 16 --devices 2 --online``, or
+``... serve --stream --arrivals 100000 --devices 2``) or call
+:func:`run_serve` / :func:`sweep` / :func:`run_stream_bench` from
+tests.
 """
 
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
 
+from repro.bench.perf_bench import PerfEntry
 from repro.errors import SchedulingError
 from repro.serve.placement import LEAST_LOADED, registered_placement_policies
-from repro.serve.scheduler import QueryScheduler, ServeReport
-from repro.serve.workload import mixed_workload
+from repro.serve.scheduler import QueryScheduler, ServeReport, StreamReport
+from repro.serve.workload import mixed_workload, stream_workload
 
 #: Default offered-concurrency ladder for the sweep.
 DEFAULT_CLIENTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Defaults of the ``--stream`` harness.
+DEFAULT_STREAM_ARRIVALS = 100_000
+DEFAULT_STREAM_RATE = 200.0
+DEFAULT_STREAM_QUEUE = 128
+DEFAULT_STREAM_COMPACT = 256
 
 
 @dataclass
@@ -57,6 +82,8 @@ class ServePoint:
     degraded: int
     peak_gb: float
     devices: int = 1
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -234,6 +261,8 @@ def sweep(
                 degraded=report.degraded_count,
                 peak_gb=report.peak_reserved_bytes / 1e9,
                 devices=report.devices,
+                p50_latency=report.p50_latency,
+                p99_latency=report.p99_latency,
             )
         )
     return points
@@ -244,8 +273,8 @@ def render_sweep(points: list[ServePoint]) -> str:
     device_header = f" {'devs':>4s}" if sharded else ""
     lines = [
         f"{'clients':>7s}{device_header} {'q/s':>7s} {'makespan':>9s} "
-        f"{'serial':>8s} {'speedup':>8s} {'mean lat':>9s} {'p95 lat':>8s} "
-        f"{'degraded':>8s} {'peak GB':>8s}"
+        f"{'serial':>8s} {'speedup':>8s} {'mean lat':>9s} {'p50 lat':>8s} "
+        f"{'p95 lat':>8s} {'p99 lat':>8s} {'degraded':>8s} {'peak GB':>8s}"
     ]
     for p in points:
         device_cell = f" {p.devices:4d}" if sharded else ""
@@ -253,9 +282,150 @@ def render_sweep(points: list[ServePoint]) -> str:
             f"{p.clients:7d}{device_cell} {p.queries_per_second:7.2f} "
             f"{p.makespan:8.3f}s "
             f"{p.serial_makespan:7.3f}s {p.speedup:7.2f}x {p.mean_latency:8.3f}s "
-            f"{p.p95_latency:7.3f}s {p.degraded:8d} {p.peak_gb:8.2f}"
+            f"{p.p50_latency:7.3f}s {p.p95_latency:7.3f}s {p.p99_latency:7.3f}s "
+            f"{p.degraded:8d} {p.peak_gb:8.2f}"
         )
     return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Streaming harness
+# ---------------------------------------------------------------------------
+def verify_stream_report(
+    report: StreamReport, *, compact_every: int | None
+) -> None:
+    """The streaming run's hard guarantees; raises on violation.
+
+    Arena invariants match :func:`verify_report`; on top of those,
+    every arrival must be accounted for (completed + shed == arrivals,
+    shedding is never silent) and, when compaction ran, the peak
+    retained schedule must stay within ``peak_inflight_tasks +
+    compact_every * max_tasks_per_query`` — at most ``compact_every - 1``
+    released-but-unretired queries of at most ``max_tasks_per_query``
+    tasks each can sit between sweeps, so a violation means compaction
+    stopped bounding memory.
+    """
+    for device, peak in enumerate(report.device_peak_bytes):
+        if peak > report.capacity_bytes:
+            raise SchedulingError(
+                f"arena over-reserved on device {device}: peak {peak} > "
+                f"capacity {report.capacity_bytes}"
+            )
+    for arena in report.arenas or ():
+        arena.check_invariants()
+        if not arena.drained:
+            raise SchedulingError(
+                f"device {arena.device} arena did not drain: "
+                f"{sorted(arena.reservations)} still reserved"
+            )
+    if report.completed + report.shed_count != report.arrivals:
+        raise SchedulingError(
+            f"stream lost arrivals: {report.completed} completed + "
+            f"{report.shed_count} shed != {report.arrivals} arrivals"
+        )
+    if compact_every is not None:
+        bound = (
+            report.peak_inflight_tasks
+            + compact_every * report.max_tasks_per_query
+        )
+        if report.peak_retained_tasks > bound:
+            raise SchedulingError(
+                f"retained schedule not bounded by in-flight work: peak "
+                f"{report.peak_retained_tasks} tasks > "
+                f"{report.peak_inflight_tasks} in-flight + "
+                f"{compact_every} x {report.max_tasks_per_query} per query "
+                f"= {bound}"
+            )
+
+
+def run_stream_bench(
+    arrivals: int = DEFAULT_STREAM_ARRIVALS,
+    *,
+    arrival_rate: float = DEFAULT_STREAM_RATE,
+    devices: int = 1,
+    placement: str = LEAST_LOADED,
+    max_queue_depth: int | None = DEFAULT_STREAM_QUEUE,
+    slo_wait_seconds: float | None = None,
+    compact_every: int | None = DEFAULT_STREAM_COMPACT,
+    seed: int = 0,
+) -> tuple[StreamReport, float]:
+    """Run the steady-state streaming benchmark; returns (verified
+    report, wall seconds).  The workload generator is lazy and the
+    retained schedule is compacted, so memory stays O(in-flight) even
+    at 10^5+ arrivals."""
+    scheduler = QueryScheduler(devices=devices, placement=placement)
+    start = time.perf_counter()
+    report = scheduler.run_stream(
+        stream_workload(arrivals, arrival_rate=arrival_rate, seed=seed),
+        max_queue_depth=max_queue_depth,
+        slo_wait_seconds=slo_wait_seconds,
+        compact_every=compact_every,
+    )
+    wall = time.perf_counter() - start
+    verify_stream_report(report, compact_every=compact_every)
+    return report, wall
+
+
+def stream_perf_entries(
+    report: StreamReport, wall: float, *, arrivals: int, devices: int
+) -> dict[str, PerfEntry]:
+    """``serve_stream_*`` records in ``BENCH_perf.json``'s uniform
+    ``{wall_seconds, ops_per_sec, n}`` schema.  ``wall_seconds`` always
+    carries the metric's natural per-item value (wall seconds per
+    arrival, simulated seconds of latency, shed fraction, queue depth);
+    ``ops_per_sec`` its rate form where one exists, else 0; ``n`` the
+    population the metric aggregates."""
+    tag = f"[{arrivals}x{devices}]"
+    completed = max(report.completed, 1)
+
+    def entry(value: float, rate: float, n: int) -> PerfEntry:
+        return PerfEntry(wall_seconds=value, ops_per_sec=rate, n=max(n, 1))
+
+    return {
+        f"serve_stream_wall{tag}": entry(
+            wall / max(report.arrivals, 1),
+            report.arrivals / wall if wall > 0 else 0.0,
+            report.arrivals,
+        ),
+        f"serve_stream_sustained_qps{tag}": entry(
+            report.makespan / completed, report.sustained_qps, report.completed
+        ),
+        f"serve_stream_p50_latency{tag}": entry(
+            report.p50_latency,
+            1.0 / report.p50_latency if report.p50_latency > 0 else 0.0,
+            report.completed,
+        ),
+        f"serve_stream_p99_latency{tag}": entry(
+            report.p99_latency,
+            1.0 / report.p99_latency if report.p99_latency > 0 else 0.0,
+            report.completed,
+        ),
+        f"serve_stream_shed_rate{tag}": entry(
+            report.shed_rate,
+            report.shed_count / report.makespan if report.makespan > 0 else 0.0,
+            report.arrivals,
+        ),
+        f"serve_stream_queue_p50{tag}": entry(
+            report.queue_depth_percentile(0.50), 0.0, report.arrivals
+        ),
+        f"serve_stream_queue_p99{tag}": entry(
+            report.queue_depth_percentile(0.99), 0.0, report.arrivals
+        ),
+    }
+
+
+def merge_perf_json(entries: dict[str, PerfEntry], path: str) -> None:
+    """Merge entries into an existing ``BENCH_perf.json`` (the ``perf``
+    suite owns the file; the stream harness adds its series without
+    clobbering the micro-benchmarks)."""
+    payload: dict = {}
+    if os.path.exists(path):
+        with open(path) as handle:
+            payload = json.load(handle)
+    payload.update({name: asdict(entry) for name, entry in entries.items()})
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=1, sort_keys=True)
+        handle.write("\n")
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -316,6 +486,70 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="device-placement policy for --devices > 1 "
         f"(default {LEAST_LOADED})",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="steady-state streaming harness: bounded-queue admission "
+        "with load shedding and schedule compaction over --arrivals "
+        "open arrivals (results merged into BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--arrivals",
+        type=int,
+        default=DEFAULT_STREAM_ARRIVALS,
+        help=f"stream length for --stream (default {DEFAULT_STREAM_ARRIVALS})",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=DEFAULT_STREAM_QUEUE,
+        metavar="N",
+        help="wait-queue depth cap for --stream; arrivals beyond it are "
+        f"shed (default {DEFAULT_STREAM_QUEUE}; 0 = unbounded)",
+    )
+    parser.add_argument(
+        "--slo",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fleet-wide admission-wait SLO for --stream (simulated "
+        "seconds); arrivals whose estimated wait exceeds it are shed "
+        "(default: no SLO)",
+    )
+    parser.add_argument(
+        "--compact-every",
+        type=int,
+        default=DEFAULT_STREAM_COMPACT,
+        metavar="N",
+        help="compact every device schedule after N releases "
+        f"(default {DEFAULT_STREAM_COMPACT}; 0 disables compaction)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="stream workload seed (default 0)",
+    )
+    parser.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="fail when the --stream run exceeds this wall-clock time",
+    )
+    parser.add_argument(
+        "--max-shed-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when the --stream shed rate exceeds this fraction",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="JSON path the --stream series merge into "
+        "(default BENCH_perf.json); '-' skips writing",
+    )
     args = parser.parse_args(argv)
 
     if args.clients is not None and args.sweep:
@@ -324,6 +558,10 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--clients must be positive")
     if args.devices <= 0:
         parser.error("--devices must be positive")
+    if args.stream and (args.clients is not None or args.sweep):
+        parser.error("--stream and --clients/--sweep are mutually exclusive")
+    if args.arrivals <= 0:
+        parser.error("--arrivals must be positive")
     if args.arrival_rate is not None:
         if args.arrival_rate <= 0:
             parser.error("--arrival-rate must be positive")
@@ -332,6 +570,60 @@ def serve_main(argv: list[str] | None = None) -> int:
         spacing = 1.0 / args.arrival_rate
     else:
         spacing = args.spacing
+
+    if args.stream:
+        rate = args.arrival_rate if args.arrival_rate else DEFAULT_STREAM_RATE
+        max_queue = args.max_queue if args.max_queue > 0 else None
+        compact_every = args.compact_every if args.compact_every > 0 else None
+        report, wall = run_stream_bench(
+            args.arrivals,
+            arrival_rate=rate,
+            devices=args.devices,
+            placement=args.placement,
+            max_queue_depth=max_queue,
+            slo_wait_seconds=args.slo,
+            compact_every=compact_every,
+            seed=args.seed,
+        )
+        print(
+            f"streaming admission: {args.arrivals} arrivals at {rate:g}/s "
+            f"on {args.devices} device(s) ({args.placement} placement)"
+        )
+        print(report.render())
+        print(
+            f"wall {wall:.2f} s ({args.arrivals / wall:.0f} arrivals/s "
+            "processed)"
+        )
+        print(
+            "verified: every arena within capacity and drained, all "
+            "arrivals accounted for, retained schedule bounded by "
+            "in-flight work"
+        )
+        if args.out != "-":
+            merge_perf_json(
+                stream_perf_entries(
+                    report, wall, arrivals=args.arrivals, devices=args.devices
+                ),
+                args.out,
+            )
+            print(f"serve_stream_* series merged into {args.out}")
+        failed = False
+        if args.max_wall is not None and wall > args.max_wall:
+            print(
+                f"FAIL: stream wall {wall:.2f} s exceeds ceiling "
+                f"{args.max_wall:.2f} s"
+            )
+            failed = True
+        if (
+            args.max_shed_rate is not None
+            and report.shed_rate > args.max_shed_rate
+        ):
+            print(
+                f"FAIL: shed rate {report.shed_rate:.3f} exceeds bound "
+                f"{args.max_shed_rate:.3f}"
+            )
+            failed = True
+        return 1 if failed else 0
 
     canonical = args.scale == 1.0 and spacing == 0.0
     mode = "online (incremental extension)" if args.online else "batch"

@@ -32,6 +32,18 @@ This module provides one shared cache:
 * :func:`clear` / :func:`stats` / :func:`configure` — test and
   benchmark hooks.
 
+All three caches are **LRU-bounded** (:func:`configure`'s
+``max_entries``, default :data:`DEFAULT_MAX_ENTRIES` — generous; far
+above any benchmark's working set).  A steady-state serving process
+admitting an unbounded stream of *distinct* queries therefore holds at
+most ``3 * max_entries`` cached objects instead of growing without
+limit; a lookup refreshes an entry's recency, and evictions are
+counted per cache (``stats().evictions`` / ``plan_evictions`` /
+``ladder_evictions``) so a thrashing cache shows up in the
+``bench perf`` accounting instead of hiding as slow estimates.
+Eviction never affects results — an evicted entry is simply recomputed
+on its next use.
+
 Per-device memory budgets are part of every key already: a strategy's
 fingerprint includes its constructor extras (co-processing's
 ``device_budget`` grant), and the ladder key includes the free bytes
@@ -57,6 +69,7 @@ units: simulated seconds and bytes.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any, Callable, Hashable
 
@@ -64,25 +77,34 @@ if TYPE_CHECKING:
     from repro.core.results import JoinMetrics
     from repro.core.strategy import JoinPlan
 
-#: Entry cap — far above any benchmark's working set, only a safety net
-#: against unbounded growth in a long-lived serving process.
-MAX_ENTRIES = 65536
+#: Default per-cache entry cap — far above any benchmark's working set;
+#: a bound, not a tuning knob.  Override via :func:`configure`.
+DEFAULT_MAX_ENTRIES = 65536
 
-_cache: dict[Hashable, "JoinMetrics"] = {}
-_ladder_cache: dict[Hashable, str] = {}
-_plan_cache: dict[Hashable, "JoinPlan"] = {}
+#: Backwards-compatible alias for the historical module constant.
+MAX_ENTRIES = DEFAULT_MAX_ENTRIES
+
+_cache: "OrderedDict[Hashable, JoinMetrics]" = OrderedDict()
+_ladder_cache: "OrderedDict[Hashable, str]" = OrderedDict()
+_plan_cache: "OrderedDict[Hashable, JoinPlan]" = OrderedDict()
 _enabled = True
+_max_entries = DEFAULT_MAX_ENTRIES
 _hits = 0
 _misses = 0
+_evictions = 0
 _plan_hits = 0
 _plan_misses = 0
+_plan_evictions = 0
+_ladder_hits = 0
+_ladder_misses = 0
+_ladder_evictions = 0
 
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Hit/miss counters of the estimate cache (and the plan cache,
-    tracked separately so estimate-path accounting stays comparable
-    across releases)."""
+    """Hit/miss/eviction counters of the estimate cache (plan and
+    ladder caches tracked separately so estimate-path accounting stays
+    comparable across releases)."""
 
     hits: int
     misses: int
@@ -90,6 +112,13 @@ class CacheStats:
     plan_hits: int = 0
     plan_misses: int = 0
     plan_entries: int = 0
+    evictions: int = 0
+    plan_evictions: int = 0
+    ladder_hits: int = 0
+    ladder_misses: int = 0
+    ladder_evictions: int = 0
+    ladder_entries: int = 0
+    max_entries: int = DEFAULT_MAX_ENTRIES
 
     @property
     def hit_rate(self) -> float:
@@ -97,10 +126,24 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
-def configure(*, enabled: bool) -> None:
-    """Enable or disable the cache (disabling also clears it)."""
-    global _enabled
+def configure(*, enabled: bool, max_entries: int | None = None) -> None:
+    """Enable/disable the cache (disabling also clears it) and, when
+    ``max_entries`` is given, re-bound each cache's LRU capacity.
+    Shrinking below the current population evicts oldest-first."""
+    global _enabled, _max_entries
     _enabled = enabled
+    if max_entries is not None:
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        _max_entries = max_entries
+        for cache, counter in (
+            (_cache, "_evictions"),
+            (_plan_cache, "_plan_evictions"),
+            (_ladder_cache, "_ladder_evictions"),
+        ):
+            while len(cache) > _max_entries:
+                cache.popitem(last=False)
+                globals()[counter] += 1
     if not enabled:
         clear()
 
@@ -109,16 +152,26 @@ def enabled() -> bool:
     return _enabled
 
 
+def max_entries() -> int:
+    return _max_entries
+
+
 def clear() -> None:
     """Drop every cached estimate and reset the counters."""
-    global _hits, _misses, _plan_hits, _plan_misses
+    global _hits, _misses, _evictions, _plan_hits, _plan_misses
+    global _plan_evictions, _ladder_hits, _ladder_misses, _ladder_evictions
     _cache.clear()
     _ladder_cache.clear()
     _plan_cache.clear()
     _hits = 0
     _misses = 0
+    _evictions = 0
     _plan_hits = 0
     _plan_misses = 0
+    _plan_evictions = 0
+    _ladder_hits = 0
+    _ladder_misses = 0
+    _ladder_evictions = 0
 
 
 def stats() -> CacheStats:
@@ -129,6 +182,13 @@ def stats() -> CacheStats:
         plan_hits=_plan_hits,
         plan_misses=_plan_misses,
         plan_entries=len(_plan_cache),
+        evictions=_evictions,
+        plan_evictions=_plan_evictions,
+        ladder_hits=_ladder_hits,
+        ladder_misses=_ladder_misses,
+        ladder_evictions=_ladder_evictions,
+        ladder_entries=len(_ladder_cache),
+        max_entries=_max_entries,
     )
 
 
@@ -146,7 +206,8 @@ def make_key(
 
 
 def lookup(key: Hashable | None) -> "JoinMetrics | None":
-    """A defensive copy of the cached metrics, or ``None`` on a miss."""
+    """A defensive copy of the cached metrics, or ``None`` on a miss.
+    A hit refreshes the entry's LRU recency."""
     global _hits, _misses
     if not _enabled or key is None:
         return None
@@ -154,15 +215,20 @@ def lookup(key: Hashable | None) -> "JoinMetrics | None":
     if cached is None:
         _misses += 1
         return None
+    _cache.move_to_end(key)
     _hits += 1
     return _copy(cached)
 
 
 def store(key: Hashable | None, metrics: "JoinMetrics") -> None:
+    global _evictions
     if not _enabled or key is None:
         return
-    if len(_cache) >= MAX_ENTRIES:
-        _cache.clear()
+    if key in _cache:
+        _cache.move_to_end(key)
+    elif len(_cache) >= _max_entries:
+        _cache.popitem(last=False)
+        _evictions += 1
     _cache[key] = _copy(metrics)
 
 
@@ -182,6 +248,7 @@ def cached_ladder_choice(
     available_bytes); admission control re-runs it on every scheduling
     event and the determinism re-run repeats the whole sequence.
     """
+    global _ladder_hits, _ladder_misses, _ladder_evictions
     if not _enabled:
         return compute()
     try:
@@ -190,10 +257,15 @@ def cached_ladder_choice(
         return compute()
     choice = _ladder_cache.get(key)
     if choice is None:
+        _ladder_misses += 1
         choice = compute()
-        if len(_ladder_cache) >= MAX_ENTRIES:
-            _ladder_cache.clear()
+        if len(_ladder_cache) >= _max_entries:
+            _ladder_cache.popitem(last=False)
+            _ladder_evictions += 1
         _ladder_cache[key] = choice
+    else:
+        _ladder_cache.move_to_end(key)
+        _ladder_hits += 1
     return choice
 
 
@@ -218,16 +290,18 @@ def cached_plan(
     key mismatch that silently stops the cache from hitting shows up
     in the accounting.
     """
-    global _plan_hits, _plan_misses
+    global _plan_hits, _plan_misses, _plan_evictions
     if not _enabled or key is None:
         return compute()
     plan = _plan_cache.get(key)
     if plan is None:
         _plan_misses += 1
         plan = compute()
-        if len(_plan_cache) >= MAX_ENTRIES:
-            _plan_cache.clear()
+        if len(_plan_cache) >= _max_entries:
+            _plan_cache.popitem(last=False)
+            _plan_evictions += 1
         _plan_cache[key] = plan
     else:
+        _plan_cache.move_to_end(key)
         _plan_hits += 1
     return plan

@@ -57,6 +57,9 @@ class PipelineEngine:
         self._tasks: list[Task] = []
         self._by_name: dict[str, Task] = {}
         self._lanes: dict[str, int] = {}
+        #: Tasks dropped by :meth:`compact` — once nonzero the engine
+        #: only supports :meth:`extend`, never a full re-simulation.
+        self._retired = 0
         if resources:
             pools = (
                 # A bare name->lanes dict describes THIS engine's pools,
@@ -145,6 +148,7 @@ class PipelineEngine:
         references an unknown task) and a :class:`SchedulingError` is
         raised.
         """
+        self._check_not_compacted("run()")
         for task in self._tasks:
             for dep in task.deps:
                 if dep not in self._by_name:
@@ -330,8 +334,14 @@ class PipelineEngine:
                 )
             for dep in task.deps:
                 if dep not in self._by_name and dep not in new_names:
+                    hint = (
+                        " (or one retired by compact()?)"
+                        if self._retired
+                        else ""
+                    )
                     raise SchedulingError(
-                        f"task {task.name!r} depends on unknown task {dep!r}"
+                        f"task {task.name!r} depends on unknown task "
+                        f"{dep!r}{hint}"
                     )
         for resource, lanes in schedule.lanes.items():
             if lanes != self.lanes_of(resource):
@@ -451,6 +461,65 @@ class PipelineEngine:
             combined.lane_state[resource] = sorted(heap)
         return combined
 
+    def compact(self, schedule: Schedule, horizon: float) -> int:
+        """Retire tasks finished at or before ``horizon`` from both
+        ``schedule`` and this engine's books, in lockstep.
+
+        This is the engine half of steady-state streaming: without it a
+        long-lived serving engine accumulates every task ever admitted
+        (the ``_tasks`` list and name index grow O(total arrivals));
+        with it, retained state is O(in-flight + one compaction
+        interval).  ``schedule`` must be this engine's current schedule
+        (the result of :meth:`run` or :meth:`extend` over exactly the
+        engine's tasks) and is compacted **in place**
+        (:meth:`~repro.pipeline.tasks.Schedule.compact`), so a
+        subsequent :meth:`extend` still sees schedule and engine in
+        agreement.  Returns the number of tasks retired.
+
+        Lane heaps (``lane_state``) and recorded finishes of retained
+        tasks are untouched, so extensions after a compaction are
+        **bit-identical** to the uncompacted run — pinned by
+        ``tests/pipeline/test_compaction.py`` on randomized arrival
+        waves.  The contract is the caller's horizon choice: new tasks
+        must never depend on a retired task (the serving layer only
+        retires queries whose dependents all finished; a violation
+        raises ``unknown task`` at the next ``extend``).  A compacted
+        engine refuses :meth:`run` / :meth:`run_reference` — the full
+        graph no longer exists to re-simulate.
+        """
+        if schedule.is_merged_view:
+            raise SchedulingError(
+                "cannot compact a merged reporting view: compact each "
+                "owning device's schedule through its own engine"
+            )
+        if len(schedule.tasks) != len(self._tasks):
+            raise SchedulingError(
+                f"stale schedule: covers {len(schedule.tasks)} tasks but "
+                f"the engine holds {len(self._tasks)}; compact() needs the "
+                "schedule of exactly the tasks currently submitted"
+            )
+        retired = {
+            name
+            for name, item in schedule.tasks.items()
+            if item.finish <= horizon
+        }
+        if not retired:
+            return 0
+        schedule.compact(horizon)
+        self._tasks = [task for task in self._tasks if task.name not in retired]
+        for name in retired:
+            del self._by_name[name]
+        self._retired += len(retired)
+        return len(retired)
+
+    def _check_not_compacted(self, entry_point: str) -> None:
+        if self._retired:
+            raise SchedulingError(
+                f"cannot {entry_point} after compact(): {self._retired} "
+                "task(s) were retired, so the full graph no longer exists "
+                "to re-simulate; keep using extend()"
+            )
+
     def _reconstruct_lane_state(
         self, schedule: Schedule, resource: str
     ) -> list[tuple[float, int]]:
@@ -471,6 +540,7 @@ class PipelineEngine:
         ``tests/pipeline/test_engine_reference.py`` asserts both produce
         identical schedules on randomized DAGs.
         """
+        self._check_not_compacted("run_reference()")
         for task in self._tasks:
             for dep in task.deps:
                 if dep not in self._by_name:

@@ -115,6 +115,11 @@ class Schedule:
     tasks: dict[str, ScheduledTask] = field(default_factory=dict)
     #: Lane counts of the pools the schedule ran on (default 1 each).
     lanes: dict[str, int] = field(default_factory=dict)
+    #: How many tasks :meth:`compact` has retired so far.
+    retired_tasks: int = 0
+    #: Latest finish among retired tasks, so :attr:`makespan` stays the
+    #: whole run's makespan — compaction drops bookkeeping, not history.
+    retired_makespan: float = 0.0
     #: End-of-run per-pool lane state: ``resource -> sorted list of
     #: (free_at_seconds, lane_index)``.  This is the carry-over that
     #: lets :meth:`repro.pipeline.engine.PipelineEngine.extend` place
@@ -132,9 +137,50 @@ class Schedule:
 
     @property
     def makespan(self) -> float:
-        if not self.tasks:
-            return 0.0
-        return max(item.finish for item in self.tasks.values())
+        live = max(
+            (item.finish for item in self.tasks.values()), default=0.0
+        )
+        return max(live, self.retired_makespan)
+
+    def compact(self, horizon: float) -> int:
+        """Retire every task whose finish time is at or before
+        ``horizon`` (simulated seconds); returns how many were dropped.
+
+        Compaction is the steady-state memory story of the serving
+        layer: a streaming run otherwise accumulates one
+        :class:`ScheduledTask` per task *ever* scheduled, O(total
+        arrivals).  Dropping tasks that finished at or before the live
+        frontier keeps the retained dict O(in-flight).  What survives:
+
+        * :attr:`makespan` — the retired maximum is folded into
+          :attr:`retired_makespan`, so the whole-run makespan is
+          unchanged by compaction;
+        * :attr:`lane_state` and :attr:`lanes` — untouched, which is
+          what keeps subsequent
+          :meth:`repro.pipeline.engine.PipelineEngine.extend` calls
+          bit-identical to an uncompacted run (extension reads only
+          the lane heaps and the finishes of tasks new work depends
+          on — callers must not retire tasks future work will name as
+          dependencies; pick ``horizon`` at or before the live
+          dependency frontier).
+
+        Occupancy reports (:meth:`busy_time`, :meth:`utilization`,
+        :meth:`phase_times`) cover only retained tasks afterwards —
+        streaming callers fold per-query stats into their running
+        accumulator *before* compacting.  A schedule compacted behind
+        its engine's back can no longer seed ``extend``; use
+        :meth:`repro.pipeline.engine.PipelineEngine.compact`, which
+        retires the same tasks from the engine's books in lockstep.
+        """
+        retired = [
+            name for name, item in self.tasks.items() if item.finish <= horizon
+        ]
+        for name in retired:
+            item = self.tasks.pop(name)
+            if item.finish > self.retired_makespan:
+                self.retired_makespan = item.finish
+        self.retired_tasks += len(retired)
+        return len(retired)
 
     def finish_of(self, name: str) -> float:
         return self.tasks[name].finish

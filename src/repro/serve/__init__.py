@@ -11,9 +11,11 @@ hosts each admission, and the
 :class:`~repro.serve.scheduler.QueryScheduler` admits queries FIFO,
 re-planning each one against the memory actually free at admission and
 lowering all admitted plans into the placed device's pipeline-engine
-run — per wave in batch mode (``run``), or incrementally per arrival
+run — per wave in batch mode (``run``), incrementally per arrival
 in online mode (``run_online``, bit-identical outcomes at a fraction
-of the wall clock).  ``devices=1`` (the default) is the classic
+of the wall clock), or as a bounded-queue steady-state stream
+(``run_stream``: load shedding plus schedule compaction, memory
+O(in-flight) over 10^5+ arrivals).  ``devices=1`` (the default) is the classic
 single-GPU scheduler, bit-identical to the pre-sharding
 implementation.  See ``docs/serving.md`` for the full policy.
 """
@@ -30,8 +32,15 @@ from repro.serve.scheduler import (
     QueryRequest,
     QueryScheduler,
     ServeReport,
+    ShedOutcome,
+    StreamReport,
+    percentile,
 )
-from repro.serve.workload import mixed_workload, random_workload
+from repro.serve.workload import (
+    mixed_workload,
+    random_workload,
+    stream_workload,
+)
 
 __all__ = [
     "DeviceFleet",
@@ -41,8 +50,12 @@ __all__ = [
     "QueryRequest",
     "QueryScheduler",
     "ServeReport",
+    "ShedOutcome",
+    "StreamReport",
     "create_placement_policy",
+    "percentile",
     "registered_placement_policies",
     "mixed_workload",
     "random_workload",
+    "stream_workload",
 ]

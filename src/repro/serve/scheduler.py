@@ -29,13 +29,17 @@ admitted* — and, on a sharded fleet, *where*.  The scheduler:
 * releases the reservation at the query's simulated finish time, which
   is the event that admits the next waiting query.
 
-Two scheduling modes share that admission policy: batch
+Three scheduling modes share that admission policy: batch
 (:meth:`QueryScheduler.run`, one full per-device re-simulation per
-admission wave — only devices that gained tasks re-simulate) and online
+admission wave — only devices that gained tasks re-simulate), online
 (:meth:`QueryScheduler.run_online`, incremental schedule extension per
 arrival via :meth:`~repro.pipeline.engine.PipelineEngine.extend`, each
-device carrying its own ``lane_state``).  Their outcomes are
-bit-identical; only the wall-clock cost differs.
+device carrying its own ``lane_state``), and streaming
+(:meth:`QueryScheduler.run_stream`, the online loop plus bounded-queue
+admission with load shedding and periodic schedule compaction, built
+for steady-state runs of 10^5+ arrivals).  Batch and online outcomes
+are bit-identical, and streaming is bit-identical to both whenever
+shedding is disabled; only the wall-clock and memory costs differ.
 
 The simulation is deterministic: identical request lists produce
 identical schedules, admissions, placements and latencies, for any
@@ -44,10 +48,11 @@ device count and placement policy.
 
 from __future__ import annotations
 
+import heapq
 import math
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core import estimate_cache
 from repro.core.config import GpuJoinConfig
@@ -76,12 +81,31 @@ from repro.serve.placement import (
 )
 
 
+def percentile(values: "Iterable[float]", q: float) -> float:
+    """Nearest-rank percentile: the smallest value with at least ``q``
+    of the population at or below it (``rank = ceil(q*n) - 1`` into the
+    sorted list, clamped).  This is the convention
+    :attr:`ServeReport.p95_latency` has always used — every latency /
+    queue-depth percentile in the serving layer goes through this one
+    helper so reports and benches can't drift apart.  Returns 0.0 for
+    an empty population."""
+    ordered = sorted(values)
+    if not ordered:
+        return 0.0
+    rank = math.ceil(q * len(ordered)) - 1
+    return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
 @dataclass(frozen=True)
 class QueryRequest:
     """One client query: a join workload submitted at a point in time.
 
     ``submit_at`` is the arrival time in **simulated seconds** (the
     clock the scheduler and engine share), not wall clock.
+    ``slo_wait_seconds`` is this query's own admission-wait ceiling for
+    :meth:`QueryScheduler.run_stream` (simulated seconds; overrides the
+    stream-wide default; ignored by :meth:`QueryScheduler.run` /
+    :meth:`~QueryScheduler.run_online`, which never shed).
     """
 
     qid: str
@@ -90,12 +114,19 @@ class QueryRequest:
     materialize: bool = False
     #: Pin a registry strategy key, bypassing admission-time planning.
     strategy: str | None = None
+    #: Per-query SLO on estimated admission wait (simulated seconds);
+    #: ``None`` defers to ``run_stream``'s fleet-wide default.
+    slo_wait_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if not self.qid:
             raise InvalidConfigError("query id must be non-empty")
         if self.submit_at < 0:
             raise InvalidConfigError(f"{self.qid}: negative submit time")
+        if self.slo_wait_seconds is not None and self.slo_wait_seconds < 0:
+            raise InvalidConfigError(
+                f"{self.qid}: negative slo_wait_seconds"
+            )
 
 
 @dataclass
@@ -195,12 +226,16 @@ class ServeReport:
         return sum(o.latency_seconds for o in self.outcomes) / len(self.outcomes)
 
     @property
+    def p50_latency(self) -> float:
+        return percentile((o.latency_seconds for o in self.outcomes), 0.50)
+
+    @property
     def p95_latency(self) -> float:
-        if not self.outcomes:
-            return 0.0
-        latencies = sorted(o.latency_seconds for o in self.outcomes)
-        rank = math.ceil(0.95 * len(latencies)) - 1
-        return latencies[max(0, min(len(latencies) - 1, rank))]
+        return percentile((o.latency_seconds for o in self.outcomes), 0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile((o.latency_seconds for o in self.outcomes), 0.99)
 
     @property
     def degraded_count(self) -> int:
@@ -227,10 +262,136 @@ class ServeReport:
         lines.append(
             f"makespan {self.makespan:.3f} s vs serial "
             f"{self.serial_makespan:.3f} s ({self.speedup:.2f}x), "
-            f"{self.queries_per_second:.2f} q/s, peak memory "
+            f"{self.queries_per_second:.2f} q/s, latency p50/p95/p99 "
+            f"{self.p50_latency:.3f}/{self.p95_latency:.3f}/"
+            f"{self.p99_latency:.3f} s, peak memory "
             f"{self.peak_reserved_bytes / 1e9:.2f} of "
             f"{self.capacity_bytes / 1e9:.2f} GB{fleet}"
         )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class ShedOutcome:
+    """One load-shed query: rejected at ingestion, never admitted.
+
+    ``reason`` is ``"queue_full"`` (wait-queue depth was at the cap
+    when the query arrived) or ``"slo_wait"`` (the fleet-wide estimated
+    wait exceeded the query's SLO).  ``estimated_wait_seconds`` is the
+    optimistic work-based wait estimate the verdict saw (simulated
+    seconds, referenced to the query's own ``submit_at``) and
+    ``queue_depth`` the number of queries already waiting at ingestion.
+    Verdicts are deterministic: identical streams and limits shed
+    identical queries.
+    """
+
+    qid: str
+    submit_at: float
+    reason: str
+    queue_depth: int
+    estimated_wait_seconds: float
+
+
+@dataclass
+class StreamReport:
+    """The outcome of one :meth:`QueryScheduler.run_stream` run.
+
+    Aggregates are folded into running accumulators as queries finish —
+    before their tasks are compacted away — so the report is exact even
+    though the retained schedule stays O(in-flight).  Times are
+    **simulated seconds**, memory **bytes**.  Shed queries are recorded
+    in :attr:`shed`, never silently dropped:
+    ``completed + shed_count == arrivals`` always holds.
+    """
+
+    outcomes: list[QueryOutcome]
+    shed: list[ShedOutcome]
+    arrivals: int
+    makespan: float
+    capacity_bytes: int
+    devices: int
+    device_peak_bytes: tuple[int, ...] = ()
+    #: High-water mark of retained (non-retired) scheduled tasks across
+    #: the fleet — the quantity compaction bounds to O(in-flight).
+    peak_retained_tasks: int = 0
+    #: High-water mark of tasks belonging to queries running right now.
+    peak_inflight_tasks: int = 0
+    #: Largest task graph any single admitted query lowered.
+    max_tasks_per_query: int = 0
+    #: Tasks retired by compaction, and how many compaction sweeps ran.
+    retired_tasks: int = 0
+    compactions: int = 0
+    #: Wait-queue depth sampled at every ingestion (one per arrival).
+    queue_depths: list[int] = field(default_factory=list, repr=False)
+    arenas: list[DeviceMemoryArena] | None = field(default=None, repr=False)
+
+    @property
+    def completed(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def shed_count(self) -> int:
+        return len(self.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed_count / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def sustained_qps(self) -> float:
+        """Completed queries per simulated second over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.completed / self.makespan
+
+    @property
+    def mean_latency(self) -> float:
+        if not self.outcomes:
+            return 0.0
+        return sum(o.latency_seconds for o in self.outcomes) / len(self.outcomes)
+
+    @property
+    def p50_latency(self) -> float:
+        return percentile((o.latency_seconds for o in self.outcomes), 0.50)
+
+    @property
+    def p95_latency(self) -> float:
+        return percentile((o.latency_seconds for o in self.outcomes), 0.95)
+
+    @property
+    def p99_latency(self) -> float:
+        return percentile((o.latency_seconds for o in self.outcomes), 0.99)
+
+    @property
+    def degraded_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.degraded)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        return max(self.queue_depths, default=0)
+
+    def queue_depth_percentile(self, q: float) -> float:
+        return percentile(self.queue_depths, q)
+
+    def render(self) -> str:
+        """Summary block (per-query tables don't scale to 10^5 rows)."""
+        lines = [
+            f"arrivals {self.arrivals}: {self.completed} completed, "
+            f"{self.shed_count} shed ({self.shed_rate * 100:.2f}%), "
+            f"{self.degraded_count} degraded",
+            f"makespan {self.makespan:.3f} s, sustained "
+            f"{self.sustained_qps:.2f} q/s across {self.devices} device(s)",
+            f"latency mean/p50/p95/p99 {self.mean_latency:.3f}/"
+            f"{self.p50_latency:.3f}/{self.p95_latency:.3f}/"
+            f"{self.p99_latency:.3f} s",
+            f"queue depth p50/p99/max "
+            f"{self.queue_depth_percentile(0.50):.0f}/"
+            f"{self.queue_depth_percentile(0.99):.0f}/"
+            f"{self.peak_queue_depth}",
+            f"retained tasks peak {self.peak_retained_tasks} "
+            f"(in-flight peak {self.peak_inflight_tasks}); "
+            f"{self.retired_tasks} retired in {self.compactions} sweeps",
+        ]
         return "\n".join(lines)
 
 
@@ -557,6 +718,79 @@ class QueryScheduler:
                 return None
         return fleet[best.device], best.strategy, best.need_bytes
 
+    def _admit(
+        self,
+        request: QueryRequest,
+        placed: tuple[DeviceState, str, int],
+        outcomes: dict[str, QueryOutcome],
+        task_names: dict[str, list[str]],
+        owner: dict[str, DeviceState],
+        clock: float,
+        *,
+        incremental: bool,
+        keep_tasks: bool = True,
+    ) -> DeviceState:
+        """Commit a placement decision: reserve the arena grant, lower
+        the plan's namespaced task graph onto the device, and record the
+        outcome skeleton.  Shared verbatim by batch, online and
+        streaming admission so their committed state cannot drift.
+        ``keep_tasks=False`` (streaming) skips the device's cumulative
+        task list, which only batch re-simulation reads — retaining it
+        would be O(total arrivals)."""
+        device, key, need = placed
+        if not device.arena.try_reserve(request.qid, need, at=clock):
+            raise SchedulingError(  # pragma: no cover - _place bug
+                f"placement chose device {device.index} for "
+                f"{request.qid!r} but the reservation failed"
+            )
+        solo_key, solo_seconds = self._solo(request)
+        plan = self._prepare_plan(key, request, need)
+        for name, width in plan.resources.items():
+            if width > device.resources.get(name, 1) and device.schedule.tasks:
+                # Widening a pool after tasks were scheduled on
+                # this device would re-place already-recorded
+                # finishes on the next re-run; fail loudly
+                # instead of silently corrupting latencies.
+                raise SchedulingError(
+                    f"query {request.qid!r} widens resource "
+                    f"{name!r} to {width} lanes after scheduling "
+                    f"started on device {device.index}; declare "
+                    "lane counts up front via "
+                    "QueryScheduler(lanes=...)"
+                )
+            device.resources[name] = max(
+                device.resources.get(name, 1), width
+            )
+        namespaced = self._namespace(
+            plan, request.qid, clock, device.index
+        )
+        if keep_tasks:
+            device.tasks.extend(namespaced)
+        if incremental:
+            device.wave_tasks.extend(namespaced)
+        task_names[request.qid] = [task.name for task in namespaced]
+        outcomes[request.qid] = QueryOutcome(
+            qid=request.qid,
+            strategy=key,
+            solo_strategy=solo_key,
+            reserved_bytes=need,
+            submit_at=request.submit_at,
+            admit_at=clock,
+            solo_seconds=solo_seconds,
+            device=device.index,
+        )
+        device.running.add(request.qid)
+        owner[request.qid] = device
+        # For the common non-degraded, no-extras admission the
+        # solo estimate IS the alone estimate — skip recomputing.
+        if key == solo_key and not self._strategy_kwargs(key, need):
+            alone = solo_seconds
+        else:
+            alone = self._estimate_alone(key, request, need)
+        device.predicted_finish[request.qid] = clock + alone
+        device.dirty = True
+        return device
+
     def _serve(
         self, requests: list[QueryRequest], *, incremental: bool
     ) -> ServeReport:
@@ -597,58 +831,11 @@ class QueryScheduler:
                 placed = self._place(request, fleet, policy, outcomes, clock)
                 if placed is None:
                     break
-                device, key, need = placed
-                if not device.arena.try_reserve(request.qid, need, at=clock):
-                    raise SchedulingError(  # pragma: no cover - _place bug
-                        f"placement chose device {device.index} for "
-                        f"{request.qid!r} but the reservation failed"
-                    )
                 pending.popleft()
-                solo_key, solo_seconds = self._solo(request)
-                plan = self._prepare_plan(key, request, need)
-                for name, width in plan.resources.items():
-                    if width > device.resources.get(name, 1) and device.schedule.tasks:
-                        # Widening a pool after tasks were scheduled on
-                        # this device would re-place already-recorded
-                        # finishes on the next re-run; fail loudly
-                        # instead of silently corrupting latencies.
-                        raise SchedulingError(
-                            f"query {request.qid!r} widens resource "
-                            f"{name!r} to {width} lanes after scheduling "
-                            f"started on device {device.index}; declare "
-                            "lane counts up front via "
-                            "QueryScheduler(lanes=...)"
-                        )
-                    device.resources[name] = max(
-                        device.resources.get(name, 1), width
-                    )
-                namespaced = self._namespace(
-                    plan, request.qid, clock, device.index
+                self._admit(
+                    request, placed, outcomes, task_names, owner, clock,
+                    incremental=incremental,
                 )
-                device.tasks.extend(namespaced)
-                if incremental:
-                    device.wave_tasks.extend(namespaced)
-                task_names[request.qid] = [task.name for task in namespaced]
-                outcomes[request.qid] = QueryOutcome(
-                    qid=request.qid,
-                    strategy=key,
-                    solo_strategy=solo_key,
-                    reserved_bytes=need,
-                    submit_at=request.submit_at,
-                    admit_at=clock,
-                    solo_seconds=solo_seconds,
-                    device=device.index,
-                )
-                device.running.add(request.qid)
-                owner[request.qid] = device
-                # For the common non-degraded, no-extras admission the
-                # solo estimate IS the alone estimate — skip recomputing.
-                if key == solo_key and not self._strategy_kwargs(key, need):
-                    alone = solo_seconds
-                else:
-                    alone = self._estimate_alone(key, request, need)
-                device.predicted_finish[request.qid] = clock + alone
-                device.dirty = True
 
             if not fleet.any_running():
                 # Livelock guard: an admission `break` with nothing
@@ -719,5 +906,294 @@ class QueryScheduler:
             schedule=merged,
             devices=self.devices,
             device_peak_bytes=fleet.device_peaks(),
+            arenas=[device.arena for device in fleet],
+        )
+
+    # ------------------------------------------------------------------
+    def _stream_wait_estimate(
+        self,
+        fleet: DeviceFleet,
+        wait_queue: "deque[QueryRequest]",
+        at: float,
+    ) -> float:
+        """Fleet-wide estimated admission wait for a query arriving at
+        ``at``: outstanding running work past ``at`` (by cached
+        predicted finishes) plus the queued queries' cached solo
+        makespans, divided by the device count.  Optimistic — ignores
+        memory fragmentation and lane contention — which biases
+        shedding toward admitting; the SLO is a backpressure valve, not
+        a latency guarantee.  O(running + queued), every term served
+        from caches."""
+        backlog = 0.0
+        for device in fleet:
+            for finish in device.predicted_finish.values():
+                if finish > at:
+                    backlog += finish - at
+        for queued in wait_queue:
+            backlog += self._solo(queued)[1]
+        return backlog / len(fleet)
+
+    def run_stream(
+        self,
+        requests: "Iterable[QueryRequest]",
+        *,
+        max_queue_depth: int | None = None,
+        slo_wait_seconds: float | None = None,
+        compact_every: int | None = 256,
+    ) -> StreamReport:
+        """Steady-state streaming admission: bounded queue, load
+        shedding, and schedule compaction.
+
+        Consumes ``requests`` lazily (they must arrive sorted by
+        ``submit_at`` with unique qids — a generator works and keeps
+        ingestion O(1) memory) and runs the **same** event loop as
+        :meth:`run_online`: FIFO head-of-line admission against live
+        per-device headroom, incremental schedule extension, release at
+        simulated finish.  With shedding disabled (no depth cap, no SLO
+        anywhere) the per-query outcomes, device assignments and final
+        makespan are **bit-identical** to :meth:`run_online` on the
+        same requests — asserted by
+        ``tests/serve/test_stream_properties.py`` — while memory stays
+        O(in-flight):
+
+        * every ``compact_every`` releases, each device's engine
+          retires tasks that finished at or before the clock
+          (:meth:`~repro.pipeline.engine.PipelineEngine.compact`);
+          lane state is untouched, so extension after compaction places
+          new tasks exactly where the uncompacted run would;
+        * per-query stats are recorded in their :class:`QueryOutcome`
+          at admission/extension time — before compaction can drop the
+          tasks — and folded into the :class:`StreamReport`
+          accumulators at release;
+        * the device's cumulative task list (batch-mode input) is not
+          kept at all.
+
+        Backpressure, applied at **ingestion** (when the stream first
+        presents the arrival), recorded as :class:`ShedOutcome`, never
+        silently dropped:
+
+        * ``max_queue_depth`` — an arrival finding that many queries
+          already waiting is shed with reason ``"queue_full"``;
+        * ``slo_wait_seconds`` — fleet default admission-wait SLO; a
+          request's own ``slo_wait_seconds`` overrides it.  An arrival
+          whose :meth:`_stream_wait_estimate` (referenced to its own
+          ``submit_at``) exceeds its SLO is shed with reason
+          ``"slo_wait"``.  Estimates reuse the cached solo makespans
+          and predicted finishes, so the verdict is O(running+queued)
+          with no new planning work.
+
+        ``compact_every=None`` disables compaction (the run then
+        retains every task ever scheduled — only sensible for
+        differential testing).
+        """
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise InvalidConfigError("max_queue_depth must be >= 1")
+        if slo_wait_seconds is not None and slo_wait_seconds < 0:
+            raise InvalidConfigError("slo_wait_seconds must be >= 0")
+        if compact_every is not None and compact_every < 1:
+            raise InvalidConfigError("compact_every must be >= 1")
+        capacity = self.system.gpu.device_memory
+        fleet = DeviceFleet([capacity] * self.devices, lanes=self.lanes)
+        policy = create_placement_policy(self.placement)
+        policy.reset()
+
+        arrivals = iter(requests)
+        next_req: QueryRequest | None = next(arrivals, None)
+        seen: set[str] = set()
+        last_submit = 0.0
+        wait_queue: deque[QueryRequest] = deque()
+        outcomes: dict[str, QueryOutcome] = {}
+        task_names: dict[str, list[str]] = {}
+        owner: dict[str, DeviceState] = {}
+        completed: list[QueryOutcome] = []
+        shed: list[ShedOutcome] = []
+        queue_depths: list[int] = []
+        finish_heap: list[tuple[float, str]] = []
+        admitted_wave: list[tuple[DeviceState, str]] = []
+        clock = 0.0
+        arrived = 0
+        makespan = 0.0
+        inflight_tasks = 0
+        peak_inflight_tasks = 0
+        peak_retained_tasks = 0
+        max_tasks_per_query = 0
+        retired_tasks = 0
+        compactions = 0
+        released_since_compact = 0
+
+        def ingest(request: QueryRequest) -> None:
+            """Shed or enqueue one arrival, verdict referenced to the
+            arrival's own submit time."""
+            depth = len(wait_queue)
+            queue_depths.append(depth)
+            if max_queue_depth is not None and depth >= max_queue_depth:
+                shed.append(ShedOutcome(
+                    qid=request.qid,
+                    submit_at=request.submit_at,
+                    reason="queue_full",
+                    queue_depth=depth,
+                    estimated_wait_seconds=self._stream_wait_estimate(
+                        fleet, wait_queue, request.submit_at
+                    ),
+                ))
+                return
+            slo = (
+                request.slo_wait_seconds
+                if request.slo_wait_seconds is not None
+                else slo_wait_seconds
+            )
+            if slo is not None:
+                wait = self._stream_wait_estimate(
+                    fleet, wait_queue, request.submit_at
+                )
+                if wait > slo:
+                    shed.append(ShedOutcome(
+                        qid=request.qid,
+                        submit_at=request.submit_at,
+                        reason="slo_wait",
+                        queue_depth=depth,
+                        estimated_wait_seconds=wait,
+                    ))
+                    return
+            wait_queue.append(request)
+
+        while wait_queue or next_req is not None or fleet.any_running():
+            if (
+                not fleet.any_running()
+                and not wait_queue
+                and next_req is not None
+                and next_req.submit_at > clock
+            ):
+                clock = next_req.submit_at
+
+            # Ingest every arrival due by now.  Mirrors `_serve`'s
+            # pending deque exactly: an arrival behind a blocked head is
+            # considered only once the clock reaches it, and ingestion
+            # itself never advances the clock.
+            while next_req is not None and next_req.submit_at <= clock:
+                request = next_req
+                if request.submit_at < last_submit:
+                    raise InvalidConfigError(
+                        f"stream arrivals must be sorted by submit_at: "
+                        f"{request.qid!r} at {request.submit_at} after "
+                        f"{last_submit}"
+                    )
+                last_submit = request.submit_at
+                if request.qid in seen:
+                    raise InvalidConfigError("query ids must be unique")
+                seen.add(request.qid)
+                arrived += 1
+                ingest(request)
+                next_req = next(arrivals, None)
+
+            # Admit in FIFO order while the head can be placed somewhere
+            # — identical policy and head-of-line blocking to `_serve`.
+            while wait_queue:
+                request = wait_queue[0]
+                placed = self._place(request, fleet, policy, outcomes, clock)
+                if placed is None:
+                    break
+                wait_queue.popleft()
+                device = self._admit(
+                    request, placed, outcomes, task_names, owner, clock,
+                    incremental=True, keep_tasks=False,
+                )
+                ntasks = len(task_names[request.qid])
+                inflight_tasks += ntasks
+                if ntasks > max_tasks_per_query:
+                    max_tasks_per_query = ntasks
+                if inflight_tasks > peak_inflight_tasks:
+                    peak_inflight_tasks = inflight_tasks
+                admitted_wave.append((device, request.qid))
+
+            if wait_queue and not fleet.any_running():
+                head = wait_queue[0]  # pragma: no cover - _place bug
+                raise SchedulingError(  # pragma: no cover
+                    f"query {head.qid!r} cannot be admitted on an idle fleet"
+                )
+
+            for device in fleet:
+                if not device.dirty:
+                    continue
+                if device.engine is None:
+                    device.engine = PipelineEngine(
+                        device.resources, device=device.index
+                    )
+                device.schedule = device.engine.extend(
+                    device.schedule, device.wave_tasks, in_place=True
+                )
+                device.wave_tasks = []
+                device.dirty = False
+
+            # Each admitted query's finish is read once, right after its
+            # wave's extension: FIFO lanes mean later admissions never
+            # move it (the same guarantee `run_online` leans on), so
+            # release events come from a heap instead of re-reading the
+            # schedule — which compaction may have trimmed — every wave.
+            for device, qid in admitted_wave:
+                finish = max(
+                    device.schedule.tasks[name].finish
+                    for name in task_names[qid]
+                )
+                outcomes[qid].finish_at = finish
+                device.predicted_finish[qid] = finish
+                heapq.heappush(finish_heap, (finish, qid))
+                if finish > makespan:
+                    makespan = finish
+            admitted_wave = []
+            retained = sum(len(device.schedule.tasks) for device in fleet)
+            if retained > peak_retained_tasks:
+                peak_retained_tasks = retained
+
+            events = []
+            if finish_heap:
+                events.append(finish_heap[0][0])
+            if (
+                not wait_queue
+                and next_req is not None
+                and next_req.submit_at > clock
+            ):
+                events.append(next_req.submit_at)
+            if not events:  # pragma: no cover - loop condition re-check
+                break
+            clock = min(events)
+            due: list[tuple[float, str]] = []
+            while finish_heap and finish_heap[0][0] <= clock:
+                due.append(heapq.heappop(finish_heap))
+            for _, qid in sorted(due, key=lambda item: item[1]):
+                completed.append(outcomes.pop(qid))
+                device = owner.pop(qid)
+                device.arena.release(qid, at=clock)
+                device.running.remove(qid)
+                del device.predicted_finish[qid]
+                inflight_tasks -= len(task_names.pop(qid))
+                released_since_compact += 1
+            if (
+                compact_every is not None
+                and released_since_compact >= compact_every
+            ):
+                for device in fleet:
+                    if device.engine is not None:
+                        retired_tasks += device.engine.compact(
+                            device.schedule, clock
+                        )
+                compactions += 1
+                released_since_compact = 0
+
+        fleet.check_drained()
+        return StreamReport(
+            outcomes=completed,
+            shed=shed,
+            arrivals=arrived,
+            makespan=makespan,
+            capacity_bytes=capacity,
+            devices=self.devices,
+            device_peak_bytes=fleet.device_peaks(),
+            peak_retained_tasks=peak_retained_tasks,
+            peak_inflight_tasks=peak_inflight_tasks,
+            max_tasks_per_query=max_tasks_per_query,
+            retired_tasks=retired_tasks,
+            compactions=compactions,
+            queue_depths=queue_depths,
             arenas=[device.arena for device in fleet],
         )

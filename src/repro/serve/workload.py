@@ -16,11 +16,18 @@ releases, because recorded golden schedules
 (``tests/serve/golden_single_device.json``) pin the scheduler's output
 on these workloads.  Cardinalities come from small discrete grids, so
 the process-wide estimate cache absorbs repeated specs across seeds.
+
+:func:`stream_workload` is the open-arrival source for
+:meth:`~repro.serve.scheduler.QueryScheduler.run_stream`: a lazy,
+seeded generator of 10^5+ requests with exponential inter-arrival gaps,
+drawing from a handful of interned spec templates so per-arrival
+planning work is all cache hits.
 """
 
 from __future__ import annotations
 
 import random
+from typing import Iterator
 
 from repro.data.spec import Distribution, JoinSpec, RelationSpec, unique_pair
 from repro.errors import InvalidConfigError
@@ -149,3 +156,66 @@ def random_workload(
             )
         )
     return requests
+
+
+#: Interned (spec, materialize) templates the streaming workload draws
+#: from.  Built once at import: 10^5+ arrivals share these few spec
+#: objects, so the scheduler's solo cache and the process-wide
+#: estimate/plan caches hit on every arrival after warm-up and spec
+#: memory stays O(1) in stream length.  Weighted toward small resident
+#: joins (3-task graphs) with a pressure band and a streaming tail —
+#: the steady-state mix a serving GPU actually sees; the heavy
+#: co-processing regime is left to :func:`mixed_workload`, whose
+#: 50+-task graphs would dominate a 10^5-arrival stream.
+_STREAM_TEMPLATES: tuple[tuple[JoinSpec, bool], ...] = tuple(
+    [(_resident(n * M), False) for n in (4, 8, 16, 32)]
+    + [(_resident(n * M), False) for n in (48, 96)]
+    + [(_streaming(32 * M, 128 * M), True)]
+)
+
+#: Cumulative draw weights over :data:`_STREAM_TEMPLATES` (four light
+#: residents, two pressure residents, one streaming probe).
+_STREAM_WEIGHTS = (0.22, 0.44, 0.66, 0.84, 0.90, 0.96, 1.0)
+
+
+def stream_workload(
+    n_queries: int,
+    *,
+    arrival_rate: float = 200.0,
+    seed: int = 0,
+    slo_wait_seconds: float | None = None,
+) -> Iterator[QueryRequest]:
+    """Lazily generate an open arrival stream for
+    :meth:`~repro.serve.scheduler.QueryScheduler.run_stream`.
+
+    Yields ``n_queries`` requests with seeded-exponential inter-arrival
+    gaps (``arrival_rate`` arrivals per simulated second on average),
+    sorted by ``submit_at`` with unique qids — exactly the contract
+    ``run_stream`` ingests.  Deterministic per ``seed``.  Specs come
+    from the interned :data:`_STREAM_TEMPLATES`, so a million-arrival
+    stream allocates no per-query spec objects and every admission
+    decision is served from warm caches.  ``slo_wait_seconds``, when
+    given, stamps each request's own admission-wait SLO (simulated
+    seconds), driving per-query load shedding.
+    """
+    if n_queries <= 0:
+        raise InvalidConfigError("n_queries must be positive")
+    if arrival_rate <= 0:
+        raise InvalidConfigError("arrival_rate must be positive")
+    rng = random.Random(seed)
+    clock = 0.0
+    for i in range(n_queries):
+        draw = rng.random()
+        index = 0
+        while _STREAM_WEIGHTS[index] < draw:
+            index += 1
+        spec, materialize = _STREAM_TEMPLATES[index]
+        if i:
+            clock += rng.expovariate(arrival_rate)
+        yield QueryRequest(
+            qid=f"s{i:06d}",
+            spec=spec,
+            submit_at=clock,
+            materialize=materialize,
+            slo_wait_seconds=slo_wait_seconds,
+        )

@@ -55,6 +55,18 @@ def test_serve_regression_invariants():
     assert sum("2 devices" in line for line in lines) == 2
 
 
+def test_stream_regression_invariants():
+    """Compacted streaming == uncompacted == online on a mid-size
+    stream, single-device and sharded — and the check is non-vacuous
+    (compaction actually retired work)."""
+    from repro.bench.regress import run_stream_regression
+
+    lines = run_stream_regression(arrivals=120)
+    assert len(lines) == 2
+    assert all(line.endswith("ok") for line in lines)
+    assert all("compacted == uncompacted == online" in line for line in lines)
+
+
 def test_serve_regression_propagates_mid_ladder_failures(monkeypatch):
     """A strategy raising mid-ladder must surface as the library error,
     not hang the online==batch comparison or report a bogus divergence.

@@ -16,7 +16,9 @@ BIG = unique_pair(512_000_000)
 def fresh_cache():
     estimate_cache.clear()
     yield
-    estimate_cache.configure(enabled=True)
+    estimate_cache.configure(
+        enabled=True, max_entries=estimate_cache.DEFAULT_MAX_ENTRIES
+    )
     estimate_cache.clear()
 
 
@@ -157,3 +159,91 @@ def test_scheduler_reuses_cached_plans_across_runs():
     after_second = estimate_cache.stats()
     assert after_second.plan_misses == after_first.plan_misses
     assert after_second.plan_hits > after_first.plan_hits
+
+
+# ---------------------------------------------------------------------------
+# LRU bounding
+# ---------------------------------------------------------------------------
+def test_estimate_cache_evicts_lru_at_cap():
+    estimate_cache.configure(enabled=True, max_entries=2)
+    specs = [unique_pair(n * 1_000_000) for n in (4, 8, 16)]
+    strategy = create_strategy("gpu_resident")
+    for spec in specs:
+        strategy.estimate(spec)
+    stats = estimate_cache.stats()
+    assert stats.entries == 2
+    assert stats.evictions == 1
+    assert stats.max_entries == 2
+    # The oldest entry (specs[0]) was evicted: estimating it again is a
+    # miss; the newest (specs[2]) is still a hit.
+    strategy.estimate(specs[2])
+    assert estimate_cache.stats().hits == stats.hits + 1
+    strategy.estimate(specs[0])
+    assert estimate_cache.stats().misses == stats.misses + 1
+
+
+def test_estimate_cache_hit_refreshes_recency():
+    estimate_cache.configure(enabled=True, max_entries=2)
+    specs = [unique_pair(n * 1_000_000) for n in (4, 8, 16)]
+    strategy = create_strategy("gpu_resident")
+    strategy.estimate(specs[0])
+    strategy.estimate(specs[1])
+    strategy.estimate(specs[0])  # hit: specs[0] becomes most-recent
+    strategy.estimate(specs[2])  # evicts specs[1], not specs[0]
+    before = estimate_cache.stats()
+    strategy.estimate(specs[0])
+    assert estimate_cache.stats().hits == before.hits + 1
+
+
+def test_shrinking_max_entries_evicts_oldest_first():
+    estimate_cache.configure(enabled=True, max_entries=8)
+    specs = [unique_pair(n * 1_000_000) for n in (4, 8, 16)]
+    strategy = create_strategy("gpu_resident")
+    for spec in specs:
+        strategy.estimate(spec)
+    assert estimate_cache.stats().entries == 3
+    estimate_cache.configure(enabled=True, max_entries=1)
+    stats = estimate_cache.stats()
+    assert stats.entries == 1
+    assert stats.evictions == 2
+    # The survivor is the most recently stored spec.
+    strategy.estimate(specs[2])
+    assert estimate_cache.stats().hits == stats.hits + 1
+
+
+def test_plan_and_ladder_caches_evict_at_cap():
+    estimate_cache.configure(enabled=True, max_entries=2)
+    for i in range(4):
+        estimate_cache.cached_plan(("plan", i), lambda i=i: i)
+        estimate_cache.cached_ladder_choice(("ladder", i), lambda: "x")
+    stats = estimate_cache.stats()
+    assert stats.plan_entries == 2
+    assert stats.plan_evictions == 2
+    assert stats.ladder_entries == 2
+    assert stats.ladder_evictions == 2
+    # Evicted keys recompute (a miss), retained keys hit.
+    assert estimate_cache.cached_plan(("plan", 3), lambda: "new") == 3
+    assert estimate_cache.stats().plan_hits == stats.plan_hits + 1
+    assert estimate_cache.cached_plan(("plan", 0), lambda: "recomputed") == (
+        "recomputed"
+    )
+    assert estimate_cache.stats().plan_misses == stats.plan_misses + 1
+
+
+def test_configure_rejects_nonpositive_max_entries():
+    with pytest.raises(ValueError):
+        estimate_cache.configure(enabled=True, max_entries=0)
+
+
+def test_eviction_never_changes_results():
+    """A thrashing one-entry cache must produce the same numbers as a
+    generous one — eviction only costs recomputation."""
+    strategy = create_strategy("gpu_resident")
+    generous = [strategy.estimate(unique_pair(n * 1_000_000)).seconds
+                for n in (4, 8, 16, 4, 8, 16)]
+    estimate_cache.configure(enabled=True, max_entries=1)
+    estimate_cache.clear()
+    thrashed = [strategy.estimate(unique_pair(n * 1_000_000)).seconds
+                for n in (4, 8, 16, 4, 8, 16)]
+    assert thrashed == generous
+    assert estimate_cache.stats().evictions > 0

