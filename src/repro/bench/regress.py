@@ -35,6 +35,10 @@ extends the same guarantee to steady-state streaming: on a mid-size
 open-arrival stream, ``run_stream`` with aggressive schedule
 compaction must match ``run_stream`` without compaction *and*
 ``run_online`` on every per-query outcome and the final makespan.
+:func:`run_golden_regression` pins the heterogeneous-fleet refactor:
+homogeneous fleets — the implicit default *and* explicitly spelled
+per-device capacities/calibrations — must stay bit-identical to the
+golden schedules recorded before per-device calibration existed.
 """
 
 from __future__ import annotations
@@ -349,6 +353,101 @@ def run_stream_regression(
     return lines
 
 
+#: Seed subset of the golden-schedule regression — every 10th recorded
+#: seed; the full 200-seed sweep belongs to the property suite, this
+#: column runs on every ``python -m repro.bench.regress``.
+GOLDEN_REGRESSION_SEEDS = tuple(range(0, 200, 10))
+
+
+def run_golden_regression(
+    seeds: tuple[int, ...] = GOLDEN_REGRESSION_SEEDS,
+) -> list[str]:
+    """Assert homogeneous fleets survived the heterogeneity refactor
+    bit-identically; returns report lines.
+
+    Two columns per seed against the recorded pre-refactor golden
+    schedules (``tests/serve/golden_single_device.json``):
+
+    * ``devices=1`` (all per-device machinery on its defaults) must
+      reproduce the golden fingerprint, makespan and peak exactly;
+    * a two-device fleet with *explicitly spelled* homogeneous
+      per-device arguments (``device_capacities=[cap, cap]``,
+      ``device_calibrations=[None, None]``) must match the implicit
+      ``devices=2`` default on every outcome — threading per-device
+      state through estimates, plans and placement must be a no-op
+      when the devices are equal.
+
+    The canonical ``mixed_workload`` entries of the golden file are
+    re-checked too.  Any divergence raises
+    :class:`~repro.errors.SchedulingError`.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.bench.serve_bench import fingerprint, fingerprint_sharded
+    from repro.errors import SchedulingError
+    from repro.serve.scheduler import QueryScheduler
+    from repro.serve.workload import mixed_workload, random_workload
+
+    golden_path = (
+        Path(__file__).resolve().parents[3]
+        / "tests" / "serve" / "golden_single_device.json"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    checked = 0
+    for seed in seeds:
+        entry = golden["seeds"][str(seed)]
+        report = QueryScheduler(devices=1).run_online(random_workload(seed))
+        if (
+            [list(item) for item in fingerprint(report)]
+            != entry["fingerprint"]
+            or report.makespan != entry["makespan"]
+            or report.peak_reserved_bytes != entry["peak_reserved_bytes"]
+        ):
+            raise SchedulingError(
+                f"homogeneous devices=1 diverged from the recorded golden "
+                f"schedule at seed {seed}"
+            )
+        capacity = report.capacity_bytes
+        default_two = QueryScheduler(devices=2).run_online(
+            random_workload(seed)
+        )
+        explicit_two = QueryScheduler(
+            devices=2,
+            device_capacities=[capacity, capacity],
+            device_calibrations=[None, None],
+        ).run_online(random_workload(seed))
+        if (
+            fingerprint_sharded(explicit_two)
+            != fingerprint_sharded(default_two)
+            or explicit_two.makespan != default_two.makespan
+        ):
+            raise SchedulingError(
+                f"explicit homogeneous per-device arguments changed the "
+                f"2-device schedule at seed {seed}"
+            )
+        checked += 1
+    for name in sorted(golden["canonical"]):
+        clients, spacing = name.split("x")
+        report = QueryScheduler(devices=1).run_online(
+            mixed_workload(int(clients), spacing_seconds=float(spacing))
+        )
+        if (
+            [list(item) for item in fingerprint(report)]
+            != golden["canonical"][name]["fingerprint"]
+            or report.makespan != golden["canonical"][name]["makespan"]
+        ):
+            raise SchedulingError(
+                f"canonical workload {name} diverged from the recorded "
+                "golden schedule"
+            )
+    return [
+        f"golden[{checked} seeds + {len(golden['canonical'])} canonical]: "
+        "homogeneous fleets bit-identical to pre-refactor golden "
+        "schedules; explicit per-device args are a no-op  ok"
+    ]
+
+
 def main() -> int:
     rows = run_regression()
     print(render(rows))
@@ -366,6 +465,12 @@ def main() -> int:
     print(
         "streaming admission: compacted == uncompacted == online on every "
         "outcome; compaction is pure bookkeeping"
+    )
+    for line in run_golden_regression():
+        print(line)
+    print(
+        "heterogeneous-fleet refactor: homogeneous fleets unchanged "
+        "against the recorded golden schedules"
     )
     return 0
 

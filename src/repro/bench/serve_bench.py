@@ -38,8 +38,19 @@ multiple of the in-flight work — the compaction guarantee.  Results
 land in ``BENCH_perf.json`` as ``serve_stream_*`` entries merged next
 to the ``perf`` suite's records.
 
+Heterogeneous fleets: ``--device-caps GB,GB,...`` and
+``--device-calib NAME,NAME,...`` give each device its own memory
+capacity and calibration preset
+(:data:`~repro.gpusim.calibration.CALIBRATION_PRESETS`); entry counts
+must match ``--devices``.  ``--steal`` enables the cross-device
+work-stealing pass.  Heterogeneous and stealing runs skip the
+serial-baseline assertion (the baseline assumes the default
+calibration) and merge ``serve_hetero_*`` / ``serve_steal_*`` series
+into ``BENCH_perf.json``.
+
 Run via the CLI (``python -m repro.bench serve --clients 16``,
-``... serve --clients 16 --devices 2 --online``, or
+``... serve --clients 16 --devices 2 --online``,
+``... serve --clients 64 --devices 2 --device-calib fast,slow``, or
 ``... serve --stream --arrivals 100000 --devices 2``) or call
 :func:`run_serve` / :func:`sweep` / :func:`run_stream_bench` from
 tests.
@@ -55,6 +66,11 @@ from dataclasses import asdict, dataclass
 
 from repro.bench.perf_bench import PerfEntry
 from repro.errors import SchedulingError
+from repro.gpusim.calibration import (
+    CALIBRATION_PRESETS,
+    Calibration,
+    calibration_preset,
+)
 from repro.serve.placement import LEAST_LOADED, registered_placement_policies
 from repro.serve.scheduler import QueryScheduler, ServeReport, StreamReport
 from repro.serve.workload import mixed_workload, stream_workload
@@ -84,6 +100,7 @@ class ServePoint:
     devices: int = 1
     p50_latency: float = 0.0
     p99_latency: float = 0.0
+    stolen: int = 0
 
     @property
     def speedup(self) -> float:
@@ -129,11 +146,14 @@ def verify_report(
     interleaving — reported as a sub-1.0x speedup rather than raised.
     """
     peaks = report.device_peak_bytes or (report.peak_reserved_bytes,)
-    for device, peak in enumerate(peaks):
-        if peak > report.capacity_bytes:
+    capacities = report.device_capacity_bytes or tuple(
+        [report.capacity_bytes] * len(peaks)
+    )
+    for device, (peak, cap) in enumerate(zip(peaks, capacities)):
+        if peak > cap:
             raise SchedulingError(
                 f"arena over-reserved on device {device}: peak {peak} > "
-                f"capacity {report.capacity_bytes}"
+                f"capacity {cap}"
             )
     for arena in report.arenas or ():
         arena.check_invariants()
@@ -189,6 +209,9 @@ def run_serve(
     online: bool = False,
     devices: int = 1,
     placement: str = LEAST_LOADED,
+    device_capacities: list[int] | None = None,
+    device_calibrations: "list[Calibration | None] | None" = None,
+    steal: bool = False,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
@@ -197,17 +220,30 @@ def run_serve(
     ``online=True`` runs the arrival-driven incremental-extension mode
     (:meth:`~repro.serve.scheduler.QueryScheduler.run_online`); the
     determinism re-run then also uses online mode, so the check guards
-    the incremental path itself.  ``devices``/``placement`` shard the
-    fleet (ignored when an explicit ``scheduler`` is passed).
+    the incremental path itself.  ``devices``/``placement`` and the
+    heterogeneity knobs (``device_capacities`` / ``device_calibrations``
+    / ``steal``) shard and diversify the fleet (ignored when an
+    explicit ``scheduler`` is passed).  Heterogeneous and stealing runs
+    skip the serial-baseline assertion: the serial baseline assumes
+    solo runs on a default-calibration device, which a slower fleet is
+    allowed to lose to.
     """
     requests = mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
-    scheduler = scheduler or QueryScheduler(devices=devices, placement=placement)
+    scheduler = scheduler or QueryScheduler(
+        devices=devices,
+        placement=placement,
+        device_capacities=device_capacities,
+        device_calibrations=device_calibrations,
+        steal=steal,
+    )
     run = scheduler.run_online if online else scheduler.run
     report = run(requests)
     canonical = (
         scale == 1.0
         and spacing_seconds == 0.0
         and scheduler.max_degradation is not None
+        and scheduler.device_calibrations is None
+        and not scheduler.steal
     )
     verify_report(report, clients=clients, check_serial=canonical)
     if check_determinism:
@@ -215,6 +251,9 @@ def run_serve(
             scheduler.system, scheduler.calibration, scheduler.config,
             lanes=scheduler.lanes, max_degradation=scheduler.max_degradation,
             devices=scheduler.devices, placement=scheduler.placement,
+            device_capacities=scheduler.device_capacities,
+            device_calibrations=scheduler.device_calibrations,
+            steal=scheduler.steal,
         )
         rerun_fn = fresh.run_online if online else fresh.run
         rerun = rerun_fn(
@@ -236,6 +275,9 @@ def sweep(
     online: bool = False,
     devices: int = 1,
     placement: str = LEAST_LOADED,
+    device_capacities: list[int] | None = None,
+    device_calibrations: "list[Calibration | None] | None" = None,
+    steal: bool = False,
     check_determinism: bool = True,
 ) -> list[ServePoint]:
     """Throughput/latency versus offered concurrency."""
@@ -248,6 +290,9 @@ def sweep(
             online=online,
             devices=devices,
             placement=placement,
+            device_capacities=device_capacities,
+            device_calibrations=device_calibrations,
+            steal=steal,
             check_determinism=check_determinism,
         )
         points.append(
@@ -263,6 +308,7 @@ def sweep(
                 devices=report.devices,
                 p50_latency=report.p50_latency,
                 p99_latency=report.p99_latency,
+                stolen=report.stolen_count,
             )
         )
     return points
@@ -270,20 +316,24 @@ def sweep(
 
 def render_sweep(points: list[ServePoint]) -> str:
     sharded = any(p.devices > 1 for p in points)
+    stealing = any(p.stolen > 0 for p in points)
     device_header = f" {'devs':>4s}" if sharded else ""
+    stolen_header = f" {'stolen':>6s}" if stealing else ""
     lines = [
         f"{'clients':>7s}{device_header} {'q/s':>7s} {'makespan':>9s} "
         f"{'serial':>8s} {'speedup':>8s} {'mean lat':>9s} {'p50 lat':>8s} "
-        f"{'p95 lat':>8s} {'p99 lat':>8s} {'degraded':>8s} {'peak GB':>8s}"
+        f"{'p95 lat':>8s} {'p99 lat':>8s} {'degraded':>8s}{stolen_header} "
+        f"{'peak GB':>8s}"
     ]
     for p in points:
         device_cell = f" {p.devices:4d}" if sharded else ""
+        stolen_cell = f" {p.stolen:6d}" if stealing else ""
         lines.append(
             f"{p.clients:7d}{device_cell} {p.queries_per_second:7.2f} "
             f"{p.makespan:8.3f}s "
             f"{p.serial_makespan:7.3f}s {p.speedup:7.2f}x {p.mean_latency:8.3f}s "
             f"{p.p50_latency:7.3f}s {p.p95_latency:7.3f}s {p.p99_latency:7.3f}s "
-            f"{p.degraded:8d} {p.peak_gb:8.2f}"
+            f"{p.degraded:8d}{stolen_cell} {p.peak_gb:8.2f}"
         )
     return "\n".join(lines)
 
@@ -305,11 +355,16 @@ def verify_stream_report(
     tasks each can sit between sweeps, so a violation means compaction
     stopped bounding memory.
     """
-    for device, peak in enumerate(report.device_peak_bytes):
-        if peak > report.capacity_bytes:
+    stream_caps = report.device_capacity_bytes or tuple(
+        [report.capacity_bytes] * len(report.device_peak_bytes)
+    )
+    for device, (peak, cap) in enumerate(
+        zip(report.device_peak_bytes, stream_caps)
+    ):
+        if peak > cap:
             raise SchedulingError(
                 f"arena over-reserved on device {device}: peak {peak} > "
-                f"capacity {report.capacity_bytes}"
+                f"capacity {cap}"
             )
     for arena in report.arenas or ():
         arena.check_invariants()
@@ -347,13 +402,22 @@ def run_stream_bench(
     max_queue_depth: int | None = DEFAULT_STREAM_QUEUE,
     slo_wait_seconds: float | None = None,
     compact_every: int | None = DEFAULT_STREAM_COMPACT,
+    device_capacities: list[int] | None = None,
+    device_calibrations: "list[Calibration | None] | None" = None,
+    steal: bool = False,
     seed: int = 0,
 ) -> tuple[StreamReport, float]:
     """Run the steady-state streaming benchmark; returns (verified
     report, wall seconds).  The workload generator is lazy and the
     retained schedule is compacted, so memory stays O(in-flight) even
     at 10^5+ arrivals."""
-    scheduler = QueryScheduler(devices=devices, placement=placement)
+    scheduler = QueryScheduler(
+        devices=devices,
+        placement=placement,
+        device_capacities=device_capacities,
+        device_calibrations=device_calibrations,
+        steal=steal,
+    )
     start = time.perf_counter()
     report = scheduler.run_stream(
         stream_workload(arrivals, arrival_rate=arrival_rate, seed=seed),
@@ -414,6 +478,48 @@ def stream_perf_entries(
     }
 
 
+def hetero_perf_entries(
+    report: ServeReport,
+    wall: float,
+    *,
+    clients: int,
+    steal: bool,
+) -> dict[str, PerfEntry]:
+    """``serve_hetero_*`` / ``serve_steal_*`` records for heterogeneous
+    and work-stealing serve runs, in ``BENCH_perf.json``'s uniform
+    ``{wall_seconds, ops_per_sec, n}`` schema.  ``*_wall`` carries the
+    bench wall clock per query, ``*_makespan`` the simulated makespan
+    per query (rate form: completed queries per simulated second), and
+    with stealing on, ``serve_steal_stolen`` the stolen-admission count
+    of the run."""
+    prefix = "serve_steal" if steal else "serve_hetero"
+    tag = f"[{clients}x{report.devices}]"
+    n = max(len(report.outcomes), 1)
+    entries = {
+        f"{prefix}_wall{tag}": PerfEntry(
+            wall_seconds=wall / n,
+            ops_per_sec=n / wall if wall > 0 else 0.0,
+            n=n,
+        ),
+        f"{prefix}_makespan{tag}": PerfEntry(
+            wall_seconds=report.makespan / n,
+            ops_per_sec=report.queries_per_second,
+            n=n,
+        ),
+    }
+    if steal:
+        entries[f"serve_steal_stolen{tag}"] = PerfEntry(
+            wall_seconds=float(report.stolen_count),
+            ops_per_sec=(
+                report.stolen_count / report.makespan
+                if report.makespan > 0
+                else 0.0
+            ),
+            n=n,
+        )
+    return entries
+
+
 def merge_perf_json(entries: dict[str, PerfEntry], path: str) -> None:
     """Merge entries into an existing ``BENCH_perf.json`` (the ``perf``
     suite owns the file; the stream harness adds its series without
@@ -426,6 +532,57 @@ def merge_perf_json(entries: dict[str, PerfEntry], path: str) -> None:
     with open(path, "w") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)
         handle.write("\n")
+
+
+def parse_device_caps(text: str | None, devices: int) -> list[int] | None:
+    """Parse ``--device-caps`` (comma-separated GB) into bytes.
+
+    Raises :class:`ValueError` naming the flag on malformed numbers,
+    non-positive entries, or an entry count that does not match
+    ``--devices``.
+    """
+    if text is None:
+        return None
+    parts = [part.strip() for part in text.split(",")]
+    try:
+        caps_gb = [float(part) for part in parts]
+    except ValueError:
+        raise ValueError(
+            f"--device-caps must be comma-separated numbers (GB), got "
+            f"{text!r}"
+        ) from None
+    if len(caps_gb) != devices:
+        raise ValueError(
+            f"--device-caps has {len(caps_gb)} entries but --devices is "
+            f"{devices}; give one capacity per device"
+        )
+    if any(cap <= 0 for cap in caps_gb):
+        raise ValueError(
+            f"--device-caps entries must be positive GB, got {text!r}"
+        )
+    return [int(cap * 1e9) for cap in caps_gb]
+
+
+def parse_device_calib(
+    text: str | None, devices: int
+) -> "list[Calibration | None] | None":
+    """Parse ``--device-calib`` (comma-separated preset names).
+
+    Raises :class:`ValueError` naming the flag on an unknown preset or
+    an entry count that does not match ``--devices``.
+    """
+    if text is None:
+        return None
+    names = [part.strip() for part in text.split(",")]
+    if len(names) != devices:
+        raise ValueError(
+            f"--device-calib has {len(names)} entries but --devices is "
+            f"{devices}; give one preset per device"
+        )
+    try:
+        return [calibration_preset(name) for name in names]
+    except ValueError as exc:
+        raise ValueError(f"--device-calib: {exc}") from None
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -485,6 +642,28 @@ def serve_main(argv: list[str] | None = None) -> int:
         choices=registered_placement_policies(),
         help="device-placement policy for --devices > 1 "
         f"(default {LEAST_LOADED})",
+    )
+    parser.add_argument(
+        "--device-caps",
+        default=None,
+        metavar="GB,GB,...",
+        help="per-device memory capacities in GB, comma-separated; "
+        "entry count must match --devices (default: every device gets "
+        "the system's device memory)",
+    )
+    parser.add_argument(
+        "--device-calib",
+        default=None,
+        metavar="NAME,NAME,...",
+        help="per-device calibration presets, comma-separated "
+        f"({', '.join(CALIBRATION_PRESETS)}); entry count must match "
+        "--devices (default: the paper calibration on every device)",
+    )
+    parser.add_argument(
+        "--steal",
+        action="store_true",
+        help="enable cross-device work stealing: an idle device may "
+        "pull the best waiting query past a blocked FIFO head",
     )
     parser.add_argument(
         "--stream",
@@ -570,6 +749,14 @@ def serve_main(argv: list[str] | None = None) -> int:
         spacing = 1.0 / args.arrival_rate
     else:
         spacing = args.spacing
+    try:
+        device_capacities = parse_device_caps(args.device_caps, args.devices)
+        device_calibrations = parse_device_calib(
+            args.device_calib, args.devices
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    hetero = device_capacities is not None or device_calibrations is not None
 
     if args.stream:
         rate = args.arrival_rate if args.arrival_rate else DEFAULT_STREAM_RATE
@@ -583,6 +770,9 @@ def serve_main(argv: list[str] | None = None) -> int:
             max_queue_depth=max_queue,
             slo_wait_seconds=args.slo,
             compact_every=compact_every,
+            device_capacities=device_capacities,
+            device_calibrations=device_calibrations,
+            steal=args.steal,
             seed=args.seed,
         )
         print(
@@ -625,12 +815,24 @@ def serve_main(argv: list[str] | None = None) -> int:
             failed = True
         return 1 if failed else 0
 
-    canonical = args.scale == 1.0 and spacing == 0.0
+    canonical = (
+        args.scale == 1.0
+        and spacing == 0.0
+        and not hetero
+        and not args.steal
+    )
     mode = "online (incremental extension)" if args.online else "batch"
     if args.devices > 1:
         mode += f", {args.devices} devices ({args.placement} placement)"
+    if args.device_calib:
+        mode += f", calibrations {args.device_calib}"
+    if args.device_caps:
+        mode += f", capacities {args.device_caps} GB"
+    if args.steal:
+        mode += ", work stealing"
 
     if args.clients is not None:
+        start = time.perf_counter()
         report = run_serve(
             args.clients,
             scale=args.scale,
@@ -638,9 +840,22 @@ def serve_main(argv: list[str] | None = None) -> int:
             online=args.online,
             devices=args.devices,
             placement=args.placement,
+            device_capacities=device_capacities,
+            device_calibrations=device_calibrations,
+            steal=args.steal,
         )
+        wall = time.perf_counter() - start
         print(f"admission mode: {mode}")
         print(report.render())
+        if (hetero or args.steal) and args.out != "-":
+            merge_perf_json(
+                hetero_perf_entries(
+                    report, wall, clients=args.clients, steal=args.steal
+                ),
+                args.out,
+            )
+            prefix = "serve_steal" if args.steal else "serve_hetero"
+            print(f"{prefix}_* series merged into {args.out}")
         if args.clients > 1 and canonical:
             print(
                 "verified: deterministic, every arena within capacity and "
@@ -667,6 +882,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         online=args.online,
         devices=args.devices,
         placement=args.placement,
+        device_capacities=device_capacities,
+        device_calibrations=device_calibrations,
+        steal=args.steal,
     )
     print(f"admission mode: {mode}")
     print(render_sweep(points))

@@ -16,7 +16,11 @@ This module provides one shared cache:
   built from the strategy's *fingerprint* (class, key, system spec,
   calibration, config, constructor extras), the frozen
   :class:`~repro.data.spec.JoinSpec`, and the estimate kwargs.  Any
-  unhashable component simply bypasses the cache;
+  unhashable component simply bypasses the cache.  Per-device
+  calibrations of a heterogeneous fleet ride in the fingerprint — two
+  devices with different calibrations hash to different keys, so the
+  shared cache never serves one device's estimate (or plan) to
+  another;
 * :func:`cached_ladder_choice` — memoizes the planner ladder's
   feasibility decision per (spec, system, available-bytes);
 * :func:`cached_plan` — memoizes ``prepare()``'s analytic

@@ -17,11 +17,21 @@ retires ``num_sms * clock * warp_size`` lane-ops per second (≈ 1.0e12 on
 the GTX 1080).  Per-tuple lane-op counts bundle arithmetic, addressing,
 shared-memory traffic and divergence bookkeeping of the corresponding
 kernel inner loop.
+
+Heterogeneous fleets are modelled by giving each device its *own*
+:class:`Calibration`: the serving layer threads a per-device instance
+through every estimate, plan and placement decision
+(``QueryScheduler(device_calibrations=...)``).  The
+:meth:`Calibration.gpu_scaled` helper derives a uniformly
+faster/slower GPU from any base calibration, and
+:func:`calibration_preset` resolves the named presets
+(:data:`CALIBRATION_PRESETS`) the ``bench serve --device-calib`` flag
+accepts.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields, replace
 
 
 @dataclass(frozen=True)
@@ -143,5 +153,101 @@ class Calibration:
     cogadb_resident_efficiency: float = 0.30
     cogadb_max_tuples: int = 128_000_000
 
+    # ------------------------------------------------------------ derived
+    def validate(self) -> None:
+        """Sanity-check the constants a cost model is about to consume.
+
+        Every ``*_efficiency`` / ``*_utilization`` factor must lie in
+        ``(0, 1]`` (they multiply ideal hardware rates) and every other
+        numeric constant must be positive.  Raises :class:`ValueError`
+        naming the offending field — per-device calibrations now arrive
+        from CLI flags (``bench serve --device-calib``), so a malformed
+        one must fail at construction, not as a nonsense estimate.
+        """
+        for spec in fields(self):
+            value = getattr(self, spec.name)
+            if spec.name.endswith(("_efficiency", "_utilization")):
+                if not 0.0 < value <= 1.0:
+                    raise ValueError(
+                        f"calibration field {spec.name!r} must be in "
+                        f"(0, 1], got {value!r}"
+                    )
+            elif isinstance(value, (int, float)) and value <= 0:
+                raise ValueError(
+                    f"calibration field {spec.name!r} must be positive, "
+                    f"got {value!r}"
+                )
+
+    def gpu_scaled(self, speed: float) -> "Calibration":
+        """A calibration for a uniformly ``speed``× faster (or, with
+        ``speed < 1``, slower) GPU.
+
+        This is a *synthetic* device family for heterogeneous-fleet
+        modelling, not a physically measured card: GPU-side bandwidth
+        efficiencies are scaled toward the ideal (capped at 1.0),
+        per-tuple lane-op counts and random-access/launch/sync latencies
+        are divided by ``speed``, and CPU/PCIe/NUMA constants are left
+        untouched — the host, interconnect and baseline columns are
+        shared by every device of a fleet.  For ``speed >= 1`` every
+        GPU-side cost term is monotonically non-increasing, so a
+        faster calibration never yields a slower estimate.
+        """
+        if speed <= 0:
+            raise ValueError(f"speed factor must be positive, got {speed!r}")
+        scaled_efficiencies = {
+            name: min(1.0, getattr(self, name) * speed)
+            for name in (
+                "gpu_partition_efficiency",
+                "gpu_scan_efficiency",
+                "gpu_materialize_efficiency",
+                "gpu_random_efficiency",
+            )
+        }
+        scaled_down = {
+            name: getattr(self, name) / speed
+            for name in (
+                "kernel_launch_seconds",
+                "lane_ops_scan_per_tuple",
+                "lane_ops_insert",
+                "lane_ops_chain_step",
+                "lane_ops_build_copy",
+                "nlj_round_base_ops",
+                "nlj_ops_per_bit",
+                "lane_ops_flush_per_match",
+                "gpu_random_base_seconds",
+                "gpu_random_growth_seconds",
+            )
+        }
+        derived = replace(self, **scaled_efficiencies, **scaled_down)
+        derived.validate()
+        return derived
+
 
 DEFAULT_CALIBRATION = Calibration()
+
+#: Named calibrations the CLI accepts (``bench serve --device-calib``).
+#: ``fast``/``slow`` are synthetic ±2× GPU-side variants of the paper
+#: calibration (see :meth:`Calibration.gpu_scaled`); the map is ordered
+#: fastest-first for readable ``--help`` output.
+CALIBRATION_PRESETS: dict[str, Calibration] = {
+    "fast": DEFAULT_CALIBRATION.gpu_scaled(2.0),
+    "default": DEFAULT_CALIBRATION,
+    "slow": DEFAULT_CALIBRATION.gpu_scaled(0.5),
+}
+
+
+def calibration_preset(name: str) -> Calibration:
+    """Resolve a named calibration preset.
+
+    Raises :class:`ValueError` listing the registered names on a miss —
+    the CLI surfaces this verbatim, so the message must name the
+    choices.
+    """
+    try:
+        return CALIBRATION_PRESETS[name]
+    except KeyError:
+        known = ", ".join(sorted(CALIBRATION_PRESETS))
+        raise ValueError(
+            f"unknown calibration preset {name!r}; registered presets: "
+            f"{known}"
+        ) from None

@@ -100,7 +100,17 @@ class CoPartitionStats:
 
 
 class GpuCostModel:
-    """Timing formulas for the GPU kernels (see module docstring)."""
+    """Timing formulas for the GPU kernels (see module docstring).
+
+    ``calibration`` defaults to the paper's single calibration; a
+    heterogeneous fleet passes each device's own
+    :class:`~repro.gpusim.calibration.Calibration` (every strategy a
+    device plans with carries that device's cost model, and the
+    calibration rides in the strategy's estimate-cache fingerprint so
+    cached estimates and plans never cross devices).  The calibration
+    is validated here — a malformed per-device calibration (CLI-built
+    fleets) must fail at construction, not as a nonsense estimate.
+    """
 
     def __init__(
         self,
@@ -109,6 +119,7 @@ class GpuCostModel:
     ):
         self.system = system or SystemSpec()
         self.calib = calibration or DEFAULT_CALIBRATION
+        self.calib.validate()
 
     # ------------------------------------------------------------------
     # Primitive rates

@@ -60,6 +60,10 @@ class PipelineEngine:
         #: Tasks dropped by :meth:`compact` — once nonzero the engine
         #: only supports :meth:`extend`, never a full re-simulation.
         self._retired = 0
+        #: Set by :meth:`retire`: the device left the fleet, so no new
+        #: tasks may be submitted (the schedule and lane state survive
+        #: for reporting and compaction of in-flight work).
+        self._device_retired = False
         if resources:
             pools = (
                 # A bare name->lanes dict describes THIS engine's pools,
@@ -87,6 +91,11 @@ class PipelineEngine:
     # ------------------------------------------------------------------
     def add(self, task: Task) -> Task:
         """Append a task to its resource's queue."""
+        if self._device_retired:
+            raise SchedulingError(
+                f"device {self.device} is retired: task {task.name!r} "
+                "cannot be placed on an engine that left the fleet"
+            )
         if task.name in self._by_name:
             raise SchedulingError(f"duplicate task name: {task.name!r}")
         if task.duration < 0:
@@ -311,6 +320,12 @@ class PipelineEngine:
                 f"the engine holds {len(self._tasks)}; extend() needs the "
                 "schedule of exactly the tasks already submitted"
             )
+        if new_tasks and self._device_retired:
+            raise SchedulingError(
+                f"device {self.device} is retired: "
+                f"{len(new_tasks)} new task(s) cannot be placed on an "
+                "engine that left the fleet"
+            )
         new_names = {task.name for task in new_tasks}
         if len(new_names) != len(new_tasks):
             raise SchedulingError("duplicate task names in new_tasks")
@@ -511,6 +526,26 @@ class PipelineEngine:
             del self._by_name[name]
         self._retired += len(retired)
         return len(retired)
+
+    @property
+    def is_retired(self) -> bool:
+        """Has :meth:`retire` sealed this engine against new tasks?"""
+        return self._device_retired
+
+    def retire(self) -> None:
+        """Seal the engine: its device left the fleet.
+
+        Device-tagged lanes *survive* retirement — the schedule, lane
+        heaps and recorded finishes stay intact so in-flight queries
+        drain normally, reports still merge this device's history, and
+        :meth:`compact` keeps working on the drained tail.  What
+        retirement forbids is **new work**: any subsequent :meth:`add`
+        or non-empty :meth:`extend` raises
+        :class:`~repro.errors.SchedulingError` naming the device, so a
+        placement bug that routes a query onto a retired device fails
+        loudly instead of silently resurrecting it.  Idempotent.
+        """
+        self._device_retired = True
 
     def _check_not_compacted(self, entry_point: str) -> None:
         if self._retired:

@@ -17,11 +17,24 @@ of the wall clock), or as a bounded-queue steady-state stream
 (``run_stream``: load shedding plus schedule compaction, memory
 O(in-flight) over 10^5+ arrivals).  ``devices=1`` (the default) is the classic
 single-GPU scheduler, bit-identical to the pre-sharding
-implementation.  See ``docs/serving.md`` for the full policy.
+implementation.
+
+Fleets may be heterogeneous and elastic: per-device capacities and
+:class:`~repro.gpusim.calibration.Calibration` instances
+(``QueryScheduler(device_capacities=..., device_calibrations=...)``),
+timed :class:`~repro.serve.placement.FleetEvent` join/leave lists on
+every run method, and an opt-in cross-device work-stealing pass
+(``steal=True``).  See ``docs/serving.md`` for the full policy.
 """
 
+from repro.gpusim.calibration import (
+    CALIBRATION_PRESETS,
+    Calibration,
+    calibration_preset,
+)
 from repro.serve.placement import (
     DeviceFleet,
+    FleetEvent,
     PlacementCandidate,
     PlacementPolicy,
     create_placement_policy,
@@ -43,7 +56,10 @@ from repro.serve.workload import (
 )
 
 __all__ = [
+    "CALIBRATION_PRESETS",
+    "Calibration",
     "DeviceFleet",
+    "FleetEvent",
     "PlacementCandidate",
     "PlacementPolicy",
     "QueryOutcome",
@@ -52,6 +68,7 @@ __all__ = [
     "ServeReport",
     "ShedOutcome",
     "StreamReport",
+    "calibration_preset",
     "create_placement_policy",
     "percentile",
     "registered_placement_policies",

@@ -37,6 +37,7 @@ from typing import ClassVar, Iterator
 
 from repro.errors import InvalidConfigError, SchedulingError
 from repro.gpusim.arena import DeviceMemoryArena
+from repro.gpusim.calibration import Calibration
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import Schedule, Task
 
@@ -58,6 +59,12 @@ class DeviceState:
 
     index: int
     arena: DeviceMemoryArena
+    #: This device's own cost-model calibration (``None`` means the
+    #: scheduler's fleet-wide default).  Every estimate, plan and
+    #: placement decision for a query lands on *this* calibration — a
+    #: heterogeneous fleet mixes fast and slow devices, so a global
+    #: calibration would mis-cost every placement comparison.
+    calibration: Calibration | None = None
     #: Lane widths declared for this device's resource pools so far.
     resources: dict[str, int] = field(default_factory=dict)
     #: Every task lowered onto this device, in admission order.
@@ -73,6 +80,12 @@ class DeviceState:
     #: Expected finish per running query — engine-accurate once the
     #: query has been through a pass, alone-estimate before that.
     predicted_finish: dict[str, float] = field(default_factory=dict)
+    #: The device was asked to leave the fleet: it finishes in-flight
+    #: work but receives no further placements (including steals).
+    retiring: bool = False
+    #: Retirement completed — the device drained and its engine was
+    #: sealed; kept in the fleet for reporting and arena audits.
+    retired: bool = False
 
     @property
     def free_bytes(self) -> int:
@@ -82,10 +95,31 @@ class DeviceState:
     def capacity_bytes(self) -> int:
         return self.arena.capacity_bytes
 
+    @property
+    def accepting(self) -> bool:
+        """May new queries be placed here?  False from the moment
+        retirement is requested, not merely once the drain completes."""
+        return not (self.retiring or self.retired)
+
     def busy_until(self) -> float:
         """Estimated time this device finishes everything now running
         (0.0 when idle) — the load signal :data:`LEAST_LOADED` ranks."""
         return max(self.predicted_finish.values(), default=0.0)
+
+    def finalize_retirement(self) -> bool:
+        """Complete a requested retirement once the device drained.
+
+        Returns ``True`` the moment the transition happens: the engine
+        (if one exists — batch mode never instantiates it) is sealed
+        via :meth:`~repro.pipeline.engine.PipelineEngine.retire`, so a
+        later placement bug raises instead of resurrecting the device.
+        """
+        if not self.retiring or self.retired or self.running:
+            return False
+        if self.engine is not None:
+            self.engine.retire()
+        self.retired = True
+        return True
 
 
 @dataclass(frozen=True)
@@ -96,7 +130,12 @@ class PlacementCandidate:
     device's *current* headroom, ``need_bytes`` that strategy's whole
     device footprint, ``fits`` whether the footprint fits the headroom
     right now, and ``degraded`` whether the offer is cheaper than the
-    query's unconstrained solo placement.
+    query's unconstrained solo placement.  ``est_seconds`` is the
+    estimated makespan of running the offer alone **on this device** —
+    computed with the device's own calibration and memory grant, so on
+    a heterogeneous fleet the same query carries different estimates
+    per device and policies can compare actual speed instead of
+    assuming uniform devices.
     """
 
     device: int
@@ -104,6 +143,9 @@ class PlacementCandidate:
     need_bytes: int
     fits: bool
     degraded: bool
+    #: Alone-makespan of this offer under the device's calibration, in
+    #: **simulated seconds** (0.0 when the scheduler did not estimate).
+    est_seconds: float = 0.0
 
 
 class PlacementPolicy:
@@ -132,12 +174,18 @@ class PlacementPolicy:
 
 
 class LeastLoadedPolicy(PlacementPolicy):
-    """Default: the device estimated to finish its running work first.
+    """Default: the device estimated to *complete this query* first.
 
-    Load is :meth:`DeviceState.busy_until` — the max predicted finish
-    of the queries currently holding memory — so an idle device always
-    wins and ties (e.g. an all-idle fleet) break toward the lowest
-    device index.
+    Ranks candidates by ``busy_until + est_seconds`` — the device's
+    drain estimate (:meth:`DeviceState.busy_until`, max predicted
+    finish of the queries currently holding memory) plus the offer's
+    own alone-makespan under that device's calibration.  On a
+    heterogeneous fleet a fast-but-busy device can therefore beat an
+    idle slow one.  Ties fall back to the bare load signal and then the
+    lowest device index; on a homogeneous fleet ``est_seconds`` is the
+    same constant on every device, so the ranking reduces *exactly* to
+    the historical ``(busy_until, device)`` order — the property suite
+    pins that bit-identity against the recorded golden schedules.
     """
 
     key = LEAST_LOADED
@@ -147,7 +195,11 @@ class LeastLoadedPolicy(PlacementPolicy):
     ) -> PlacementCandidate:
         return min(
             candidates,
-            key=lambda c: (fleet[c.device].busy_until(), c.device),
+            key=lambda c: (
+                fleet[c.device].busy_until() + c.est_seconds,
+                fleet[c.device].busy_until(),
+                c.device,
+            ),
         )
 
 
@@ -227,28 +279,48 @@ def create_placement_policy(key: str | PlacementPolicy) -> PlacementPolicy:
 
 
 class DeviceFleet:
-    """K per-device arenas and engines, indexed by device id.
+    """Per-device arenas and engines, indexed by device id.
 
     ``capacities`` gives each device's memory in **bytes** (one entry
-    per device; a homogeneous fleet repeats the same value).  ``lanes``
-    seeds every device's resource pools with the same lane widths —
-    each device still gets its *own* pools; the shared dict only sets
-    their widths.
+    per device; a homogeneous fleet repeats the same value), and
+    ``calibrations`` optionally pairs each device with its own
+    cost-model :class:`~repro.gpusim.calibration.Calibration` (``None``
+    entries — or ``calibrations=None`` — mean the scheduler's fleet-wide
+    default; a heterogeneous fleet mixes values).  ``lanes`` seeds every
+    device's resource pools with the same lane widths — each device
+    still gets its *own* pools; the shared dict only sets their widths.
+
+    The fleet is **elastic**: :meth:`add_device` joins a new device
+    mid-run (it starts receiving placements at the next admission) and
+    :meth:`retire_device` begins a drain — the device finishes its
+    in-flight queries, then its engine is sealed
+    (:meth:`DeviceState.finalize_retirement`).  Retired devices stay in
+    :attr:`devices` so indices remain stable and reports keep their
+    history; :meth:`active` yields only the devices placements may
+    target.
     """
 
     def __init__(
-        self, capacities: list[int], *, lanes: dict[str, int] | None = None
+        self,
+        capacities: list[int],
+        *,
+        lanes: dict[str, int] | None = None,
+        calibrations: "list[Calibration | None] | None" = None,
     ) -> None:
         if not capacities:
             raise InvalidConfigError("a fleet needs at least one device")
-        self.devices = [
-            DeviceState(
-                index=index,
-                arena=DeviceMemoryArena(capacity, device=index),
-                resources=dict(lanes or {}),
+        if calibrations is not None and len(calibrations) != len(capacities):
+            raise InvalidConfigError(
+                f"fleet got {len(capacities)} capacities but "
+                f"{len(calibrations)} calibrations; one per device"
             )
-            for index, capacity in enumerate(capacities)
-        ]
+        self._lanes = dict(lanes or {})
+        self.devices: list[DeviceState] = []
+        for index, capacity in enumerate(capacities):
+            self.add_device(
+                capacity,
+                calibration=calibrations[index] if calibrations else None,
+            )
 
     def __len__(self) -> int:
         return len(self.devices)
@@ -258,6 +330,63 @@ class DeviceFleet:
 
     def __getitem__(self, index: int) -> DeviceState:
         return self.devices[index]
+
+    # -- elasticity -----------------------------------------------------
+    def add_device(
+        self,
+        capacity_bytes: int,
+        *,
+        calibration: Calibration | None = None,
+    ) -> DeviceState:
+        """Join a new device (its id is the next free index) and return
+        its state.  Legal between admissions of a live run: the device
+        simply shows up in the next placement round's candidate list.
+        """
+        device = DeviceState(
+            index=len(self.devices),
+            arena=DeviceMemoryArena(capacity_bytes, device=len(self.devices)),
+            calibration=calibration,
+            resources=dict(self._lanes),
+        )
+        self.devices.append(device)
+        return device
+
+    def retire_device(self, index: int) -> DeviceState:
+        """Begin retiring device ``index``: it stops receiving
+        placements immediately and finishes in-flight work.  The last
+        accepting device cannot retire (an empty fleet could never
+        admit again), and double retirement is an error — both raise
+        :class:`~repro.errors.InvalidConfigError`.
+        """
+        try:
+            device = self.devices[index]
+        except IndexError:
+            raise InvalidConfigError(
+                f"cannot retire unknown device {index} of a "
+                f"{len(self.devices)}-device fleet"
+            ) from None
+        if not device.accepting:
+            raise InvalidConfigError(
+                f"device {index} is already retiring or retired"
+            )
+        if sum(1 for d in self.devices if d.accepting) <= 1:
+            raise InvalidConfigError(
+                f"cannot retire device {index}: it is the last accepting "
+                "device of the fleet"
+            )
+        device.retiring = True
+        device.finalize_retirement()  # already idle -> seal immediately
+        return device
+
+    def active(self) -> list[DeviceState]:
+        """The devices placements may target, in index order."""
+        return [device for device in self.devices if device.accepting]
+
+    def finalize_retirements(self) -> None:
+        """Seal every requested retirement whose device has drained —
+        called after each batch of release events."""
+        for device in self.devices:
+            device.finalize_retirement()
 
     # -- aggregate views ------------------------------------------------
     def any_running(self) -> bool:
@@ -275,6 +404,9 @@ class DeviceFleet:
     def device_peaks(self) -> tuple[int, ...]:
         return tuple(device.arena.peak_bytes for device in self.devices)
 
+    def device_capacities(self) -> tuple[int, ...]:
+        return tuple(device.capacity_bytes for device in self.devices)
+
     def check_drained(self) -> None:
         """Every arena's invariants plus: all reservations returned.
 
@@ -290,3 +422,63 @@ class DeviceFleet:
                     f"{sorted(device.arena.reservations)} after the run "
                     "drained"
                 )
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """One timed elasticity event of a serving run.
+
+    Schedulers take a list of these (``fleet_events=``) and apply each
+    one the first time the simulated clock reaches ``at`` — always
+    *between* admissions, never mid-admission, so a placement decision
+    only ever sees a consistent fleet.  ``action`` is ``"add"`` (a
+    device with ``capacity_bytes`` of memory and an optional per-device
+    ``calibration`` joins at the next free index) or ``"retire"``
+    (device ``device`` stops receiving placements at ``at`` and drains).
+    Events are deterministic inputs, which keeps elastic runs exactly
+    reproducible — re-running the same request list with the same event
+    list yields the same schedule.
+    """
+
+    #: Simulated time at which the event takes effect.
+    at: float
+    action: str
+    #: ``add`` only: the joining device's arena capacity in bytes.
+    capacity_bytes: int | None = None
+    #: ``add`` only: the joining device's calibration (``None`` =
+    #: scheduler default).
+    calibration: Calibration | None = None
+    #: ``retire`` only: index of the device asked to leave.
+    device: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise InvalidConfigError(
+                f"fleet event time must be >= 0, got {self.at!r}"
+            )
+        if self.action == "add":
+            if self.capacity_bytes is None or self.capacity_bytes <= 0:
+                raise InvalidConfigError(
+                    "fleet 'add' event needs a positive capacity_bytes, "
+                    f"got {self.capacity_bytes!r}"
+                )
+            if self.device is not None:
+                raise InvalidConfigError(
+                    "fleet 'add' event must not name a device: the new "
+                    "device takes the next free index"
+                )
+        elif self.action == "retire":
+            if self.device is None or self.device < 0:
+                raise InvalidConfigError(
+                    "fleet 'retire' event needs a device index, got "
+                    f"{self.device!r}"
+                )
+            if self.capacity_bytes is not None or self.calibration is not None:
+                raise InvalidConfigError(
+                    "fleet 'retire' event takes no capacity or calibration"
+                )
+        else:
+            raise InvalidConfigError(
+                f"unknown fleet event action {self.action!r}; expected "
+                "'add' or 'retire'"
+            )

@@ -41,9 +41,25 @@ for steady-state runs of 10^5+ arrivals).  Batch and online outcomes
 are bit-identical, and streaming is bit-identical to both whenever
 shedding is disabled; only the wall-clock and memory costs differ.
 
+The fleet may be **heterogeneous and elastic**.  Each device carries
+its own :class:`~repro.gpusim.calibration.Calibration`
+(``QueryScheduler(device_capacities=..., device_calibrations=...)``),
+and every estimate, plan and placement comparison for a candidate
+device is made under *that device's* calibration — the process-wide
+estimate/plan caches key on the calibration through the strategy
+fingerprint, so cached entries never cross devices.  Timed
+:class:`~repro.serve.placement.FleetEvent` lists (``fleet_events=`` on
+every run method) add or retire devices *between* admissions: a
+retiring device finishes its in-flight queries and then its engine is
+sealed.  An opt-in work-stealing pass (``steal=True``) lets an idle
+device bypass head-of-line blocking by re-placing the best waiting
+query behind the blocked head, using the same cached estimates.  All
+of it stays deterministic, and a homogeneous fleet with no events and
+no stealing is bit-identical to the pre-heterogeneity scheduler.
+
 The simulation is deterministic: identical request lists produce
 identical schedules, admissions, placements and latencies, for any
-device count and placement policy.
+device count, calibration mix, event list and placement policy.
 """
 
 from __future__ import annotations
@@ -75,6 +91,7 @@ from repro.serve.placement import (
     LEAST_LOADED,
     DeviceFleet,
     DeviceState,
+    FleetEvent,
     PlacementCandidate,
     PlacementPolicy,
     create_placement_policy,
@@ -146,9 +163,14 @@ class QueryOutcome:
     admit_at: float
     finish_at: float = 0.0
     #: Makespan of this query run alone on an idle device with the
-    #: planner's unconstrained choice — the serial-execution baseline.
+    #: planner's unconstrained choice — the serial-execution baseline
+    #: (always under the scheduler's *default* calibration, so serial
+    #: baselines stay comparable across heterogeneous fleets).
     solo_seconds: float = 0.0
     device: int = 0
+    #: The query was admitted by the work-stealing pass: an idle device
+    #: pulled it past a blocked FIFO head (``steal=True`` runs only).
+    stolen: bool = False
 
     @property
     def wait_seconds(self) -> float:
@@ -188,6 +210,11 @@ class ServeReport:
     devices: int = 1
     #: Exact per-device reservation high-water marks, in **bytes**.
     device_peak_bytes: tuple[int, ...] = ()
+    #: Per-device arena capacities, in **bytes** — unequal on a
+    #: heterogeneous fleet (``capacity_bytes`` is then the largest).
+    #: Grows past the configured device count when a fleet event added
+    #: devices mid-run.
+    device_capacity_bytes: tuple[int, ...] = ()
     #: The drained per-device arenas — their ledgers and timelines are
     #: what the property-based suite audits after every run.
     arenas: list[DeviceMemoryArena] | None = field(default=None, repr=False)
@@ -241,6 +268,10 @@ class ServeReport:
     def degraded_count(self) -> int:
         return sum(1 for o in self.outcomes if o.degraded)
 
+    @property
+    def stolen_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.stolen)
+
     def render(self) -> str:
         """Aligned per-query table plus the summary line."""
         sharded = self.devices > 1
@@ -250,7 +281,12 @@ class ServeReport:
             f"{'admit (s)':>10s} {'finish (s)':>11s} {'latency (s)':>12s}  note"
         ]
         for o in self.outcomes:
-            note = f"degraded from {o.solo_strategy}" if o.degraded else ""
+            notes = []
+            if o.degraded:
+                notes.append(f"degraded from {o.solo_strategy}")
+            if o.stolen:
+                notes.append(f"stolen by device {o.device}")
+            note = ", ".join(notes)
             device_cell = f" {o.device:3d}" if sharded else ""
             lines.append(
                 f"{o.qid:10s} {o.strategy:22s}{device_cell} "
@@ -311,6 +347,9 @@ class StreamReport:
     capacity_bytes: int
     devices: int
     device_peak_bytes: tuple[int, ...] = ()
+    #: Per-device arena capacities, in **bytes** (see
+    #: :attr:`ServeReport.device_capacity_bytes`).
+    device_capacity_bytes: tuple[int, ...] = ()
     #: High-water mark of retained (non-retired) scheduled tasks across
     #: the fleet — the quantity compaction bounds to O(in-flight).
     peak_retained_tasks: int = 0
@@ -367,6 +406,10 @@ class StreamReport:
         return sum(1 for o in self.outcomes if o.degraded)
 
     @property
+    def stolen_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.stolen)
+
+    @property
     def peak_queue_depth(self) -> int:
         return max(self.queue_depths, default=0)
 
@@ -378,7 +421,7 @@ class StreamReport:
         lines = [
             f"arrivals {self.arrivals}: {self.completed} completed, "
             f"{self.shed_count} shed ({self.shed_rate * 100:.2f}%), "
-            f"{self.degraded_count} degraded",
+            f"{self.degraded_count} degraded, {self.stolen_count} stolen",
             f"makespan {self.makespan:.3f} s, sustained "
             f"{self.sustained_qps:.2f} q/s across {self.devices} device(s)",
             f"latency mean/p50/p95/p99 {self.mean_latency:.3f}/"
@@ -416,6 +459,20 @@ class QueryScheduler:
     policy to "device 0" and is pinned bit-identical to the historical
     single-device scheduler.
 
+    ``device_capacities`` / ``device_calibrations`` make the fleet
+    heterogeneous: one entry per device (capacities in **bytes**;
+    calibration ``None`` means the scheduler-wide ``calibration``).
+    Every solo/degraded/alone estimate and every prepared plan for a
+    candidate placement is computed under that device's calibration —
+    the calibration rides in the strategy fingerprint, so the shared
+    caches never serve one device's numbers to another.  ``steal=True``
+    enables the work-stealing pass: whenever FIFO admission blocks on
+    the head, each idle device may pull the best waiting query from
+    behind it (recorded via :attr:`QueryOutcome.stolen`).  Stealing is
+    off by default because it deliberately breaks FIFO admission order
+    — the golden-schedule bit-identity contract only covers
+    ``steal=False``.
+
     ``lanes`` optionally widens resource pools on every device
     (e.g. ``{"h2d": 2}`` to model both DMA engines copying inputs);
     per-plan resource declarations are merged in at their maximum, but
@@ -444,11 +501,33 @@ class QueryScheduler:
         max_degradation: float | None = 2.0,
         devices: int = 1,
         placement: str | PlacementPolicy = LEAST_LOADED,
+        device_capacities: list[int] | None = None,
+        device_calibrations: "list[Calibration | None] | None" = None,
+        steal: bool = False,
     ):
         if max_degradation is not None and max_degradation < 1.0:
             raise InvalidConfigError("max_degradation must be >= 1.0")
         if devices < 1:
             raise InvalidConfigError("devices must be >= 1")
+        if device_capacities is not None:
+            if len(device_capacities) != devices:
+                raise InvalidConfigError(
+                    f"device_capacities has {len(device_capacities)} "
+                    f"entries for devices={devices}; give one capacity "
+                    "per device"
+                )
+            for index, cap in enumerate(device_capacities):
+                if cap <= 0:
+                    raise InvalidConfigError(
+                        f"device_capacities[{index}] must be positive "
+                        f"bytes, got {cap!r}"
+                    )
+        if device_calibrations is not None and len(device_calibrations) != devices:
+            raise InvalidConfigError(
+                f"device_calibrations has {len(device_calibrations)} "
+                f"entries for devices={devices}; give one calibration "
+                "(or None for the default) per device"
+            )
         self.system = system or SystemSpec()
         self.calibration = calibration
         self.config = config
@@ -456,15 +535,43 @@ class QueryScheduler:
         self.max_degradation = max_degradation
         self.devices = devices
         self.placement = placement
+        self.device_capacities = (
+            list(device_capacities) if device_capacities is not None else None
+        )
+        self.device_calibrations = (
+            list(device_calibrations)
+            if device_calibrations is not None
+            else None
+        )
+        self.steal = steal
         if isinstance(placement, str):
             create_placement_policy(placement)  # validate the key eagerly
         #: Solo-placement cache; workloads repeat spec templates and the
-        #: baseline is a pure function of (spec, materialize, pin).  The
-        #: makespans themselves are memoized process-wide by
-        #: :mod:`repro.core.estimate_cache` (underneath ``estimate()``),
-        #: so re-planning, determinism re-runs and sweep levels share
-        #: kernel-cost work; this dict only saves the re-dispatch.
-        self._solo_cache: dict[tuple[JoinSpec, bool, str | None], tuple[str, float]] = {}
+        #: baseline is a pure function of (spec, materialize, pin,
+        #: calibration).  The makespans themselves are memoized
+        #: process-wide by :mod:`repro.core.estimate_cache` (underneath
+        #: ``estimate()``), so re-planning, determinism re-runs and
+        #: sweep levels share kernel-cost work; this dict only saves the
+        #: re-dispatch.
+        self._solo_cache: dict[
+            tuple[JoinSpec, bool, str | None, Calibration | None],
+            tuple[str, float],
+        ] = {}
+
+    def _build_fleet(self) -> DeviceFleet:
+        """A fresh fleet per run, honouring per-device overrides."""
+        capacities = self.device_capacities or (
+            [self.system.gpu.device_memory] * self.devices
+        )
+        return DeviceFleet(
+            list(capacities),
+            lanes=self.lanes,
+            calibrations=(
+                list(self.device_calibrations)
+                if self.device_calibrations is not None
+                else None
+            ),
+        )
 
     # ------------------------------------------------------------------
     def _choose(self, request: QueryRequest, available_bytes: int) -> str:
@@ -480,29 +587,48 @@ class QueryScheduler:
             return {"device_budget": reserved_bytes}
         return {}
 
-    def _solo(self, request: QueryRequest) -> tuple[str, float]:
-        """Unconstrained placement and makespan on an idle device."""
-        cache_key = (request.spec, request.materialize, request.strategy)
+    def _solo(
+        self,
+        request: QueryRequest,
+        calibration: Calibration | None = None,
+    ) -> tuple[str, float]:
+        """Unconstrained placement and makespan on an idle device.
+
+        The strategy *choice* is calibration-independent (the planner
+        ladder ranks by memory fit), but the makespan is computed under
+        ``calibration`` — a specific device's, or the scheduler default
+        when ``None`` — so heterogeneous placement comparisons see each
+        device's own speed.
+        """
+        calib = calibration if calibration is not None else self.calibration
+        cache_key = (request.spec, request.materialize, request.strategy, calib)
         cached = self._solo_cache.get(cache_key)
         if cached is not None:
             return cached
         key = request.strategy or choose_strategy_name(request.spec, self.system)
-        strategy = create_strategy(key, self.system, self.calibration, self.config)
+        strategy = create_strategy(key, self.system, calib, self.config)
         metrics = strategy.estimate(request.spec, materialize=request.materialize)
         self._solo_cache[cache_key] = (key, metrics.seconds)
         return key, metrics.seconds
 
     def _estimate_alone(
-        self, key: str, request: QueryRequest, reserved_bytes: int
+        self,
+        key: str,
+        request: QueryRequest,
+        reserved_bytes: int,
+        calibration: Calibration | None = None,
     ) -> float:
         """Estimated makespan of running ``key`` alone for this query,
-        under the same memory grant the admitted strategy would get.
-        Memoized by the shared estimate cache (the grant is part of the
-        strategy fingerprint via ``device_budget``)."""
+        under the same memory grant the admitted strategy would get and
+        under ``calibration`` (the candidate device's; scheduler default
+        when ``None``).  Memoized by the shared estimate cache — the
+        grant and the calibration are both part of the strategy
+        fingerprint, so per-device entries never collide."""
+        calib = calibration if calibration is not None else self.calibration
         strategy = create_strategy(
             key,
             self.system,
-            self.calibration,
+            calib,
             self.config,
             **self._strategy_kwargs(key, reserved_bytes),
         )
@@ -510,19 +636,46 @@ class QueryScheduler:
             request.spec, materialize=request.materialize
         ).seconds
 
-    def _prepare_plan(self, key: str, request: QueryRequest, need: int) -> JoinPlan:
+    def _offer_estimate(
+        self,
+        request: QueryRequest,
+        key: str,
+        need: int,
+        calibration: Calibration | None,
+        solo_key: str,
+    ) -> float:
+        """Alone-makespan of offer ``key`` on a device with
+        ``calibration`` — the :attr:`PlacementCandidate.est_seconds`
+        placement policies rank.  The common non-degraded, no-extras
+        offer short-circuits to the cached solo makespan (the exact
+        same float, which is what keeps homogeneous ranking
+        bit-identical to the historical load-only order)."""
+        if key == solo_key and not self._strategy_kwargs(key, need):
+            return self._solo(request, calibration)[1]
+        return self._estimate_alone(key, request, need, calibration=calibration)
+
+    def _prepare_plan(
+        self,
+        key: str,
+        request: QueryRequest,
+        need: int,
+        calibration: Calibration | None = None,
+    ) -> JoinPlan:
         """The admitted strategy's plan, memoized process-wide.
 
         Plans are pure in (strategy fingerprint, spec, materialize) —
-        the per-device memory grant rides in the fingerprint via
-        ``device_budget`` — and the scheduler only *reads* them (tasks
-        are re-materialized by :meth:`_namespace`), so cached plans are
-        shared safely across runs, determinism re-runs and devices.
+        the per-device memory grant and the device's calibration both
+        ride in the fingerprint — and the scheduler only *reads* them
+        (tasks are re-materialized by :meth:`_namespace`), so cached
+        plans are shared safely across runs, determinism re-runs and
+        devices, and a fast device's task durations can never be served
+        to a slow one.
         """
+        calib = calibration if calibration is not None else self.calibration
         strategy = create_strategy(
             key,
             self.system,
-            self.calibration,
+            calib,
             self.config,
             **self._strategy_kwargs(key, need),
         )
@@ -588,19 +741,33 @@ class QueryScheduler:
         return engine.run()
 
     # ------------------------------------------------------------------
-    def run(self, requests: list[QueryRequest]) -> ServeReport:
+    def run(
+        self,
+        requests: list[QueryRequest],
+        *,
+        fleet_events: "Iterable[FleetEvent] | None" = None,
+    ) -> ServeReport:
         """Schedule a batch of queries and simulate to completion.
 
         Arrivals (``submit_at``, simulated seconds) are processed
         event-by-event, but every admission wave re-simulates each
         device's whole task graph from scratch (devices untouched by
         the wave keep their schedule) — the executable specification
-        that :meth:`run_online` is pinned against.  Deterministic:
-        identical request lists produce identical reports.
+        that :meth:`run_online` is pinned against.  ``fleet_events``
+        adds/retires devices at their timestamps, between admissions.
+        Deterministic: identical request and event lists produce
+        identical reports.
         """
-        return self._serve(requests, incremental=False)
+        return self._serve(
+            requests, incremental=False, fleet_events=fleet_events
+        )
 
-    def run_online(self, requests: list[QueryRequest]) -> ServeReport:
+    def run_online(
+        self,
+        requests: list[QueryRequest],
+        *,
+        fleet_events: "Iterable[FleetEvent] | None" = None,
+    ) -> ServeReport:
         """Online admission: extend per-device schedules incrementally.
 
         Same arrival-driven admission policy (admit / place / wait /
@@ -618,7 +785,9 @@ class QueryScheduler:
         ``tests/serve/test_placement_properties.py`` and
         ``bench/regress.py``.
         """
-        return self._serve(requests, incremental=True)
+        return self._serve(
+            requests, incremental=True, fleet_events=fleet_events
+        )
 
     # ------------------------------------------------------------------
     def _place(
@@ -628,17 +797,24 @@ class QueryScheduler:
         policy: PlacementPolicy,
         outcomes: dict[str, QueryOutcome],
         clock: float,
+        *,
+        can_grow: bool = False,
     ) -> tuple[DeviceState, str, int] | None:
         """Pick (device, strategy, footprint) for the FIFO head query.
 
-        Returns ``None`` when the query should wait: nothing fits
-        anywhere, or every feasible placement is degraded and loses to
-        the bounded-degradation / wait comparison.  Raises when the
-        query could never be admitted on any device.
+        Only *accepting* devices (not retiring/retired) are candidates.
+        Every per-device offer is estimated under that device's own
+        calibration.  Returns ``None`` when the query should wait:
+        nothing fits anywhere, or every feasible placement is degraded
+        and loses to the bounded-degradation / wait comparison.  Raises
+        when the query could never be admitted on any device —
+        unless ``can_grow`` (pending ``add`` fleet events), in which
+        case it waits for a bigger device to join.
         """
+        active = fleet.active()
         offers = [
             (device, self._choose(request, device.free_bytes))
-            for device in fleet
+            for device in active
         ]
         needs = {
             key: strategy_factory(key).device_bytes_needed(
@@ -652,13 +828,15 @@ class QueryScheduler:
             # Checked before the solo estimate on purpose: estimating a
             # pinned, never-fitting strategy can itself overflow device
             # memory, and "can never be admitted" is the clearer error.
+            if can_grow:
+                return None  # a pending 'add' event may bring a bigger device
             _, key = offers[0]
             raise SchedulingError(
                 f"query {request.qid!r} needs {needs[key] / 1e9:.2f} GB "
                 f"({key}) but no fleet device has that much memory; "
                 "it can never be admitted"
             )
-        solo_key, solo_seconds = self._solo(request)
+        solo_key, _ = self._solo(request)
         candidates = [
             PlacementCandidate(
                 device=device.index,
@@ -666,6 +844,16 @@ class QueryScheduler:
                 need_bytes=needs[key],
                 fits=needs[key] <= device.free_bytes,
                 degraded=key != solo_key,
+                # Estimated only for fitting offers — placement and the
+                # degrade comparison never look at the rest (and a
+                # never-fitting pinned strategy may not even estimate).
+                est_seconds=(
+                    self._offer_estimate(
+                        request, key, needs[key], device.calibration, solo_key
+                    )
+                    if needs[key] <= device.free_bytes
+                    else 0.0
+                ),
             )
             for device, key in offers
         ]
@@ -679,23 +867,26 @@ class QueryScheduler:
         if not feasible:
             return None  # wait for a release event
         # Best degraded placement across the fleet, by cached
-        # alone-estimate under each candidate's own memory grant; ties
-        # break toward the lowest device index.
-        best = min(
-            feasible,
-            key=lambda c: (
-                self._estimate_alone(c.strategy, request, c.need_bytes),
-                c.device,
-            ),
-        )
+        # alone-estimate under each candidate's own memory grant and
+        # its device's calibration; ties break toward the lowest device
+        # index.
+        best = min(feasible, key=lambda c: (c.est_seconds, c.device))
         if self.max_degradation is not None and fleet.any_running():
-            degraded_alone = self._estimate_alone(
-                best.strategy, request, best.need_bytes
-            )
+            degraded_alone = best.est_seconds
+            solo_on_best = self._solo(
+                request, fleet[best.device].calibration
+            )[1]
             solo_need = strategy_factory(solo_key).device_bytes_needed(
                 request.spec, self.system
             )
-            wait = min(
+            # Queueing alternative: for each accepting device, the time
+            # until the unconstrained placement's memory frees there
+            # plus the solo makespan *under that device's calibration*
+            # — a heterogeneous fleet may prefer waiting for the fast
+            # device over a degraded start on the slow one.  On a
+            # homogeneous fleet the solo term is one constant, so the
+            # min is exactly the historical min-wait plus solo.
+            wait_then_solo = min(
                 self._estimated_wait(
                     solo_need,
                     clock=clock,
@@ -706,11 +897,12 @@ class QueryScheduler:
                     },
                     predicted_finish=device.predicted_finish,
                 )
-                for device in fleet
+                + self._solo(request, device.calibration)[1]
+                for device in active
             )
             if (
-                degraded_alone > self.max_degradation * solo_seconds
-                or degraded_alone >= wait + solo_seconds
+                degraded_alone > self.max_degradation * solo_on_best
+                or degraded_alone >= wait_then_solo
             ):
                 # Starting now with the cheaper placement is estimated
                 # to lose to queueing for the memory the unconstrained
@@ -729,14 +921,19 @@ class QueryScheduler:
         *,
         incremental: bool,
         keep_tasks: bool = True,
+        stolen: bool = False,
     ) -> DeviceState:
         """Commit a placement decision: reserve the arena grant, lower
         the plan's namespaced task graph onto the device, and record the
-        outcome skeleton.  Shared verbatim by batch, online and
-        streaming admission so their committed state cannot drift.
-        ``keep_tasks=False`` (streaming) skips the device's cumulative
-        task list, which only batch re-simulation reads — retaining it
-        would be O(total arrivals)."""
+        outcome skeleton.  The plan and the predicted finish are built
+        under the *placed device's* calibration; the recorded
+        ``solo_seconds`` baseline stays on the scheduler default so
+        serial comparisons are device-independent.  Shared verbatim by
+        batch, online, streaming and stealing admission so their
+        committed state cannot drift.  ``keep_tasks=False`` (streaming)
+        skips the device's cumulative task list, which only batch
+        re-simulation reads — retaining it would be O(total
+        arrivals)."""
         device, key, need = placed
         if not device.arena.try_reserve(request.qid, need, at=clock):
             raise SchedulingError(  # pragma: no cover - _place bug
@@ -744,7 +941,9 @@ class QueryScheduler:
                 f"{request.qid!r} but the reservation failed"
             )
         solo_key, solo_seconds = self._solo(request)
-        plan = self._prepare_plan(key, request, need)
+        plan = self._prepare_plan(
+            key, request, need, calibration=device.calibration
+        )
         for name, width in plan.resources.items():
             if width > device.resources.get(name, 1) and device.schedule.tasks:
                 # Widening a pool after tasks were scheduled on
@@ -778,33 +977,143 @@ class QueryScheduler:
             admit_at=clock,
             solo_seconds=solo_seconds,
             device=device.index,
+            stolen=stolen,
         )
         device.running.add(request.qid)
         owner[request.qid] = device
-        # For the common non-degraded, no-extras admission the
-        # solo estimate IS the alone estimate — skip recomputing.
-        if key == solo_key and not self._strategy_kwargs(key, need):
-            alone = solo_seconds
-        else:
-            alone = self._estimate_alone(key, request, need)
+        # The wait estimator's predicted finish must reflect *this*
+        # device's speed; `_offer_estimate` short-circuits the common
+        # non-degraded, no-extras admission to the cached solo makespan
+        # under the device's calibration.
+        alone = self._offer_estimate(
+            request, key, need, device.calibration, solo_key
+        )
         device.predicted_finish[request.qid] = clock + alone
         device.dirty = True
         return device
 
+    def _steal(
+        self,
+        queue: "deque[QueryRequest]",
+        fleet: DeviceFleet,
+        outcomes: dict[str, QueryOutcome],
+        task_names: dict[str, list[str]],
+        owner: dict[str, DeviceState],
+        clock: float,
+        *,
+        incremental: bool,
+        keep_tasks: bool = True,
+    ) -> list[tuple[DeviceState, str]]:
+        """Work-stealing pass, run only after FIFO admission blocked on
+        the queue head.  Each *idle* accepting device (in index order)
+        scans the arrived queries behind the head and pulls the one
+        with the smallest alone-estimate under its own calibration —
+        skipping any whose placement there would exceed
+        ``max_degradation`` — so head-of-line blocking can't strand an
+        idle device while admissible work waits.  One steal per idle
+        device per pass; everything comes from the same caches and
+        commits through :meth:`_admit`, so stolen admissions obey every
+        arena/engine invariant.  Returns the (device, qid) pairs
+        admitted, for the caller's bookkeeping."""
+        admitted: list[tuple[DeviceState, str]] = []
+        if len(queue) <= 1:
+            return admitted
+        for device in fleet.active():
+            if device.running:
+                continue
+            best: tuple[float, int, str, int] | None = None
+            for pos in range(1, len(queue)):
+                request = queue[pos]
+                if request.submit_at > clock:
+                    # Batch/online queues hold future arrivals too, in
+                    # submit order — nothing past this point has arrived.
+                    break
+                key = self._choose(request, device.free_bytes)
+                need = strategy_factory(key).device_bytes_needed(
+                    request.spec, self.system
+                )
+                if need > device.free_bytes:
+                    continue
+                solo_key, _ = self._solo(request)
+                est = self._offer_estimate(
+                    request, key, need, device.calibration, solo_key
+                )
+                if key != solo_key and self.max_degradation is not None:
+                    solo_here = self._solo(request, device.calibration)[1]
+                    if est > self.max_degradation * solo_here:
+                        continue
+                if best is None or (est, pos) < best[:2]:
+                    best = (est, pos, key, need)
+            if best is None:
+                continue
+            _, pos, key, need = best
+            request = queue[pos]
+            del queue[pos]
+            placed_device = self._admit(
+                request,
+                (device, key, need),
+                outcomes,
+                task_names,
+                owner,
+                clock,
+                incremental=incremental,
+                keep_tasks=keep_tasks,
+                stolen=True,
+            )
+            admitted.append((placed_device, request.qid))
+        return admitted
+
+    @staticmethod
+    def _apply_fleet_events(
+        fleet: DeviceFleet, events: "deque[FleetEvent]", clock: float
+    ) -> None:
+        """Apply every event due at or before ``clock``, in order.
+        Called between admissions only, so a placement decision never
+        sees a half-applied fleet."""
+        while events and events[0].at <= clock:
+            event = events.popleft()
+            if event.action == "add":
+                fleet.add_device(
+                    event.capacity_bytes, calibration=event.calibration
+                )
+            else:
+                fleet.retire_device(event.device)
+
+    @staticmethod
+    def _sorted_events(
+        fleet_events: "Iterable[FleetEvent] | None",
+    ) -> "deque[FleetEvent]":
+        """Validate and time-order a run's fleet events (stable, so
+        same-time events apply in list order)."""
+        events = list(fleet_events or [])
+        for event in events:
+            if not isinstance(event, FleetEvent):
+                raise InvalidConfigError(
+                    f"fleet_events entries must be FleetEvent, got "
+                    f"{type(event).__name__}"
+                )
+        return deque(sorted(events, key=lambda e: e.at))
+
     def _serve(
-        self, requests: list[QueryRequest], *, incremental: bool
+        self,
+        requests: list[QueryRequest],
+        *,
+        incremental: bool,
+        fleet_events: "Iterable[FleetEvent] | None" = None,
     ) -> ServeReport:
         if len({r.qid for r in requests}) != len(requests):
             raise InvalidConfigError("query ids must be unique")
-        capacity = self.system.gpu.device_memory
-        fleet = DeviceFleet([capacity] * self.devices, lanes=self.lanes)
+        fleet = self._build_fleet()
+        events = self._sorted_events(fleet_events)
+        capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
         if not requests:
             return ServeReport(
                 outcomes=[], makespan=0.0, capacity_bytes=capacity,
-                peak_reserved_bytes=0, devices=self.devices,
+                peak_reserved_bytes=0, devices=len(fleet),
                 device_peak_bytes=fleet.device_peaks(),
+                device_capacity_bytes=fleet.device_capacities(),
                 arenas=[device.arena for device in fleet],
             )
 
@@ -817,18 +1126,28 @@ class QueryScheduler:
         clock = 0.0
 
         while pending or fleet.any_running():
+            self._apply_fleet_events(fleet, events, clock)
             if (
                 not fleet.any_running()
                 and pending
                 and pending[0].submit_at > clock
             ):
-                clock = pending[0].submit_at
+                # Idle jump — but never past a fleet event, which may
+                # change what the next admission can see.
+                horizon = pending[0].submit_at
+                if events and events[0].at < horizon:
+                    horizon = events[0].at
+                clock = horizon
+                self._apply_fleet_events(fleet, events, clock)
 
             # Admit in FIFO order while the head can be placed somewhere;
             # head-of-line blocking keeps admission starvation-free.
             while pending and pending[0].submit_at <= clock:
                 request = pending[0]
-                placed = self._place(request, fleet, policy, outcomes, clock)
+                placed = self._place(
+                    request, fleet, policy, outcomes, clock,
+                    can_grow=any(e.action == "add" for e in events),
+                )
                 if placed is None:
                     break
                 pending.popleft()
@@ -837,13 +1156,32 @@ class QueryScheduler:
                     incremental=incremental,
                 )
 
+            if self.steal and pending:
+                self._steal(
+                    pending, fleet, outcomes, task_names, owner, clock,
+                    incremental=incremental,
+                )
+
             if not fleet.any_running():
+                if events:
+                    # Nothing running and the head is blocked (or yet to
+                    # arrive): only a fleet event can change the picture,
+                    # so jump straight to the next one.
+                    clock = max(clock, events[0].at)
+                    continue
+                if pending[0].submit_at > clock:
+                    # The idle jump above stopped short at a fleet event
+                    # this pass (events are all applied now); loop back
+                    # so it can jump the rest of the way to the head's
+                    # arrival.
+                    continue
                 # Livelock guard: an admission `break` with nothing
                 # running would spin forever (no release event can
                 # advance the clock).  Unreachable under the current
-                # policy — with an empty arena every device offers the
-                # unconstrained placement — but a future gate that drops
-                # the `running` condition must fail loudly, not hang.
+                # policy — with an empty arena every accepting device
+                # offers the unconstrained placement — but a future gate
+                # that drops the `running` condition must fail loudly,
+                # not hang.
                 head = pending[0]  # pragma: no cover
                 raise SchedulingError(  # pragma: no cover
                     f"query {head.qid!r} cannot be admitted on an idle fleet"
@@ -884,16 +1222,22 @@ class QueryScheduler:
                         for name in task_names[qid]
                     )
                     device.predicted_finish[qid] = finishes[qid]
-            events = list(finishes.values())
+            times = list(finishes.values())
             if pending and pending[0].submit_at > clock:
-                events.append(pending[0].submit_at)
-            clock = min(events)
+                times.append(pending[0].submit_at)
+            if events:
+                # A device join/retire is an admission opportunity too
+                # (all remaining events are strictly in the future —
+                # due ones were applied at the top of the loop).
+                times.append(events[0].at)
+            clock = min(times)
             for qid in sorted(q for q in finishes if finishes[q] <= clock):
                 outcomes[qid].finish_at = finishes[qid]
                 device = owner[qid]
                 device.arena.release(qid, at=clock)
                 device.running.remove(qid)
                 del device.predicted_finish[qid]
+            fleet.finalize_retirements()
 
         fleet.check_drained()
         merged = fleet.merged_schedule()
@@ -904,8 +1248,9 @@ class QueryScheduler:
             capacity_bytes=capacity,
             peak_reserved_bytes=max(fleet.device_peaks()),
             schedule=merged,
-            devices=self.devices,
+            devices=len(fleet),
             device_peak_bytes=fleet.device_peaks(),
+            device_capacity_bytes=fleet.device_capacities(),
             arenas=[device.arena for device in fleet],
         )
 
@@ -922,16 +1267,20 @@ class QueryScheduler:
         makespans, divided by the device count.  Optimistic — ignores
         memory fragmentation and lane contention — which biases
         shedding toward admitting; the SLO is a backpressure valve, not
-        a latency guarantee.  O(running + queued), every term served
-        from caches."""
+        a latency guarantee.  Only *accepting* devices count — a
+        retiring device's remaining work serves nobody in the queue —
+        and queued solos use the scheduler-default calibration (which
+        device they will land on is unknowable here).  O(running +
+        queued), every term served from caches."""
         backlog = 0.0
-        for device in fleet:
+        active = fleet.active()
+        for device in active:
             for finish in device.predicted_finish.values():
                 if finish > at:
                     backlog += finish - at
         for queued in wait_queue:
             backlog += self._solo(queued)[1]
-        return backlog / len(fleet)
+        return backlog / len(active)
 
     def run_stream(
         self,
@@ -940,6 +1289,7 @@ class QueryScheduler:
         max_queue_depth: int | None = None,
         slo_wait_seconds: float | None = None,
         compact_every: int | None = 256,
+        fleet_events: "Iterable[FleetEvent] | None" = None,
     ) -> StreamReport:
         """Steady-state streaming admission: bounded queue, load
         shedding, and schedule compaction.
@@ -985,6 +1335,12 @@ class QueryScheduler:
         ``compact_every=None`` disables compaction (the run then
         retains every task ever scheduled — only sensible for
         differential testing).
+
+        ``fleet_events`` adds/retires devices at their timestamps
+        (between admissions, exactly as in :meth:`run` /
+        :meth:`run_online`); with ``steal=True`` on the scheduler, the
+        work-stealing pass runs here too, with stolen admissions
+        counted by :attr:`StreamReport.stolen_count`.
         """
         if max_queue_depth is not None and max_queue_depth < 1:
             raise InvalidConfigError("max_queue_depth must be >= 1")
@@ -992,8 +1348,9 @@ class QueryScheduler:
             raise InvalidConfigError("slo_wait_seconds must be >= 0")
         if compact_every is not None and compact_every < 1:
             raise InvalidConfigError("compact_every must be >= 1")
-        capacity = self.system.gpu.device_memory
-        fleet = DeviceFleet([capacity] * self.devices, lanes=self.lanes)
+        fleet = self._build_fleet()
+        events = self._sorted_events(fleet_events)
+        capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
 
@@ -1058,13 +1415,18 @@ class QueryScheduler:
             wait_queue.append(request)
 
         while wait_queue or next_req is not None or fleet.any_running():
+            self._apply_fleet_events(fleet, events, clock)
             if (
                 not fleet.any_running()
                 and not wait_queue
                 and next_req is not None
                 and next_req.submit_at > clock
             ):
-                clock = next_req.submit_at
+                horizon = next_req.submit_at
+                if events and events[0].at < horizon:
+                    horizon = events[0].at
+                clock = horizon
+                self._apply_fleet_events(fleet, events, clock)
 
             # Ingest every arrival due by now.  Mirrors `_serve`'s
             # pending deque exactly: an arrival behind a blocked head is
@@ -1090,7 +1452,10 @@ class QueryScheduler:
             # — identical policy and head-of-line blocking to `_serve`.
             while wait_queue:
                 request = wait_queue[0]
-                placed = self._place(request, fleet, policy, outcomes, clock)
+                placed = self._place(
+                    request, fleet, policy, outcomes, clock,
+                    can_grow=any(e.action == "add" for e in events),
+                )
                 if placed is None:
                     break
                 wait_queue.popleft()
@@ -1106,7 +1471,24 @@ class QueryScheduler:
                     peak_inflight_tasks = inflight_tasks
                 admitted_wave.append((device, request.qid))
 
+            if self.steal and wait_queue:
+                for device, qid in self._steal(
+                    wait_queue, fleet, outcomes, task_names, owner, clock,
+                    incremental=True, keep_tasks=False,
+                ):
+                    ntasks = len(task_names[qid])
+                    inflight_tasks += ntasks
+                    if ntasks > max_tasks_per_query:
+                        max_tasks_per_query = ntasks
+                    if inflight_tasks > peak_inflight_tasks:
+                        peak_inflight_tasks = inflight_tasks
+                    admitted_wave.append((device, qid))
+
             if wait_queue and not fleet.any_running():
+                if events:
+                    # Only a fleet event can unblock the head now.
+                    clock = max(clock, events[0].at)
+                    continue
                 head = wait_queue[0]  # pragma: no cover - _place bug
                 raise SchedulingError(  # pragma: no cover
                     f"query {head.qid!r} cannot be admitted on an idle fleet"
@@ -1145,18 +1527,23 @@ class QueryScheduler:
             if retained > peak_retained_tasks:
                 peak_retained_tasks = retained
 
-            events = []
+            times = []
             if finish_heap:
-                events.append(finish_heap[0][0])
+                times.append(finish_heap[0][0])
             if (
                 not wait_queue
                 and next_req is not None
                 and next_req.submit_at > clock
             ):
-                events.append(next_req.submit_at)
-            if not events:  # pragma: no cover - loop condition re-check
+                times.append(next_req.submit_at)
+            if events:
+                # Remaining fleet events are strictly in the future
+                # (due ones were applied at the top of the loop) and
+                # are admission opportunities.
+                times.append(events[0].at)
+            if not times:  # pragma: no cover - loop condition re-check
                 break
-            clock = min(events)
+            clock = min(times)
             due: list[tuple[float, str]] = []
             while finish_heap and finish_heap[0][0] <= clock:
                 due.append(heapq.heappop(finish_heap))
@@ -1168,6 +1555,7 @@ class QueryScheduler:
                 del device.predicted_finish[qid]
                 inflight_tasks -= len(task_names.pop(qid))
                 released_since_compact += 1
+            fleet.finalize_retirements()
             if (
                 compact_every is not None
                 and released_since_compact >= compact_every
@@ -1187,8 +1575,9 @@ class QueryScheduler:
             arrivals=arrived,
             makespan=makespan,
             capacity_bytes=capacity,
-            devices=self.devices,
+            devices=len(fleet),
             device_peak_bytes=fleet.device_peaks(),
+            device_capacity_bytes=fleet.device_capacities(),
             peak_retained_tasks=peak_retained_tasks,
             peak_inflight_tasks=peak_inflight_tasks,
             max_tasks_per_query=max_tasks_per_query,

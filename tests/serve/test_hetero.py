@@ -1,0 +1,375 @@
+"""Heterogeneous, elastic fleets: calibrations, events, stealing.
+
+Covers the per-device refactor end to end:
+
+* **Homogeneous no-op** — explicitly spelling equal per-device
+  capacities/calibrations is bit-identical to the implicit default
+  over 100+ randomized seeds (the refactor's falsifier, alongside the
+  golden suite in ``test_placement_properties.py``);
+* **Unequal capacities** — placement only targets devices a query
+  fits, and every per-device arena stays within its *own* cap;
+* **Per-device calibrations** — a fast+slow fleet strictly beats the
+  slow device alone on the 64-client acceptance workload;
+* **Elasticity** — mid-run ``add`` never regresses the makespan,
+  ``retire`` drains without ever admitting past the retirement time,
+  and invalid events/retirements fail loudly;
+* **Work stealing** — an idle device pulls admissible work past a
+  blocked FIFO head, accounting stays exact (stream:
+  ``completed + shed == arrivals``), and stealing never delays any
+  admission;
+* **CLI plumbing** — ``--device-caps`` / ``--device-calib`` parsing
+  and the ``serve_hetero_*`` / ``serve_steal_*`` perf-entry schema.
+"""
+
+import pytest
+
+from repro.bench.serve_bench import (
+    fingerprint_sharded,
+    hetero_perf_entries,
+    parse_device_calib,
+    parse_device_caps,
+    run_serve,
+    verify_report,
+)
+from repro.data.spec import unique_pair
+from repro.errors import InvalidConfigError, SchedulingError
+from repro.gpusim.calibration import (
+    CALIBRATION_PRESETS,
+    Calibration,
+    calibration_preset,
+)
+from repro.pipeline.engine import PipelineEngine
+from repro.pipeline.tasks import Task
+from repro.serve import (
+    FleetEvent,
+    QueryScheduler,
+    mixed_workload,
+    random_workload,
+    stream_workload,
+)
+from repro.serve.placement import DeviceFleet
+from repro.serve.scheduler import QueryRequest
+
+M = 1_000_000
+DEFAULT_CAP = 8_589_934_592  # SystemSpec().gpu.device_memory
+
+#: A head-of-line blocking fleet: after the first big query fills
+#: device 0, the second big query fits nowhere (device 1 is too small
+#: for any admissible strategy), so an idle device 1 can only be used
+#: by stealing the small query waiting behind the blocked head.
+STEAL_CAPS = [3_600_000_000, 2_000_000_000]
+
+
+def _steal_workload() -> list[QueryRequest]:
+    big = unique_pair(64 * M)
+    return [
+        QueryRequest(qid="q0", spec=big),
+        QueryRequest(qid="q1", spec=big),
+        QueryRequest(qid="q2", spec=unique_pair(4 * M)),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Homogeneous fleets: the refactor must be a bit-identical no-op.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(100))
+def test_explicit_homogeneous_args_are_a_noop(seed):
+    """Threading per-device capacities/calibrations through estimates,
+    plans and placement must not move a single float when every device
+    is equal — checked over 100 randomized workloads."""
+    default = QueryScheduler(devices=2).run_online(random_workload(seed))
+    explicit = QueryScheduler(
+        devices=2,
+        device_capacities=[DEFAULT_CAP, DEFAULT_CAP],
+        device_calibrations=[None, None],
+    ).run_online(random_workload(seed))
+    assert fingerprint_sharded(explicit) == fingerprint_sharded(default)
+    assert explicit.makespan == default.makespan
+    assert explicit.device_peak_bytes == default.device_peak_bytes
+
+
+def test_ctor_validates_per_device_argument_lengths():
+    with pytest.raises(InvalidConfigError, match="device_capacities"):
+        QueryScheduler(devices=2, device_capacities=[DEFAULT_CAP])
+    with pytest.raises(InvalidConfigError, match="device_calibrations"):
+        QueryScheduler(devices=2, device_calibrations=[None])
+    with pytest.raises(InvalidConfigError, match="positive"):
+        QueryScheduler(devices=1, device_capacities=[0])
+
+
+# ----------------------------------------------------------------------
+# Unequal capacities.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(20))
+def test_unequal_capacities_respected_per_device(seed):
+    caps = [DEFAULT_CAP, 2_000_000_000]
+    report = QueryScheduler(devices=2, device_capacities=caps).run_online(
+        random_workload(seed)
+    )
+    assert report.device_capacity_bytes == tuple(caps)
+    for outcome in report.outcomes:
+        assert outcome.reserved_bytes <= caps[outcome.device]
+    assert report.arenas is not None
+    for arena, cap in zip(report.arenas, caps):
+        assert arena.capacity_bytes == cap
+        assert arena.peak_bytes <= cap
+        arena.check_invariants()
+        assert arena.drained
+    batch = QueryScheduler(devices=2, device_capacities=caps).run(
+        random_workload(seed)
+    )
+    assert fingerprint_sharded(batch) == fingerprint_sharded(report)
+
+
+# ----------------------------------------------------------------------
+# Per-device calibrations.
+# ----------------------------------------------------------------------
+
+def test_fast_plus_slow_fleet_beats_slow_alone():
+    """The acceptance bar: on the 64-client canonical workload a
+    two-device fast+slow fleet must strictly beat the slow device
+    serving alone."""
+    slow = calibration_preset("slow")
+    fast = calibration_preset("fast")
+    alone = QueryScheduler(
+        devices=1, device_calibrations=[slow]
+    ).run_online(mixed_workload(64))
+    fleet = QueryScheduler(
+        devices=2, device_calibrations=[fast, slow]
+    ).run_online(mixed_workload(64))
+    assert fleet.makespan < alone.makespan
+    assert {o.device for o in fleet.outcomes} == {0, 1}
+
+
+def test_hetero_online_matches_batch():
+    for seed in range(10):
+        kwargs = dict(
+            devices=2,
+            device_capacities=[DEFAULT_CAP, 4_000_000_000],
+            device_calibrations=[
+                calibration_preset("fast"),
+                calibration_preset("slow"),
+            ],
+        )
+        batch = QueryScheduler(**kwargs).run(random_workload(seed))
+        online = QueryScheduler(**kwargs).run_online(random_workload(seed))
+        assert fingerprint_sharded(online) == fingerprint_sharded(batch)
+        assert online.makespan == batch.makespan
+
+
+def test_calibration_presets_and_validation():
+    assert set(CALIBRATION_PRESETS) == {"default", "fast", "slow"}
+    assert calibration_preset("default") == Calibration()
+    with pytest.raises(ValueError, match="registered presets"):
+        calibration_preset("turbo")
+    fast = Calibration().gpu_scaled(2.0)
+    fast.validate()
+    assert fast.kernel_launch_seconds < Calibration().kernel_launch_seconds
+    with pytest.raises(ValueError, match="gpu_scan_efficiency"):
+        Calibration(gpu_scan_efficiency=0.0).validate()
+    with pytest.raises(ValueError):
+        Calibration().gpu_scaled(0.0)
+
+
+# ----------------------------------------------------------------------
+# Elasticity: mid-run join / leave.
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", range(15))
+@pytest.mark.parametrize("at", [0.0, 0.5])
+def test_adding_a_device_never_regresses_makespan(seed, at):
+    base = QueryScheduler(devices=1).run_online(random_workload(seed))
+    grown = QueryScheduler(devices=1).run_online(
+        random_workload(seed),
+        fleet_events=[
+            FleetEvent(at=at, action="add", capacity_bytes=DEFAULT_CAP)
+        ],
+    )
+    assert grown.makespan <= base.makespan * (1 + 1e-12), (
+        f"seed {seed}: adding a device at t={at} made the makespan "
+        f"worse ({grown.makespan!r} vs {base.makespan!r})"
+    )
+    # The device materializes iff the run is still going at `at`; an
+    # event past the last finish never fires.
+    assert grown.devices == (2 if base.makespan > at else 1)
+
+
+def test_retired_device_never_admits_after_the_event():
+    retire_at = 0.4
+    requests = mixed_workload(24, spacing_seconds=0.05)
+    report = QueryScheduler(devices=2).run_online(
+        requests,
+        fleet_events=[FleetEvent(at=retire_at, action="retire", device=1)],
+    )
+    assert len(report.outcomes) == len(requests)  # drains, never drops
+    for outcome in report.outcomes:
+        if outcome.device == 1:
+            assert outcome.admit_at < retire_at
+    assert report.arenas is not None
+    for arena in report.arenas:
+        assert arena.drained
+
+
+def test_retire_then_add_round_trip_in_stream():
+    report = QueryScheduler(devices=2, steal=True).run_stream(
+        stream_workload(300, arrival_rate=150.0, seed=3),
+        slo_wait_seconds=0.05,
+        fleet_events=[
+            FleetEvent(at=0.3, action="retire", device=1),
+            FleetEvent(at=0.9, action="add", capacity_bytes=DEFAULT_CAP),
+        ],
+    )
+    assert report.completed + report.shed_count == report.arrivals == 300
+    assert report.devices == 3
+    for outcome in report.outcomes:
+        if outcome.device == 1:
+            assert outcome.admit_at < 0.3
+
+
+def test_fleet_event_and_retirement_validation():
+    with pytest.raises(InvalidConfigError, match="capacity_bytes"):
+        FleetEvent(at=0.0, action="add")
+    with pytest.raises(InvalidConfigError, match="next free index"):
+        FleetEvent(at=0.0, action="add", capacity_bytes=1, device=0)
+    with pytest.raises(InvalidConfigError, match="device index"):
+        FleetEvent(at=0.0, action="retire")
+    with pytest.raises(InvalidConfigError, match="unknown"):
+        FleetEvent(at=0.0, action="rebalance")
+    with pytest.raises(InvalidConfigError, match=">= 0"):
+        FleetEvent(at=-1.0, action="retire", device=0)
+
+    fleet = DeviceFleet([DEFAULT_CAP, DEFAULT_CAP])
+    with pytest.raises(InvalidConfigError, match="unknown device"):
+        fleet.retire_device(5)
+    fleet.retire_device(1)
+    with pytest.raises(InvalidConfigError, match="already retiring"):
+        fleet.retire_device(1)
+    with pytest.raises(InvalidConfigError, match="last accepting"):
+        fleet.retire_device(0)
+    assert [d.index for d in fleet.active()] == [0]
+
+
+def test_retired_engine_rejects_new_work():
+    engine = PipelineEngine({"gpu": 1})
+    engine.add(Task("a", "gpu", 1.0))
+    engine.retire()
+    assert engine.is_retired
+    with pytest.raises(SchedulingError, match="retired"):
+        engine.add(Task("b", "gpu", 1.0))
+    engine.retire()  # idempotent
+
+
+# ----------------------------------------------------------------------
+# Work stealing.
+# ----------------------------------------------------------------------
+
+def test_steal_admits_past_a_blocked_head():
+    """With the head blocked on every device, an idle small device
+    must pull the admissible query waiting behind it."""
+    stolen_run = QueryScheduler(
+        devices=2, device_capacities=STEAL_CAPS, steal=True
+    ).run_online(_steal_workload())
+    assert stolen_run.stolen_count == 1
+    (q2,) = [o for o in stolen_run.outcomes if o.qid == "q2"]
+    assert q2.stolen and q2.device == 1 and q2.admit_at == 0.0
+
+    fifo_run = QueryScheduler(
+        devices=2, device_capacities=STEAL_CAPS, steal=False
+    ).run_online(_steal_workload())
+    assert fifo_run.stolen_count == 0
+    fifo_admits = {o.qid: o.admit_at for o in fifo_run.outcomes}
+    (q2_fifo,) = [o for o in fifo_run.outcomes if o.qid == "q2"]
+    assert q2_fifo.admit_at > 0.0  # it really was stuck behind the head
+    # Stealing never delays anyone and never worsens the makespan.
+    for outcome in stolen_run.outcomes:
+        assert outcome.admit_at <= fifo_admits[outcome.qid]
+    assert stolen_run.makespan <= fifo_run.makespan
+
+
+def test_steal_matches_between_batch_and_online():
+    kwargs = dict(devices=2, device_capacities=STEAL_CAPS, steal=True)
+    batch = QueryScheduler(**kwargs).run(_steal_workload())
+    online = QueryScheduler(**kwargs).run_online(_steal_workload())
+    assert fingerprint_sharded(batch) == fingerprint_sharded(online)
+    assert batch.stolen_count == online.stolen_count == 1
+
+
+def test_stream_steal_accounting_is_exact():
+    report = QueryScheduler(devices=2, steal=True).run_stream(
+        stream_workload(400, arrival_rate=200.0, seed=7),
+        slo_wait_seconds=0.05,
+    )
+    assert report.completed + report.shed_count == report.arrivals == 400
+    assert report.arenas is not None
+    for arena in report.arenas:
+        assert arena.drained
+
+
+def test_steal_off_is_the_default_and_changes_nothing():
+    for seed in range(10):
+        default = QueryScheduler(devices=2).run_online(random_workload(seed))
+        explicit = QueryScheduler(devices=2, steal=False).run_online(
+            random_workload(seed)
+        )
+        assert fingerprint_sharded(explicit) == fingerprint_sharded(default)
+
+
+# ----------------------------------------------------------------------
+# Bench / CLI plumbing.
+# ----------------------------------------------------------------------
+
+def test_parse_device_caps():
+    assert parse_device_caps(None, 2) is None
+    assert parse_device_caps("8,2", 2) == [8_000_000_000, 2_000_000_000]
+    with pytest.raises(ValueError, match="--device-caps has 1 entries"):
+        parse_device_caps("8", 2)
+    with pytest.raises(ValueError, match="--device-caps must be"):
+        parse_device_caps("8,banana", 2)
+    with pytest.raises(ValueError, match="positive"):
+        parse_device_caps("8,0", 2)
+
+
+def test_parse_device_calib():
+    assert parse_device_calib(None, 2) is None
+    fast, slow = parse_device_calib("fast,slow", 2)
+    assert fast == calibration_preset("fast")
+    assert slow == calibration_preset("slow")
+    with pytest.raises(ValueError, match="--device-calib has 1 entries"):
+        parse_device_calib("fast", 2)
+    with pytest.raises(ValueError, match="--device-calib.*turbo"):
+        parse_device_calib("fast,turbo", 2)
+
+
+def test_hetero_perf_entries_schema():
+    report = run_serve(
+        8,
+        devices=2,
+        device_calibrations=[
+            calibration_preset("fast"),
+            calibration_preset("slow"),
+        ],
+    )
+    entries = hetero_perf_entries(report, 0.25, clients=8, steal=False)
+    assert set(entries) == {
+        "serve_hetero_wall[8x2]",
+        "serve_hetero_makespan[8x2]",
+    }
+    for entry in entries.values():
+        assert entry.n == 8 and entry.wall_seconds > 0
+
+    stolen_report = QueryScheduler(
+        devices=2, device_capacities=STEAL_CAPS, steal=True
+    ).run_online(_steal_workload())
+    verify_report(stolen_report, clients=3, check_serial=False)
+    steal_entries = hetero_perf_entries(
+        stolen_report, 0.25, clients=3, steal=True
+    )
+    assert set(steal_entries) == {
+        "serve_steal_wall[3x2]",
+        "serve_steal_makespan[3x2]",
+        "serve_steal_stolen[3x2]",
+    }
+    # The stolen series carries the stolen-admission count of the run.
+    assert steal_entries["serve_steal_stolen[3x2]"].wall_seconds == 1.0
