@@ -39,6 +39,11 @@ compaction must match ``run_stream`` without compaction *and*
 homogeneous fleets — the implicit default *and* explicitly spelled
 per-device capacities/calibrations — must stay bit-identical to the
 golden schedules recorded before per-device calibration existed.
+:func:`run_fault_regression` pins the fault-injection layer the same
+way: an **empty** :class:`~repro.serve.faults.FaultPlan` must stay
+bit-identical to the golden schedules (the fault machinery may not
+leak into fault-free runs), and crashy seeded plans must conserve
+every query, reconcile every arena, and keep online == batch.
 """
 
 from __future__ import annotations
@@ -448,6 +453,123 @@ def run_golden_regression(
     ]
 
 
+#: Seeds of the fault-recovery regression's empty-plan identity column.
+FAULT_REGRESSION_SEEDS = (0, 50, 150)
+
+
+def run_fault_regression(
+    seeds: tuple[int, ...] = FAULT_REGRESSION_SEEDS,
+) -> list[str]:
+    """Assert the fault-injection layer's two anchor contracts; returns
+    report lines.
+
+    * **Inertness** — ``faults=FaultPlan()`` must stay bit-identical to
+      the recorded pre-fault golden schedules on ``devices=1`` (the
+      empty plan takes the exact fault-free code path, so a divergence
+      means the fault machinery leaked into unfaulted runs);
+    * **Recovery** — a crashy seeded plan on a two-device fleet must
+      conserve every query (``completed + failed == arrivals``), drain
+      every arena (crash reservations reconciled), keep online == batch
+      under faults, and replay deterministically.
+
+    Any violation raises :class:`~repro.errors.SchedulingError` (the
+    scheduler's own :func:`~repro.serve.faults.check_fault_invariants`
+    audit, a :class:`~repro.errors.FaultInvariantError`, is a subclass).
+    """
+    import json
+    from pathlib import Path
+
+    from repro.bench.serve_bench import fingerprint, fingerprint_sharded
+    from repro.errors import SchedulingError
+    from repro.serve.faults import FaultPlan
+    from repro.serve.scheduler import QueryScheduler
+    from repro.serve.workload import random_workload
+
+    golden_path = (
+        Path(__file__).resolve().parents[3]
+        / "tests" / "serve" / "golden_single_device.json"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    for seed in seeds:
+        entry = golden["seeds"][str(seed)]
+        report = QueryScheduler(devices=1).run_online(
+            random_workload(seed), faults=FaultPlan()
+        )
+        if (
+            [list(item) for item in fingerprint(report)]
+            != entry["fingerprint"]
+            or report.makespan != entry["makespan"]
+            or report.peak_reserved_bytes != entry["peak_reserved_bytes"]
+            or report.failed
+        ):
+            raise SchedulingError(
+                f"empty FaultPlan diverged from the recorded golden "
+                f"schedule at seed {seed} — the fault machinery leaked "
+                "into fault-free runs"
+            )
+
+    devices = SERVE_REGRESSION_DEVICES
+    failures = 0
+    retries = 0
+    for seed in seeds:
+        requests = random_workload(seed)
+        base = QueryScheduler(devices=devices).run_online(
+            random_workload(seed)
+        )
+        plan = FaultPlan.random(
+            seed,
+            devices=devices,
+            horizon=base.makespan,
+            qids=[request.qid for request in requests],
+            admission_fault_rate=0.25,
+        )
+        online = QueryScheduler(devices=devices).run_online(
+            random_workload(seed), faults=plan
+        )
+        batch = QueryScheduler(devices=devices).run(
+            random_workload(seed), faults=plan
+        )
+        replay = QueryScheduler(devices=devices).run_online(
+            random_workload(seed), faults=plan
+        )
+        if (
+            fingerprint_sharded(online) != fingerprint_sharded(batch)
+            or online.failed != batch.failed
+        ):
+            raise SchedulingError(
+                f"online diverged from batch under fault plan seed {seed}"
+            )
+        if (
+            fingerprint_sharded(replay) != fingerprint_sharded(online)
+            or replay.failed != online.failed
+        ):
+            raise SchedulingError(
+                f"faulted run did not replay deterministically at seed "
+                f"{seed}"
+            )
+        if len(online.outcomes) + len(online.failed) != len(requests):
+            raise SchedulingError(
+                f"fault plan seed {seed} lost queries: "
+                f"{len(online.outcomes)} completed + "
+                f"{len(online.failed)} failed != {len(requests)}"
+            )
+        for arena in online.arenas or ():
+            arena.check_invariants()
+            if not arena.drained:
+                raise SchedulingError(
+                    f"device {arena.device} arena did not drain under "
+                    f"fault plan seed {seed}"
+                )
+        failures += len(online.failed)
+        retries += sum(o.retries for o in online.outcomes)
+    return [
+        f"faults[{len(seeds)} seeds]: empty plan bit-identical to golden "
+        f"schedules; crashy plans on {devices} devices conserved every "
+        f"query ({failures} failed, {retries} retries), arenas "
+        "reconciled, online == batch, replay identical  ok"
+    ]
+
+
 def main() -> int:
     rows = run_regression()
     print(render(rows))
@@ -471,6 +593,12 @@ def main() -> int:
     print(
         "heterogeneous-fleet refactor: homogeneous fleets unchanged "
         "against the recorded golden schedules"
+    )
+    for line in run_fault_regression():
+        print(line)
+    print(
+        "fault injection: empty plans inert, crashes recovered with "
+        "exact conservation"
     )
     return 0
 

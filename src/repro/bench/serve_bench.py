@@ -48,10 +48,23 @@ serial-baseline assertion (the baseline assumes the default
 calibration) and merge ``serve_hetero_*`` / ``serve_steal_*`` series
 into ``BENCH_perf.json``.
 
+Fault injection: ``--faults`` derives a deterministic
+:class:`~repro.serve.faults.FaultPlan` from ``--fault-seed`` (device
+crashes over the run's horizon, never the whole fleet, plus transient
+admission failures in ``--clients`` mode) and replays the run through
+the scheduler's recovery path under a ``--max-retries`` budget.
+Faulted runs skip the serial-baseline assertion (losing devices is
+allowed to cost makespan), verify conservation
+(``completed + shed + failed == arrivals``) and drained arenas
+instead, merge ``serve_faults_*`` series (failed rate, total retries,
+mean recovery latency) into ``BENCH_perf.json``, and fail the process
+when ``--max-failed-rate`` is exceeded — the CI chaos smoke bound.
+
 Run via the CLI (``python -m repro.bench serve --clients 16``,
 ``... serve --clients 16 --devices 2 --online``,
-``... serve --clients 64 --devices 2 --device-calib fast,slow``, or
-``... serve --stream --arrivals 100000 --devices 2``) or call
+``... serve --clients 64 --devices 2 --device-calib fast,slow``,
+``... serve --stream --arrivals 100000 --devices 2``, or
+``... serve --stream --arrivals 20000 --devices 2 --faults``) or call
 :func:`run_serve` / :func:`sweep` / :func:`run_stream_bench` from
 tests.
 """
@@ -71,6 +84,7 @@ from repro.gpusim.calibration import (
     Calibration,
     calibration_preset,
 )
+from repro.serve.faults import FaultPlan
 from repro.serve.placement import LEAST_LOADED, registered_placement_policies
 from repro.serve.scheduler import QueryScheduler, ServeReport, StreamReport
 from repro.serve.workload import mixed_workload, stream_workload
@@ -212,6 +226,8 @@ def run_serve(
     device_capacities: list[int] | None = None,
     device_calibrations: "list[Calibration | None] | None" = None,
     steal: bool = False,
+    faults: FaultPlan | None = None,
+    max_retries: int = 3,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
@@ -226,7 +242,10 @@ def run_serve(
     explicit ``scheduler`` is passed).  Heterogeneous and stealing runs
     skip the serial-baseline assertion: the serial baseline assumes
     solo runs on a default-calibration device, which a slower fleet is
-    allowed to lose to.
+    allowed to lose to.  ``faults`` replays the run through the
+    fault-injection path (also skipping the serial baseline — losing a
+    device mid-run may cost makespan); faulted runs are still
+    deterministic, so the re-run check holds for them too.
     """
     requests = mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
     scheduler = scheduler or QueryScheduler(
@@ -235,15 +254,18 @@ def run_serve(
         device_capacities=device_capacities,
         device_calibrations=device_calibrations,
         steal=steal,
+        max_retries=max_retries,
     )
+    faulted = faults is not None and not faults.is_empty
     run = scheduler.run_online if online else scheduler.run
-    report = run(requests)
+    report = run(requests, faults=faults)
     canonical = (
         scale == 1.0
         and spacing_seconds == 0.0
         and scheduler.max_degradation is not None
         and scheduler.device_calibrations is None
         and not scheduler.steal
+        and not faulted
     )
     verify_report(report, clients=clients, check_serial=canonical)
     if check_determinism:
@@ -254,15 +276,22 @@ def run_serve(
             device_capacities=scheduler.device_capacities,
             device_calibrations=scheduler.device_calibrations,
             steal=scheduler.steal,
+            max_retries=scheduler.max_retries,
         )
         rerun_fn = fresh.run_online if online else fresh.run
         rerun = rerun_fn(
-            mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
+            mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds),
+            faults=faults,
         )
         if fingerprint_sharded(rerun) != fingerprint_sharded(report):
             raise SchedulingError(
                 f"serve schedule is non-deterministic at {clients} clients "
                 f"on {scheduler.devices} device(s)"
+            )
+        if rerun.failed != report.failed:
+            raise SchedulingError(
+                f"faulted serve failures are non-deterministic at "
+                f"{clients} clients on {scheduler.devices} device(s)"
             )
     return report
 
@@ -373,10 +402,14 @@ def verify_stream_report(
                 f"device {arena.device} arena did not drain: "
                 f"{sorted(arena.reservations)} still reserved"
             )
-    if report.completed + report.shed_count != report.arrivals:
+    if (
+        report.completed + report.shed_count + report.failed_count
+        != report.arrivals
+    ):
         raise SchedulingError(
             f"stream lost arrivals: {report.completed} completed + "
-            f"{report.shed_count} shed != {report.arrivals} arrivals"
+            f"{report.shed_count} shed + {report.failed_count} failed "
+            f"!= {report.arrivals} arrivals"
         )
     if compact_every is not None:
         bound = (
@@ -405,18 +438,24 @@ def run_stream_bench(
     device_capacities: list[int] | None = None,
     device_calibrations: "list[Calibration | None] | None" = None,
     steal: bool = False,
+    faults: FaultPlan | None = None,
+    max_retries: int = 3,
     seed: int = 0,
 ) -> tuple[StreamReport, float]:
     """Run the steady-state streaming benchmark; returns (verified
     report, wall seconds).  The workload generator is lazy and the
     retained schedule is compacted, so memory stays O(in-flight) even
-    at 10^5+ arrivals."""
+    at 10^5+ arrivals.  ``faults`` injects the plan's device crashes
+    mid-stream; verification then checks the three-way conservation
+    (``completed + shed + failed == arrivals``) instead of the two-way
+    one."""
     scheduler = QueryScheduler(
         devices=devices,
         placement=placement,
         device_capacities=device_capacities,
         device_calibrations=device_calibrations,
         steal=steal,
+        max_retries=max_retries,
     )
     start = time.perf_counter()
     report = scheduler.run_stream(
@@ -424,6 +463,7 @@ def run_stream_bench(
         max_queue_depth=max_queue_depth,
         slo_wait_seconds=slo_wait_seconds,
         compact_every=compact_every,
+        faults=faults,
     )
     wall = time.perf_counter() - start
     verify_stream_report(report, compact_every=compact_every)
@@ -518,6 +558,50 @@ def hetero_perf_entries(
             n=n,
         )
     return entries
+
+
+def fault_perf_entries(
+    report: "ServeReport | StreamReport",
+    *,
+    arrivals: int,
+    devices: int,
+) -> dict[str, PerfEntry]:
+    """``serve_faults_*`` records for fault-injected runs, in
+    ``BENCH_perf.json``'s uniform ``{wall_seconds, ops_per_sec, n}``
+    schema.  ``failed_rate`` carries the fraction of arrivals the run
+    gave up on (rate form: failures per simulated second);
+    ``retries`` the total re-admission attempts charged across
+    completed *and* failed queries; ``recovery_latency`` the mean
+    submit-to-finish latency of queries that completed only after at
+    least one retry (0 when nothing was retried).  Duck-typed over
+    batch and stream reports."""
+    tag = f"[{arrivals}x{devices}]"
+    completed = list(report.outcomes)
+    failed = list(report.failed)
+    retried = [o for o in completed if o.retries]
+    total_retries = sum(o.retries for o in completed) + sum(
+        f.attempts for f in failed
+    )
+    makespan = report.makespan
+    recovery = [o.finish_at - o.submit_at for o in retried]
+    mean_recovery = sum(recovery) / len(recovery) if recovery else 0.0
+    return {
+        f"serve_faults_failed_rate{tag}": PerfEntry(
+            wall_seconds=len(failed) / arrivals if arrivals else 0.0,
+            ops_per_sec=len(failed) / makespan if makespan > 0 else 0.0,
+            n=max(arrivals, 1),
+        ),
+        f"serve_faults_retries{tag}": PerfEntry(
+            wall_seconds=float(total_retries),
+            ops_per_sec=total_retries / makespan if makespan > 0 else 0.0,
+            n=max(len(completed) + len(failed), 1),
+        ),
+        f"serve_faults_recovery_latency{tag}": PerfEntry(
+            wall_seconds=mean_recovery,
+            ops_per_sec=1.0 / mean_recovery if mean_recovery > 0 else 0.0,
+            n=max(len(retried), 1),
+        ),
+    }
 
 
 def merge_perf_json(entries: dict[str, PerfEntry], path: str) -> None:
@@ -710,6 +794,37 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="stream workload seed (default 0)",
     )
     parser.add_argument(
+        "--faults",
+        action="store_true",
+        help="inject a deterministic crash-failure plan (derived from "
+        "--fault-seed) and run recovery: lost queries retry on "
+        "surviving devices, exhausted/stranded ones are recorded as "
+        "failed; at least one device always survives",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        metavar="SEED",
+        help="seed the fault plan is derived from (default 0; same "
+        "seed, same crashes)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        metavar="N",
+        help="per-query retry budget for fault recovery (default 3)",
+    )
+    parser.add_argument(
+        "--max-failed-rate",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="fail when the fraction of arrivals that ended failed "
+        "exceeds this bound (fault-injected runs)",
+    )
+    parser.add_argument(
         "--max-wall",
         type=float,
         default=None,
@@ -741,6 +856,15 @@ def serve_main(argv: list[str] | None = None) -> int:
         parser.error("--stream and --clients/--sweep are mutually exclusive")
     if args.arrivals <= 0:
         parser.error("--arrivals must be positive")
+    if args.max_retries < 0:
+        parser.error("--max-retries must be >= 0")
+    if args.faults and not args.stream and args.clients is None:
+        parser.error("--faults needs --clients or --stream")
+    if args.faults and args.devices < 2:
+        parser.error(
+            "--faults needs --devices >= 2: at least one device must "
+            "survive the crash plan"
+        )
     if args.arrival_rate is not None:
         if args.arrival_rate <= 0:
             parser.error("--arrival-rate must be positive")
@@ -762,6 +886,17 @@ def serve_main(argv: list[str] | None = None) -> int:
         rate = args.arrival_rate if args.arrival_rate else DEFAULT_STREAM_RATE
         max_queue = args.max_queue if args.max_queue > 0 else None
         compact_every = args.compact_every if args.compact_every > 0 else None
+        fault_plan = None
+        if args.faults:
+            # Crashes land anywhere inside the arrival window; the plan
+            # always spares at least one device so the stream keeps
+            # completing after the losses.
+            fault_plan = FaultPlan.random(
+                args.fault_seed,
+                devices=args.devices,
+                horizon=args.arrivals / rate,
+                allow_total_loss=False,
+            )
         report, wall = run_stream_bench(
             args.arrivals,
             arrival_rate=rate,
@@ -773,30 +908,56 @@ def serve_main(argv: list[str] | None = None) -> int:
             device_capacities=device_capacities,
             device_calibrations=device_calibrations,
             steal=args.steal,
+            faults=fault_plan,
+            max_retries=args.max_retries,
             seed=args.seed,
         )
         print(
             f"streaming admission: {args.arrivals} arrivals at {rate:g}/s "
             f"on {args.devices} device(s) ({args.placement} placement)"
         )
+        if fault_plan is not None:
+            crashes = ", ".join(
+                f"device {c.device} at t={c.at:.3f}s"
+                for c in fault_plan.crashes
+            ) or "no crashes drawn"
+            print(
+                f"fault injection: seed {args.fault_seed}, {crashes}; "
+                f"retry budget {args.max_retries}"
+            )
         print(report.render())
         print(
             f"wall {wall:.2f} s ({args.arrivals / wall:.0f} arrivals/s "
             "processed)"
         )
-        print(
-            "verified: every arena within capacity and drained, all "
-            "arrivals accounted for, retained schedule bounded by "
-            "in-flight work"
-        )
-        if args.out != "-":
-            merge_perf_json(
-                stream_perf_entries(
-                    report, wall, arrivals=args.arrivals, devices=args.devices
-                ),
-                args.out,
+        if fault_plan is not None:
+            print(
+                "verified: every arena within capacity and drained "
+                "(crash reservations reconciled), completed + shed + "
+                "failed == arrivals, retained schedule bounded by "
+                "in-flight work"
             )
-            print(f"serve_stream_* series merged into {args.out}")
+        else:
+            print(
+                "verified: every arena within capacity and drained, all "
+                "arrivals accounted for, retained schedule bounded by "
+                "in-flight work"
+            )
+        if args.out != "-":
+            entries = stream_perf_entries(
+                report, wall, arrivals=args.arrivals, devices=args.devices
+            )
+            if fault_plan is not None:
+                entries.update(
+                    fault_perf_entries(
+                        report, arrivals=args.arrivals, devices=args.devices
+                    )
+                )
+            merge_perf_json(entries, args.out)
+            merged = "serve_stream_*"
+            if fault_plan is not None:
+                merged += " and serve_faults_*"
+            print(f"{merged} series merged into {args.out}")
         failed = False
         if args.max_wall is not None and wall > args.max_wall:
             print(
@@ -813,6 +974,15 @@ def serve_main(argv: list[str] | None = None) -> int:
                 f"{args.max_shed_rate:.3f}"
             )
             failed = True
+        if (
+            args.max_failed_rate is not None
+            and report.failed_rate > args.max_failed_rate
+        ):
+            print(
+                f"FAIL: failed rate {report.failed_rate:.3f} exceeds "
+                f"bound {args.max_failed_rate:.3f}"
+            )
+            failed = True
         return 1 if failed else 0
 
     canonical = (
@@ -820,6 +990,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         and spacing == 0.0
         and not hetero
         and not args.steal
+        and not args.faults
     )
     mode = "online (incremental extension)" if args.online else "batch"
     if args.devices > 1:
@@ -830,8 +1001,34 @@ def serve_main(argv: list[str] | None = None) -> int:
         mode += f", capacities {args.device_caps} GB"
     if args.steal:
         mode += ", work stealing"
+    if args.faults:
+        mode += f", fault injection (seed {args.fault_seed})"
 
     if args.clients is not None:
+        fault_plan = None
+        if args.faults:
+            # Size the crash window from a fault-free baseline so the
+            # drawn crash times actually land mid-run.
+            baseline = run_serve(
+                args.clients,
+                scale=args.scale,
+                spacing_seconds=spacing,
+                online=args.online,
+                devices=args.devices,
+                placement=args.placement,
+                device_capacities=device_capacities,
+                device_calibrations=device_calibrations,
+                steal=args.steal,
+                check_determinism=False,
+            )
+            fault_plan = FaultPlan.random(
+                args.fault_seed,
+                devices=args.devices,
+                horizon=baseline.makespan,
+                qids=[f"q{i:03d}" for i in range(args.clients)],
+                admission_fault_rate=0.1,
+                allow_total_loss=False,
+            )
         start = time.perf_counter()
         report = run_serve(
             args.clients,
@@ -843,9 +1040,22 @@ def serve_main(argv: list[str] | None = None) -> int:
             device_capacities=device_capacities,
             device_calibrations=device_calibrations,
             steal=args.steal,
+            faults=fault_plan,
+            max_retries=args.max_retries,
         )
         wall = time.perf_counter() - start
         print(f"admission mode: {mode}")
+        if fault_plan is not None:
+            crashes = ", ".join(
+                f"device {c.device} at t={c.at:.3f}s"
+                for c in fault_plan.crashes
+            ) or "no crashes drawn"
+            print(
+                f"fault injection: {crashes}; "
+                f"{len(fault_plan.admission_failures)} queries with "
+                f"transient admission failures; retry budget "
+                f"{args.max_retries}"
+            )
         print(report.render())
         if (hetero or args.steal) and args.out != "-":
             merge_perf_json(
@@ -856,6 +1066,25 @@ def serve_main(argv: list[str] | None = None) -> int:
             )
             prefix = "serve_steal" if args.steal else "serve_hetero"
             print(f"{prefix}_* series merged into {args.out}")
+        if fault_plan is not None and args.out != "-":
+            merge_perf_json(
+                fault_perf_entries(
+                    report, arrivals=args.clients, devices=args.devices
+                ),
+                args.out,
+            )
+            print(f"serve_faults_* series merged into {args.out}")
+        if (
+            fault_plan is not None
+            and args.max_failed_rate is not None
+            and report.failed_count / args.clients > args.max_failed_rate
+        ):
+            print(
+                f"FAIL: failed rate "
+                f"{report.failed_count / args.clients:.3f} exceeds bound "
+                f"{args.max_failed_rate:.3f}"
+            )
+            return 1
         if args.clients > 1 and canonical:
             print(
                 "verified: deterministic, every arena within capacity and "

@@ -24,6 +24,25 @@ class UnknownStrategyError(InvalidConfigError):
     """A join-strategy registry lookup used an unregistered key."""
 
 
+class FleetEventError(InvalidConfigError):
+    """A fleet-event list failed up-front validation.
+
+    Raised before the run starts — e.g. a ``retire`` naming a device
+    index the fleet never reaches, or retiring the same device twice —
+    so a bad elasticity schedule cannot fail halfway through a
+    simulation that has already mutated state.
+    """
+
+
+class FaultPlanError(InvalidConfigError):
+    """A fault-injection plan failed up-front validation.
+
+    Raised before the run starts — unsorted or duplicate crash events,
+    crashes naming devices the fleet never reaches, or non-positive
+    transient-failure counts.
+    """
+
+
 class CapacityError(ReproError):
     """A simulated memory allocation exceeded the available capacity."""
 
@@ -42,6 +61,16 @@ class PipelineError(ReproError):
 
 class SchedulingError(PipelineError):
     """A task graph contains a cycle or references an unknown dependency."""
+
+
+class FaultInvariantError(SchedulingError):
+    """A fault-injected serving run violated a recovery invariant.
+
+    Raised by the post-run checker when conservation
+    (``completed + shed + failed == arrivals``) breaks, an arena ledger
+    fails to drain, work lands on a crashed device after its crash
+    time, or a retry budget was exceeded without a recorded failure.
+    """
 
 
 class WorkingSetPackingError(ReproError):

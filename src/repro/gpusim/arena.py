@@ -70,6 +70,11 @@ class DeviceMemoryArena:
     peak_bytes: int = 0
     #: Every (time, used_bytes) transition, for tests and reports.
     timeline: list[tuple[float, int]] = field(default_factory=list)
+    #: Audit log of :meth:`force_release` calls — one
+    #: ``(time, owner, nbytes)`` entry per reservation the serving
+    #: layer reclaimed from a crashed device, so a drained ledger can
+    #: still show *why* it drained.
+    forced: list[tuple[float, str, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
         if self.capacity_bytes <= 0:
@@ -157,6 +162,46 @@ class DeviceMemoryArena:
         freed = self.reservations.pop(owner).nbytes
         self.timeline.append((at, self.used_bytes))
         return freed
+
+    # ------------------------------------------------------------------
+    def reservations_of(self, owner_prefix: str) -> tuple[Reservation, ...]:
+        """Live reservations whose owner starts with ``owner_prefix``,
+        sorted by owner — the audit view crash reconciliation and tests
+        use to find every grant a lost query (or query family) still
+        holds on this device."""
+        return tuple(
+            self.reservations[owner]
+            for owner in sorted(self.reservations)
+            if owner.startswith(owner_prefix)
+        )
+
+    def force_release(self, owner: str, *, at: float = 0.0) -> int:
+        """Reclaim ``owner``'s reservation without its cooperation.
+
+        Ledger bookkeeping is **exactly** :meth:`release` — the grant is
+        popped, the timeline records the new ``used_bytes`` at ``at``,
+        and the freed bytes are returned — plus an entry in the
+        :attr:`forced` audit log.  The ledger stays strict: forcing a
+        reservation the arena does not hold raises
+        :class:`~repro.errors.DeviceMemoryOverflowError` just like a
+        stray :meth:`release` would, so crash reconciliation can never
+        paper over a double release.
+        """
+        if owner not in self.reservations:
+            raise DeviceMemoryOverflowError(
+                f"force-releasing unknown reservation {owner!r} on device "
+                f"{self.device} (already released, or reconciled twice?)"
+            )
+        freed = self.release(owner, at=at)
+        self.forced.append((at, owner, freed))
+        return freed
+
+    def reconcile(self, owners: "list[str] | tuple[str, ...]", *, at: float = 0.0) -> int:
+        """Force-release every reservation in ``owners`` (the queries
+        lost when this arena's device crashed at ``at``), returning the
+        total bytes reclaimed.  Owners are processed in the given order
+        so the timeline is deterministic."""
+        return sum(self.force_release(owner, at=at) for owner in owners)
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:

@@ -64,6 +64,10 @@ class PipelineEngine:
         #: tasks may be submitted (the schedule and lane state survive
         #: for reporting and compaction of in-flight work).
         self._device_retired = False
+        #: Set by :meth:`crash`: the device failed ungracefully.  Like
+        #: retirement this seals the engine against new tasks, but the
+        #: unfinished tail of the schedule was invalidated too.
+        self._crashed = False
         if resources:
             pools = (
                 # A bare name->lanes dict describes THIS engine's pools,
@@ -527,6 +531,62 @@ class PipelineEngine:
         self._retired += len(retired)
         return len(retired)
 
+    def crash(self, schedule: Schedule, at: float) -> list[str]:
+        """Ungraceful device failure at simulated time ``at``.
+
+        Unlike :meth:`retire` — a drain that lets in-flight work finish
+        — a crash **invalidates** every task that had not finished by
+        ``at``: those tasks are deleted from ``schedule`` and from the
+        engine's books in lockstep (so the stale-schedule checks of
+        :meth:`compact` / :meth:`extend` stay consistent), and their
+        names are returned, sorted, for the caller's recovery
+        bookkeeping.  Tasks that *did* finish by ``at`` stay in the
+        schedule — wasted-but-real history of queries whose later tasks
+        were lost.  Invalidated work is **not** folded into
+        ``retired_makespan``: the schedule's makespan only ever reflects
+        work that completed.
+
+        The engine is sealed exactly like retirement (new
+        :meth:`add` / non-empty :meth:`extend` raise) and additionally
+        refuses :meth:`run` / :meth:`run_reference` — a crashed device
+        has no future to simulate.  :meth:`compact` keeps working on
+        the surviving history, so a streaming run's periodic sweeps
+        need not special-case crashed devices.  ``schedule`` must
+        be this engine's own current schedule, not a merged reporting
+        view.  Idempotent in effect: a second crash on an already-sealed
+        engine just invalidates whatever (nothing) remains unfinished.
+        """
+        if schedule.is_merged_view:
+            raise SchedulingError(
+                "cannot crash a merged reporting view: crash the owning "
+                "device's schedule through its own engine"
+            )
+        if len(schedule.tasks) != len(self._tasks):
+            raise SchedulingError(
+                f"stale schedule: covers {len(schedule.tasks)} tasks but "
+                f"the engine holds {len(self._tasks)}; crash() needs the "
+                "schedule of exactly the tasks currently submitted"
+            )
+        lost = sorted(
+            name
+            for name, item in schedule.tasks.items()
+            if item.finish > at
+        )
+        for name in lost:
+            del schedule.tasks[name]
+            del self._by_name[name]
+        if lost:
+            gone = set(lost)
+            self._tasks = [t for t in self._tasks if t.name not in gone]
+        self._crashed = True
+        self._device_retired = True
+        return lost
+
+    @property
+    def is_crashed(self) -> bool:
+        """Has :meth:`crash` sealed this engine and voided its tail?"""
+        return self._crashed
+
     @property
     def is_retired(self) -> bool:
         """Has :meth:`retire` sealed this engine against new tasks?"""
@@ -548,6 +608,12 @@ class PipelineEngine:
         self._device_retired = True
 
     def _check_not_compacted(self, entry_point: str) -> None:
+        if self._crashed:
+            raise SchedulingError(
+                f"cannot {entry_point} after crash(): device "
+                f"{self.device} failed and its unfinished tasks were "
+                "invalidated; the graph no longer exists to re-simulate"
+            )
         if self._retired:
             raise SchedulingError(
                 f"cannot {entry_point} after compact(): {self._retired} "

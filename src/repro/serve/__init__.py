@@ -24,13 +24,26 @@ Fleets may be heterogeneous and elastic: per-device capacities and
 (``QueryScheduler(device_capacities=..., device_calibrations=...)``),
 timed :class:`~repro.serve.placement.FleetEvent` join/leave lists on
 every run method, and an opt-in cross-device work-stealing pass
-(``steal=True``).  See ``docs/serving.md`` for the full policy.
+(``steal=True``).  Failures are injectable and recoverable: a
+:class:`~repro.serve.faults.FaultPlan` (``faults=`` on every run
+method) schedules deterministic device crashes and transient admission
+failures, lost queries retry through the shared admission path under a
+bounded budget, and exhausted/stranded queries are recorded as
+:class:`~repro.serve.faults.FailedOutcome` — audited after every
+faulted run by :func:`~repro.serve.faults.check_fault_invariants`.
+See ``docs/serving.md`` for the full policy.
 """
 
 from repro.gpusim.calibration import (
     CALIBRATION_PRESETS,
     Calibration,
     calibration_preset,
+)
+from repro.serve.faults import (
+    DeviceCrash,
+    FailedOutcome,
+    FaultPlan,
+    check_fault_invariants,
 )
 from repro.serve.placement import (
     DeviceFleet,
@@ -39,6 +52,7 @@ from repro.serve.placement import (
     PlacementPolicy,
     create_placement_policy,
     registered_placement_policies,
+    validate_fleet_events,
 )
 from repro.serve.scheduler import (
     QueryOutcome,
@@ -58,7 +72,10 @@ from repro.serve.workload import (
 __all__ = [
     "CALIBRATION_PRESETS",
     "Calibration",
+    "DeviceCrash",
     "DeviceFleet",
+    "FailedOutcome",
+    "FaultPlan",
     "FleetEvent",
     "PlacementCandidate",
     "PlacementPolicy",
@@ -69,9 +86,11 @@ __all__ = [
     "ShedOutcome",
     "StreamReport",
     "calibration_preset",
+    "check_fault_invariants",
     "create_placement_policy",
     "percentile",
     "registered_placement_policies",
+    "validate_fleet_events",
     "mixed_workload",
     "random_workload",
     "stream_workload",

@@ -35,7 +35,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import ClassVar, Iterator
 
-from repro.errors import InvalidConfigError, SchedulingError
+from repro.errors import FleetEventError, InvalidConfigError, SchedulingError
 from repro.gpusim.arena import DeviceMemoryArena
 from repro.gpusim.calibration import Calibration
 from repro.pipeline.engine import PipelineEngine
@@ -86,6 +86,12 @@ class DeviceState:
     #: Retirement completed — the device drained and its engine was
     #: sealed; kept in the fleet for reporting and arena audits.
     retired: bool = False
+    #: The device failed ungracefully (:meth:`crash`): in-flight
+    #: queries were lost, their unfinished tasks invalidated, and no
+    #: further placements may land here.
+    crashed: bool = False
+    #: Simulated time of the crash (``None`` while healthy).
+    crashed_at: float | None = None
 
     @property
     def free_bytes(self) -> int:
@@ -98,8 +104,9 @@ class DeviceState:
     @property
     def accepting(self) -> bool:
         """May new queries be placed here?  False from the moment
-        retirement is requested, not merely once the drain completes."""
-        return not (self.retiring or self.retired)
+        retirement is requested (not merely once the drain completes)
+        and forever after a crash."""
+        return not (self.retiring or self.retired or self.crashed)
 
     def busy_until(self) -> float:
         """Estimated time this device finishes everything now running
@@ -114,12 +121,43 @@ class DeviceState:
         via :meth:`~repro.pipeline.engine.PipelineEngine.retire`, so a
         later placement bug raises instead of resurrecting the device.
         """
-        if not self.retiring or self.retired or self.running:
+        if self.crashed or not self.retiring or self.retired or self.running:
+            # A crash supersedes a pending retirement: the engine was
+            # already sealed (harder) and there is nothing left to drain.
             return False
         if self.engine is not None:
             self.engine.retire()
         self.retired = True
         return True
+
+    def crash(self, at: float) -> list[str]:
+        """Ungraceful failure at simulated time ``at``: every running
+        query is lost and returned (sorted), their unfinished tasks are
+        invalidated from the schedule (and the engine's books, in
+        lockstep, via :meth:`~repro.pipeline.engine.PipelineEngine.crash`
+        when an engine exists — batch mode prunes the recorded schedule
+        directly), and the device stops accepting forever.  The arena
+        is **not** touched here — the scheduler reconciles it with the
+        lost-query list so the release bookkeeping stays in one place.
+        """
+        lost = sorted(self.running)
+        if self.engine is not None:
+            self.engine.crash(self.schedule, at)
+        else:
+            stale = [
+                name
+                for name, item in self.schedule.tasks.items()
+                if item.finish > at
+            ]
+            for name in stale:
+                del self.schedule.tasks[name]
+        self.wave_tasks = []
+        self.running.clear()
+        self.predicted_finish.clear()
+        self.dirty = False
+        self.crashed = True
+        self.crashed_at = at
+        return lost
 
 
 @dataclass(frozen=True)
@@ -378,6 +416,30 @@ class DeviceFleet:
         device.finalize_retirement()  # already idle -> seal immediately
         return device
 
+    def crash_device(self, index: int, at: float) -> list[str]:
+        """Fail device ``index`` ungracefully at simulated time ``at``,
+        returning the sorted query ids lost with it.
+
+        Unlike :meth:`retire_device` there is no drain: in-flight
+        queries die, and the scheduler is responsible for reconciling
+        the device's arena against the returned loss list and retrying
+        the lost queries elsewhere.  A crash may hit a retiring or
+        retired device (killing whatever was still draining), but not a
+        device that already crashed, and — unlike retirement — it *may*
+        take down the last accepting device: real failures do not wait
+        for spare capacity.
+        """
+        try:
+            device = self.devices[index]
+        except IndexError:
+            raise InvalidConfigError(
+                f"cannot crash unknown device {index} of a "
+                f"{len(self.devices)}-device fleet"
+            ) from None
+        if device.crashed:
+            raise InvalidConfigError(f"device {index} already crashed")
+        return device.crash(at)
+
     def active(self) -> list[DeviceState]:
         """The devices placements may target, in index order."""
         return [device for device in self.devices if device.accepting]
@@ -482,3 +544,41 @@ class FleetEvent:
                 f"unknown fleet event action {self.action!r}; expected "
                 "'add' or 'retire'"
             )
+
+
+def validate_fleet_events(
+    events: "list[FleetEvent] | tuple[FleetEvent, ...]",
+    initial_devices: int,
+) -> None:
+    """Reject an inconsistent elasticity schedule *before* the run.
+
+    Simulates the fleet's device count through the events in
+    chronological order (stable-sorted by ``at``, preserving list order
+    for ties — exactly how the schedulers apply them) and raises
+    :class:`~repro.errors.FleetEventError` when a ``retire`` names a
+    device index the fleet has not reached by that time, or retires the
+    same device twice.  Per-event field validation already happened in
+    :meth:`FleetEvent.__post_init__`; this catches the cross-event
+    inconsistencies a single event cannot see.  Without this check a
+    bad schedule would fail mid-run, after the simulation has already
+    mutated arenas and engines.
+    """
+    count = initial_devices
+    gone: set[int] = set()
+    for event in sorted(events, key=lambda e: e.at):
+        if event.action == "add":
+            count += 1
+        else:  # "retire" — __post_init__ rejected everything else
+            assert event.device is not None
+            if event.device >= count:
+                raise FleetEventError(
+                    f"fleet event at t={event.at} retires device "
+                    f"{event.device}, but only {count} device(s) exist "
+                    "by then (devices are indexed from 0 in join order)"
+                )
+            if event.device in gone:
+                raise FleetEventError(
+                    f"fleet event at t={event.at} retires device "
+                    f"{event.device} twice"
+                )
+            gone.add(event.device)

@@ -57,9 +57,21 @@ query behind the blocked head, using the same cached estimates.  All
 of it stays deterministic, and a homogeneous fleet with no events and
 no stealing is bit-identical to the pre-heterogeneity scheduler.
 
+Failures are injectable.  A :class:`~repro.serve.faults.FaultPlan`
+(``faults=`` on every run method) schedules ungraceful device crashes
+and transient admission failures; lost queries are retried through the
+shared admission path under a per-query budget, exhausted budgets and
+fleet loss are recorded as :class:`~repro.serve.faults.FailedOutcome`
+(the third outcome class next to completed and shed), and every
+faulted run is audited by
+:func:`~repro.serve.faults.check_fault_invariants`.  An empty plan (or
+``faults=None``) takes the exact fault-free code path — bit-identical
+to the recorded golden schedules.
+
 The simulation is deterministic: identical request lists produce
 identical schedules, admissions, placements and latencies, for any
-device count, calibration mix, event list and placement policy.
+device count, calibration mix, event list, fault plan and placement
+policy.
 """
 
 from __future__ import annotations
@@ -87,6 +99,12 @@ from repro.gpusim.calibration import Calibration
 from repro.gpusim.spec import SystemSpec
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import Schedule, Task
+from repro.serve.faults import (
+    FailedOutcome,
+    FaultPlan,
+    _FaultRun,
+    check_fault_invariants,
+)
 from repro.serve.placement import (
     LEAST_LOADED,
     DeviceFleet,
@@ -95,6 +113,7 @@ from repro.serve.placement import (
     PlacementCandidate,
     PlacementPolicy,
     create_placement_policy,
+    validate_fleet_events,
 )
 
 
@@ -171,6 +190,10 @@ class QueryOutcome:
     #: The query was admitted by the work-stealing pass: an idle device
     #: pulled it past a blocked FIFO head (``steal=True`` runs only).
     stolen: bool = False
+    #: How many times this query was re-admitted after a device crash
+    #: or transient admission failure before completing (0 on the
+    #: fault-free path; never exceeds the scheduler's ``max_retries``).
+    retries: int = 0
 
     @property
     def wait_seconds(self) -> float:
@@ -218,6 +241,19 @@ class ServeReport:
     #: The drained per-device arenas — their ledgers and timelines are
     #: what the property-based suite audits after every run.
     arenas: list[DeviceMemoryArena] | None = field(default=None, repr=False)
+    #: Queries the run gave up on (fault-injected runs only — empty
+    #: otherwise): retry budget exhausted, or the whole fleet was lost.
+    #: With faults, ``completed + failed == submitted`` always holds.
+    failed: list[FailedOutcome] = field(default_factory=list)
+
+    @property
+    def failed_count(self) -> int:
+        return len(self.failed)
+
+    @property
+    def retried_count(self) -> int:
+        """Completed queries that needed at least one re-admission."""
+        return sum(1 for o in self.outcomes if o.retries > 0)
 
     @property
     def serial_seconds(self) -> float:
@@ -304,6 +340,18 @@ class ServeReport:
             f"{self.peak_reserved_bytes / 1e9:.2f} of "
             f"{self.capacity_bytes / 1e9:.2f} GB{fleet}"
         )
+        if self.failed:
+            # Only faulted runs ever reach here, so fault-free renders
+            # stay byte-identical to the historical format.
+            lines.append(
+                f"{self.failed_count} failed ("
+                + ", ".join(
+                    f"{f.qid}: {f.reason} after {f.attempts} retr"
+                    + ("y" if f.attempts == 1 else "ies")
+                    for f in self.failed
+                )
+                + f"); {self.retried_count} completed after retries"
+            )
         return "\n".join(lines)
 
 
@@ -336,8 +384,10 @@ class StreamReport:
     before their tasks are compacted away — so the report is exact even
     though the retained schedule stays O(in-flight).  Times are
     **simulated seconds**, memory **bytes**.  Shed queries are recorded
-    in :attr:`shed`, never silently dropped:
-    ``completed + shed_count == arrivals`` always holds.
+    in :attr:`shed` and fault-failed queries in :attr:`failed`, never
+    silently dropped:
+    ``completed + shed_count + failed_count == arrivals`` always holds
+    (``failed`` is empty without fault injection).
     """
 
     outcomes: list[QueryOutcome]
@@ -363,6 +413,9 @@ class StreamReport:
     #: Wait-queue depth sampled at every ingestion (one per arrival).
     queue_depths: list[int] = field(default_factory=list, repr=False)
     arenas: list[DeviceMemoryArena] | None = field(default=None, repr=False)
+    #: Queries the run gave up on (fault-injected runs only):
+    #: retry budget exhausted, or the whole fleet was lost.
+    failed: list[FailedOutcome] = field(default_factory=list)
 
     @property
     def completed(self) -> int:
@@ -375,6 +428,19 @@ class StreamReport:
     @property
     def shed_rate(self) -> float:
         return self.shed_count / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def failed_count(self) -> int:
+        return len(self.failed)
+
+    @property
+    def failed_rate(self) -> float:
+        return self.failed_count / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def retried_count(self) -> int:
+        """Completed queries that needed at least one re-admission."""
+        return sum(1 for o in self.outcomes if o.retries > 0)
 
     @property
     def sustained_qps(self) -> float:
@@ -435,6 +501,13 @@ class StreamReport:
             f"(in-flight peak {self.peak_inflight_tasks}); "
             f"{self.retired_tasks} retired in {self.compactions} sweeps",
         ]
+        if self.failed:
+            # Faulted runs only, so fault-free renders are unchanged.
+            lines.append(
+                f"{self.failed_count} failed "
+                f"({self.failed_rate * 100:.2f}%), "
+                f"{self.retried_count} completed after retries"
+            )
         return "\n".join(lines)
 
 
@@ -504,11 +577,17 @@ class QueryScheduler:
         device_capacities: list[int] | None = None,
         device_calibrations: "list[Calibration | None] | None" = None,
         steal: bool = False,
+        max_retries: int = 3,
+        retry_backoff_seconds: float = 0.05,
     ):
         if max_degradation is not None and max_degradation < 1.0:
             raise InvalidConfigError("max_degradation must be >= 1.0")
         if devices < 1:
             raise InvalidConfigError("devices must be >= 1")
+        if max_retries < 0:
+            raise InvalidConfigError("max_retries must be >= 0")
+        if retry_backoff_seconds < 0:
+            raise InvalidConfigError("retry_backoff_seconds must be >= 0")
         if device_capacities is not None:
             if len(device_capacities) != devices:
                 raise InvalidConfigError(
@@ -544,6 +623,14 @@ class QueryScheduler:
             else None
         )
         self.steal = steal
+        #: Fault recovery (used only when a run gets a non-empty
+        #: ``faults=`` plan): how many times one query may be
+        #: re-admitted after a crash or transient admission failure,
+        #: and the linear re-admission backoff — attempt N becomes
+        #: eligible ``N * retry_backoff_seconds`` simulated seconds
+        #: after the failure.
+        self.max_retries = max_retries
+        self.retry_backoff_seconds = retry_backoff_seconds
         if isinstance(placement, str):
             create_placement_policy(placement)  # validate the key eagerly
         #: Solo-placement cache; workloads repeat spec templates and the
@@ -746,6 +833,7 @@ class QueryScheduler:
         requests: list[QueryRequest],
         *,
         fleet_events: "Iterable[FleetEvent] | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> ServeReport:
         """Schedule a batch of queries and simulate to completion.
 
@@ -754,12 +842,16 @@ class QueryScheduler:
         device's whole task graph from scratch (devices untouched by
         the wave keep their schedule) — the executable specification
         that :meth:`run_online` is pinned against.  ``fleet_events``
-        adds/retires devices at their timestamps, between admissions.
-        Deterministic: identical request and event lists produce
+        adds/retires devices at their timestamps, between admissions;
+        ``faults`` injects device crashes and transient admission
+        failures (see :class:`~repro.serve.faults.FaultPlan`), with
+        lost queries retried through the same admission path.
+        Deterministic: identical request, event and fault lists produce
         identical reports.
         """
         return self._serve(
-            requests, incremental=False, fleet_events=fleet_events
+            requests, incremental=False, fleet_events=fleet_events,
+            faults=faults,
         )
 
     def run_online(
@@ -767,6 +859,7 @@ class QueryScheduler:
         requests: list[QueryRequest],
         *,
         fleet_events: "Iterable[FleetEvent] | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> ServeReport:
         """Online admission: extend per-device schedules incrementally.
 
@@ -786,7 +879,8 @@ class QueryScheduler:
         ``bench/regress.py``.
         """
         return self._serve(
-            requests, incremental=True, fleet_events=fleet_events
+            requests, incremental=True, fleet_events=fleet_events,
+            faults=faults,
         )
 
     # ------------------------------------------------------------------
@@ -922,6 +1016,7 @@ class QueryScheduler:
         incremental: bool,
         keep_tasks: bool = True,
         stolen: bool = False,
+        fault_run: "_FaultRun | None" = None,
     ) -> DeviceState:
         """Commit a placement decision: reserve the arena grant, lower
         the plan's namespaced task graph onto the device, and record the
@@ -933,8 +1028,18 @@ class QueryScheduler:
         committed state cannot drift.  ``keep_tasks=False`` (streaming)
         skips the device's cumulative task list, which only batch
         re-simulation reads — retaining it would be O(total
-        arrivals)."""
+        arrivals).
+
+        Re-admissions after a fault (``fault_run`` generation > 0)
+        namespace their tasks under the alias ``qid~rN`` instead of the
+        bare qid: the crashed device's schedule may retain the query's
+        *finished* pre-crash task fragments under the original names,
+        and the merged reporting view refuses duplicates.  The arena
+        reservation and every outcome/bookkeeping key stay on the bare
+        qid — only task names carry the generation."""
         device, key, need = placed
+        attempt = 0 if fault_run is None else fault_run.generation(request.qid)
+        alias = request.qid if attempt == 0 else f"{request.qid}~r{attempt}"
         if not device.arena.try_reserve(request.qid, need, at=clock):
             raise SchedulingError(  # pragma: no cover - _place bug
                 f"placement chose device {device.index} for "
@@ -961,7 +1066,7 @@ class QueryScheduler:
                 device.resources.get(name, 1), width
             )
         namespaced = self._namespace(
-            plan, request.qid, clock, device.index
+            plan, alias, clock, device.index
         )
         if keep_tasks:
             device.tasks.extend(namespaced)
@@ -978,9 +1083,12 @@ class QueryScheduler:
             solo_seconds=solo_seconds,
             device=device.index,
             stolen=stolen,
+            retries=attempt,
         )
         device.running.add(request.qid)
         owner[request.qid] = device
+        if fault_run is not None:
+            fault_run.live[request.qid] = request
         # The wait estimator's predicted finish must reflect *this*
         # device's speed; `_offer_estimate` short-circuits the common
         # non-degraded, no-extras admission to the cached solo makespan
@@ -1003,6 +1111,7 @@ class QueryScheduler:
         *,
         incremental: bool,
         keep_tasks: bool = True,
+        fault_run: "_FaultRun | None" = None,
     ) -> list[tuple[DeviceState, str]]:
         """Work-stealing pass, run only after FIFO admission blocked on
         the queue head.  Each *idle* accepting device (in index order)
@@ -1059,6 +1168,7 @@ class QueryScheduler:
                 incremental=incremental,
                 keep_tasks=keep_tasks,
                 stolen=True,
+                fault_run=fault_run,
             )
             admitted.append((placed_device, request.qid))
         return admitted
@@ -1082,9 +1192,14 @@ class QueryScheduler:
     @staticmethod
     def _sorted_events(
         fleet_events: "Iterable[FleetEvent] | None",
+        initial_devices: int,
     ) -> "deque[FleetEvent]":
         """Validate and time-order a run's fleet events (stable, so
-        same-time events apply in list order)."""
+        same-time events apply in list order).  Cross-event consistency
+        — retires of devices the fleet never reaches, double retires —
+        is rejected up front by
+        :func:`~repro.serve.placement.validate_fleet_events`, so a bad
+        elasticity schedule cannot fail halfway through a run."""
         events = list(fleet_events or [])
         for event in events:
             if not isinstance(event, FleetEvent):
@@ -1092,7 +1207,71 @@ class QueryScheduler:
                     f"fleet_events entries must be FleetEvent, got "
                     f"{type(event).__name__}"
                 )
+        validate_fleet_events(events, initial_devices)
         return deque(sorted(events, key=lambda e: e.at))
+
+    def _start_faults(
+        self,
+        faults: "FaultPlan | None",
+        initial_devices: int,
+        fleet_events: "Iterable[FleetEvent] | None",
+    ) -> "_FaultRun | None":
+        """Validate a run's fault plan and build its mutable state —
+        ``None`` for no plan *or* an empty one, which is what keeps the
+        fault-free path (and its golden bit-identity) untouched."""
+        if faults is None or faults.is_empty:
+            return None
+        faults.validate(initial_devices, fleet_events=fleet_events)
+        return _FaultRun(
+            faults,
+            max_retries=self.max_retries,
+            backoff=self.retry_backoff_seconds,
+        )
+
+    @staticmethod
+    def _apply_faults(
+        fault_run: "_FaultRun",
+        fleet: DeviceFleet,
+        queue: "deque[QueryRequest]",
+        outcomes: dict[str, QueryOutcome],
+        task_names: dict[str, list[str]],
+        owner: dict[str, DeviceState],
+        clock: float,
+    ) -> int:
+        """Apply every crash due at or before ``clock`` and move every
+        backoff-expired retry to the front of the admission queue.
+        Called between admissions only (right after fleet events, and
+        crash/retry times are clock stops), so a placement decision
+        never sees a half-crashed fleet.
+
+        Per crash: the device's unfinished tasks are invalidated
+        (:meth:`~repro.serve.placement.DeviceState.crash`), its arena
+        is reconciled against the lost-query list
+        (:meth:`~repro.gpusim.arena.DeviceMemoryArena.reconcile` — the
+        ledger drains through the audited force-release path), every
+        lost query's in-flight bookkeeping is dropped, and the query is
+        charged one attempt — requeued with backoff, or recorded as
+        failed when the budget is spent.  Returns the total number of
+        scheduled tasks invalidated, which streaming subtracts from its
+        in-flight task accounting (batch/online ignore it)."""
+        lost_tasks = 0
+        while fault_run.crashes and fault_run.crashes[0].at <= clock:
+            event = fault_run.crashes.popleft()
+            lost = fleet.crash_device(event.device, event.at)
+            fleet[event.device].arena.reconcile(lost, at=event.at)
+            for qid in lost:
+                outcomes.pop(qid, None)
+                names = task_names.pop(qid, None)
+                if names is not None:
+                    lost_tasks += len(names)
+                owner.pop(qid, None)
+                request = fault_run.live.pop(qid)
+                fault_run.record_failure(
+                    request, event.at, device=event.device
+                )
+            fault_run.crashed_devices[event.device] = event.at
+        fault_run.requeue_ready(queue, clock)
+        return lost_tasks
 
     def _serve(
         self,
@@ -1100,11 +1279,13 @@ class QueryScheduler:
         *,
         incremental: bool,
         fleet_events: "Iterable[FleetEvent] | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> ServeReport:
         if len({r.qid for r in requests}) != len(requests):
             raise InvalidConfigError("query ids must be unique")
         fleet = self._build_fleet()
-        events = self._sorted_events(fleet_events)
+        events = self._sorted_events(fleet_events, len(fleet))
+        fault_run = self._start_faults(faults, len(fleet), fleet_events)
         capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
@@ -1125,25 +1306,84 @@ class QueryScheduler:
         owner: dict[str, DeviceState] = {}
         clock = 0.0
 
-        while pending or fleet.any_running():
+        while (
+            pending
+            or fleet.any_running()
+            or (fault_run is not None and fault_run.has_work())
+        ):
             self._apply_fleet_events(fleet, events, clock)
+            if fault_run is not None:
+                self._apply_faults(
+                    fault_run, fleet, pending, outcomes, task_names,
+                    owner, clock,
+                )
             if (
                 not fleet.any_running()
                 and pending
                 and pending[0].submit_at > clock
             ):
-                # Idle jump — but never past a fleet event, which may
-                # change what the next admission can see.
+                # Idle jump — but never past a fleet event or a fault
+                # wakeup (crash / retry-ready), which may change what
+                # the next admission can see.
                 horizon = pending[0].submit_at
                 if events and events[0].at < horizon:
                     horizon = events[0].at
+                if fault_run is not None:
+                    wake = fault_run.next_wake()
+                    if wake is not None and wake < horizon:
+                        horizon = wake
                 clock = horizon
                 self._apply_fleet_events(fleet, events, clock)
+                if fault_run is not None:
+                    self._apply_faults(
+                        fault_run, fleet, pending, outcomes, task_names,
+                        owner, clock,
+                    )
+            elif (
+                fault_run is not None
+                and not fleet.any_running()
+                and not pending
+                and fault_run.has_work()
+            ):
+                # Idle with an empty queue: only a waiting retry can
+                # produce more work (that's the loop condition), so jump
+                # to the next fault wakeup — clamped to fleet events.
+                horizon = fault_run.next_wake()
+                assert horizon is not None  # has_work() implies a retry
+                if events and events[0].at < horizon:
+                    horizon = events[0].at
+                clock = max(clock, horizon)
+                self._apply_fleet_events(fleet, events, clock)
+                self._apply_faults(
+                    fault_run, fleet, pending, outcomes, task_names,
+                    owner, clock,
+                )
+
+            if (
+                fault_run is not None
+                and not fleet.active()
+                and not any(e.action == "add" for e in events)
+            ):
+                # Fleet lost: every accepting device crashed (or was
+                # retiring) and none will join.  Nothing waiting — in
+                # the queue or the retry backlog — can ever be admitted;
+                # fail it all now instead of spinning.  Queries still
+                # draining on a retiring device finish normally.
+                fault_run.fail_stranded(pending)
 
             # Admit in FIFO order while the head can be placed somewhere;
             # head-of-line blocking keeps admission starvation-free.
             while pending and pending[0].submit_at <= clock:
                 request = pending[0]
+                if fault_run is not None and fault_run.take_admission_fault(
+                    request.qid
+                ):
+                    # Planned transient admission failure: the refusal
+                    # charges the same retry budget a crash does, and
+                    # the query re-queues after its backoff.
+                    pending.popleft()
+                    fault_run.record_failure(request, clock)
+                    continue
                 placed = self._place(
                     request, fleet, policy, outcomes, clock,
                     can_grow=any(e.action == "add" for e in events),
@@ -1153,16 +1393,21 @@ class QueryScheduler:
                 pending.popleft()
                 self._admit(
                     request, placed, outcomes, task_names, owner, clock,
-                    incremental=incremental,
+                    incremental=incremental, fault_run=fault_run,
                 )
 
             if self.steal and pending:
                 self._steal(
                     pending, fleet, outcomes, task_names, owner, clock,
-                    incremental=incremental,
+                    incremental=incremental, fault_run=fault_run,
                 )
 
             if not fleet.any_running():
+                if not pending:
+                    # Queue empty, nothing running: only waiting retries
+                    # keep the loop alive (loop condition); the idle
+                    # fault-wakeup jump above handles the clock.
+                    continue
                 if events:
                     # Nothing running and the head is blocked (or yet to
                     # arrive): only a fleet event can change the picture,
@@ -1171,10 +1416,18 @@ class QueryScheduler:
                     continue
                 if pending[0].submit_at > clock:
                     # The idle jump above stopped short at a fleet event
-                    # this pass (events are all applied now); loop back
-                    # so it can jump the rest of the way to the head's
-                    # arrival.
+                    # or fault wakeup this pass (all applied now); loop
+                    # back so it can jump the rest of the way to the
+                    # head's arrival.
                     continue
+                if fault_run is not None:
+                    wake = fault_run.next_wake()
+                    if wake is not None:
+                        # Head blocked on an idle, partially-crashed
+                        # fleet: a pending crash or retry is the only
+                        # remaining event source.
+                        clock = max(clock, wake)
+                        continue
                 # Livelock guard: an admission `break` with nothing
                 # running would spin forever (no release event can
                 # advance the clock).  Unreachable under the current
@@ -1230,6 +1483,15 @@ class QueryScheduler:
                 # (all remaining events are strictly in the future —
                 # due ones were applied at the top of the loop).
                 times.append(events[0].at)
+            if fault_run is not None:
+                # Crash and retry-ready times are clock stops: a query
+                # must not simulate *through* a crash to a later finish,
+                # and a retry must not wait past its backoff.  (Due
+                # wakeups were applied at the top, so the next one is
+                # strictly in the future.)
+                wake = fault_run.next_wake()
+                if wake is not None and wake > clock:
+                    times.append(wake)
             clock = min(times)
             for qid in sorted(q for q in finishes if finishes[q] <= clock):
                 outcomes[qid].finish_at = finishes[qid]
@@ -1237,12 +1499,19 @@ class QueryScheduler:
                 device.arena.release(qid, at=clock)
                 device.running.remove(qid)
                 del device.predicted_finish[qid]
+                if fault_run is not None:
+                    fault_run.live.pop(qid, None)
             fleet.finalize_retirements()
 
         fleet.check_drained()
         merged = fleet.merged_schedule()
-        ordered = [outcomes[r.qid] for r in requests]
-        return ServeReport(
+        # Failed queries (faulted runs) have no QueryOutcome — they are
+        # reported in `failed` instead; submission order is preserved
+        # for the rest.
+        ordered = [
+            outcomes[r.qid] for r in requests if r.qid in outcomes
+        ]
+        report = ServeReport(
             outcomes=ordered,
             makespan=merged.makespan,
             capacity_bytes=capacity,
@@ -1252,7 +1521,16 @@ class QueryScheduler:
             device_peak_bytes=fleet.device_peaks(),
             device_capacity_bytes=fleet.device_capacities(),
             arenas=[device.arena for device in fleet],
+            failed=list(fault_run.failed) if fault_run is not None else [],
         )
+        if fault_run is not None:
+            check_fault_invariants(
+                report,
+                faults,
+                arrivals=len(requests),
+                max_retries=self.max_retries,
+            )
+        return report
 
     # ------------------------------------------------------------------
     def _stream_wait_estimate(
@@ -1274,6 +1552,11 @@ class QueryScheduler:
         queued), every term served from caches."""
         backlog = 0.0
         active = fleet.active()
+        if not active:
+            # Reachable only mid-fault: every device crashed and a
+            # pending `add` event will bring replacements.  Until one
+            # joins, the estimated wait is unbounded.
+            return float("inf")
         for device in active:
             for finish in device.predicted_finish.values():
                 if finish > at:
@@ -1290,6 +1573,7 @@ class QueryScheduler:
         slo_wait_seconds: float | None = None,
         compact_every: int | None = 256,
         fleet_events: "Iterable[FleetEvent] | None" = None,
+        faults: "FaultPlan | None" = None,
     ) -> StreamReport:
         """Steady-state streaming admission: bounded queue, load
         shedding, and schedule compaction.
@@ -1341,6 +1625,14 @@ class QueryScheduler:
         :meth:`run_online`); with ``steal=True`` on the scheduler, the
         work-stealing pass runs here too, with stolen admissions
         counted by :attr:`StreamReport.stolen_count`.
+
+        ``faults`` injects device crashes and transient admission
+        failures (:class:`~repro.serve.faults.FaultPlan`); lost queries
+        retry through the same admission path under the scheduler's
+        ``max_retries`` budget and exhausted/stranded queries land in
+        :attr:`StreamReport.failed` — conservation then reads
+        ``completed + shed + failed == arrivals``.  An empty plan runs
+        the exact fault-free path.
         """
         if max_queue_depth is not None and max_queue_depth < 1:
             raise InvalidConfigError("max_queue_depth must be >= 1")
@@ -1349,7 +1641,8 @@ class QueryScheduler:
         if compact_every is not None and compact_every < 1:
             raise InvalidConfigError("compact_every must be >= 1")
         fleet = self._build_fleet()
-        events = self._sorted_events(fleet_events)
+        events = self._sorted_events(fleet_events, len(fleet))
+        fault_run = self._start_faults(faults, len(fleet), fleet_events)
         capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
@@ -1365,7 +1658,13 @@ class QueryScheduler:
         completed: list[QueryOutcome] = []
         shed: list[ShedOutcome] = []
         queue_depths: list[int] = []
-        finish_heap: list[tuple[float, str]] = []
+        #: ``(finish, qid, generation)`` — the generation (the query's
+        #: fault-retry count at push time, always 0 fault-free) lets a
+        #: release distinguish a live finish from a stale entry whose
+        #: query was lost to a crash (and possibly re-admitted) after
+        #: the push.  The extra field never changes heap order for
+        #: distinct qids, so fault-free runs pop identically.
+        finish_heap: list[tuple[float, str, int]] = []
         admitted_wave: list[tuple[DeviceState, str]] = []
         clock = 0.0
         arrived = 0
@@ -1414,8 +1713,18 @@ class QueryScheduler:
                     return
             wait_queue.append(request)
 
-        while wait_queue or next_req is not None or fleet.any_running():
+        while (
+            wait_queue
+            or next_req is not None
+            or fleet.any_running()
+            or (fault_run is not None and fault_run.has_work())
+        ):
             self._apply_fleet_events(fleet, events, clock)
+            if fault_run is not None:
+                inflight_tasks -= self._apply_faults(
+                    fault_run, fleet, wait_queue, outcomes, task_names,
+                    owner, clock,
+                )
             if (
                 not fleet.any_running()
                 and not wait_queue
@@ -1425,8 +1734,66 @@ class QueryScheduler:
                 horizon = next_req.submit_at
                 if events and events[0].at < horizon:
                     horizon = events[0].at
+                if fault_run is not None:
+                    wake = fault_run.next_wake()
+                    if wake is not None and wake < horizon:
+                        horizon = wake
                 clock = horizon
                 self._apply_fleet_events(fleet, events, clock)
+                if fault_run is not None:
+                    inflight_tasks -= self._apply_faults(
+                        fault_run, fleet, wait_queue, outcomes,
+                        task_names, owner, clock,
+                    )
+            elif (
+                fault_run is not None
+                and not fleet.any_running()
+                and not wait_queue
+                and next_req is None
+                and fault_run.has_work()
+            ):
+                # Stream exhausted, fleet idle: only a waiting retry can
+                # produce more work — jump to the next fault wakeup,
+                # clamped to fleet events.
+                horizon = fault_run.next_wake()
+                assert horizon is not None  # has_work() implies a retry
+                if events and events[0].at < horizon:
+                    horizon = events[0].at
+                clock = max(clock, horizon)
+                self._apply_fleet_events(fleet, events, clock)
+                inflight_tasks -= self._apply_faults(
+                    fault_run, fleet, wait_queue, outcomes, task_names,
+                    owner, clock,
+                )
+
+            if (
+                fault_run is not None
+                and not fleet.active()
+                and not any(e.action == "add" for e in events)
+            ):
+                # Fleet lost: nothing waiting or still arriving can ever
+                # be admitted.  Fail the queue and retry backlog, then
+                # drain the rest of the stream (validating it exactly as
+                # ingestion would) into `failed` — conservation must
+                # still account for every arrival.
+                fault_run.fail_stranded(wait_queue)
+                while next_req is not None:
+                    request = next_req
+                    if request.submit_at < last_submit:
+                        raise InvalidConfigError(
+                            f"stream arrivals must be sorted by "
+                            f"submit_at: {request.qid!r} at "
+                            f"{request.submit_at} after {last_submit}"
+                        )
+                    last_submit = request.submit_at
+                    if request.qid in seen:
+                        raise InvalidConfigError(
+                            "query ids must be unique"
+                        )
+                    seen.add(request.qid)
+                    arrived += 1
+                    fault_run.fail_now(request, reason="fleet_lost")
+                    next_req = next(arrivals, None)
 
             # Ingest every arrival due by now.  Mirrors `_serve`'s
             # pending deque exactly: an arrival behind a blocked head is
@@ -1452,6 +1819,14 @@ class QueryScheduler:
             # — identical policy and head-of-line blocking to `_serve`.
             while wait_queue:
                 request = wait_queue[0]
+                if fault_run is not None and fault_run.take_admission_fault(
+                    request.qid
+                ):
+                    # Transient admission failure — same budget and
+                    # backoff as a crash loss (see `_serve`).
+                    wait_queue.popleft()
+                    fault_run.record_failure(request, clock)
+                    continue
                 placed = self._place(
                     request, fleet, policy, outcomes, clock,
                     can_grow=any(e.action == "add" for e in events),
@@ -1462,6 +1837,7 @@ class QueryScheduler:
                 device = self._admit(
                     request, placed, outcomes, task_names, owner, clock,
                     incremental=True, keep_tasks=False,
+                    fault_run=fault_run,
                 )
                 ntasks = len(task_names[request.qid])
                 inflight_tasks += ntasks
@@ -1475,6 +1851,7 @@ class QueryScheduler:
                 for device, qid in self._steal(
                     wait_queue, fleet, outcomes, task_names, owner, clock,
                     incremental=True, keep_tasks=False,
+                    fault_run=fault_run,
                 ):
                     ntasks = len(task_names[qid])
                     inflight_tasks += ntasks
@@ -1489,6 +1866,13 @@ class QueryScheduler:
                     # Only a fleet event can unblock the head now.
                     clock = max(clock, events[0].at)
                     continue
+                if fault_run is not None:
+                    wake = fault_run.next_wake()
+                    if wake is not None:
+                        # A pending crash or retry is the only
+                        # remaining event source.
+                        clock = max(clock, wake)
+                        continue
                 head = wait_queue[0]  # pragma: no cover - _place bug
                 raise SchedulingError(  # pragma: no cover
                     f"query {head.qid!r} cannot be admitted on an idle fleet"
@@ -1519,8 +1903,14 @@ class QueryScheduler:
                 )
                 outcomes[qid].finish_at = finish
                 device.predicted_finish[qid] = finish
-                heapq.heappush(finish_heap, (finish, qid))
-                if finish > makespan:
+                generation = (
+                    fault_run.generation(qid) if fault_run is not None else 0
+                )
+                heapq.heappush(finish_heap, (finish, qid, generation))
+                if fault_run is None and finish > makespan:
+                    # Faulted runs fold the makespan in at release
+                    # instead: a projected finish the crash voids must
+                    # not count.
                     makespan = finish
             admitted_wave = []
             retained = sum(len(device.schedule.tasks) for device in fleet)
@@ -1541,13 +1931,32 @@ class QueryScheduler:
                 # (due ones were applied at the top of the loop) and
                 # are admission opportunities.
                 times.append(events[0].at)
+            if fault_run is not None:
+                # Crash / retry-ready times are clock stops (see
+                # `_serve`); due ones were applied at the top, so the
+                # next is strictly in the future.
+                wake = fault_run.next_wake()
+                if wake is not None and wake > clock:
+                    times.append(wake)
             if not times:  # pragma: no cover - loop condition re-check
                 break
             clock = min(times)
-            due: list[tuple[float, str]] = []
+            due: list[tuple[float, str, int]] = []
             while finish_heap and finish_heap[0][0] <= clock:
                 due.append(heapq.heappop(finish_heap))
-            for _, qid in sorted(due, key=lambda item: item[1]):
+            for finish, qid, generation in sorted(
+                due, key=lambda item: item[1]
+            ):
+                if (
+                    fault_run is not None
+                    and fault_run.generation(qid) != generation
+                ):
+                    # Stale entry: the query was lost to a crash (and
+                    # possibly re-admitted under a newer generation)
+                    # after this finish was predicted.
+                    continue
+                if fault_run is not None and finish > makespan:
+                    makespan = finish
                 completed.append(outcomes.pop(qid))
                 device = owner.pop(qid)
                 device.arena.release(qid, at=clock)
@@ -1555,6 +1964,8 @@ class QueryScheduler:
                 del device.predicted_finish[qid]
                 inflight_tasks -= len(task_names.pop(qid))
                 released_since_compact += 1
+                if fault_run is not None:
+                    fault_run.live.pop(qid, None)
             fleet.finalize_retirements()
             if (
                 compact_every is not None
@@ -1569,7 +1980,7 @@ class QueryScheduler:
                 released_since_compact = 0
 
         fleet.check_drained()
-        return StreamReport(
+        report = StreamReport(
             outcomes=completed,
             shed=shed,
             arrivals=arrived,
@@ -1585,4 +1996,13 @@ class QueryScheduler:
             compactions=compactions,
             queue_depths=queue_depths,
             arenas=[device.arena for device in fleet],
+            failed=list(fault_run.failed) if fault_run is not None else [],
         )
+        if fault_run is not None:
+            check_fault_invariants(
+                report,
+                faults,
+                arrivals=arrived,
+                max_retries=self.max_retries,
+            )
+        return report
