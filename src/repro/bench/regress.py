@@ -44,6 +44,12 @@ way: an **empty** :class:`~repro.serve.faults.FaultPlan` must stay
 bit-identical to the golden schedules (the fault machinery may not
 leak into fault-free runs), and crashy seeded plans must conserve
 every query, reconcile every arena, and keep online == batch.
+:func:`run_admission_regression` pins the admission-policy registry:
+the default ``fifo`` policy must stay bit-identical to the golden
+schedules, every reordering policy must keep online == batch on
+classed workloads, ``edf`` must strictly reduce the deadline-miss rate
+against ``fifo`` on the deadline-classed canonical workload, and
+``sjf`` must never worsen its mean latency.
 """
 
 from __future__ import annotations
@@ -570,6 +576,115 @@ def run_fault_regression(
     ]
 
 
+#: Seeds of the admission regression's fifo-identity column.
+ADMISSION_REGRESSION_SEEDS = (0, 70, 190)
+
+
+def run_admission_regression(
+    seeds: tuple[int, ...] = ADMISSION_REGRESSION_SEEDS,
+) -> list[str]:
+    """Assert the admission-policy registry's anchor contracts; returns
+    report lines.
+
+    * **Inertness** — ``admission="fifo"`` (the default, spelled
+      explicitly) must stay bit-identical to the recorded pre-registry
+      golden schedules on ``devices=1``: the policy hook may not
+      perturb the default path;
+    * **Equivalence** — every registered policy must keep
+      online == batch (device assignments included) on the
+      deadline-classed canonical workload across a two-device fleet;
+    * **Wins** — on :func:`~repro.serve.workload.classed_workload`
+      (64 clients, one device) ``edf`` must *strictly* reduce the
+      deadline-miss rate against ``fifo``, and ``sjf`` must never
+      worsen the mean latency of the same 64 clients unclassed.
+
+    Any violation raises :class:`~repro.errors.SchedulingError`.
+    """
+    import json
+    from pathlib import Path
+
+    from repro.bench.serve_bench import fingerprint, fingerprint_sharded
+    from repro.errors import SchedulingError
+    from repro.serve.admission import registered_admission_policies
+    from repro.serve.scheduler import QueryScheduler
+    from repro.serve.workload import (
+        classed_workload,
+        mixed_workload,
+        random_workload,
+    )
+
+    golden_path = (
+        Path(__file__).resolve().parents[3]
+        / "tests" / "serve" / "golden_single_device.json"
+    )
+    golden = json.loads(golden_path.read_text(encoding="utf-8"))
+    for seed in seeds:
+        entry = golden["seeds"][str(seed)]
+        report = QueryScheduler(devices=1, admission="fifo").run_online(
+            random_workload(seed)
+        )
+        if (
+            [list(item) for item in fingerprint(report)]
+            != entry["fingerprint"]
+            or report.makespan != entry["makespan"]
+            or report.peak_reserved_bytes != entry["peak_reserved_bytes"]
+        ):
+            raise SchedulingError(
+                f"fifo admission diverged from the recorded golden "
+                f"schedule at seed {seed} — the policy hook perturbed "
+                "the default path"
+            )
+
+    devices = SERVE_REGRESSION_DEVICES
+    requests = classed_workload(16)
+    for policy in registered_admission_policies():
+        batch = QueryScheduler(devices=devices, admission=policy).run(
+            requests
+        )
+        online = QueryScheduler(
+            devices=devices, admission=policy
+        ).run_online(requests)
+        if (
+            fingerprint_sharded(online) != fingerprint_sharded(batch)
+            or online.makespan != batch.makespan
+        ):
+            raise SchedulingError(
+                f"online diverged from batch under {policy!r} admission "
+                "on the classed workload"
+            )
+
+    fifo_classed = QueryScheduler(admission="fifo").run(classed_workload(64))
+    edf_classed = QueryScheduler(admission="edf").run(classed_workload(64))
+    if fifo_classed.deadline_miss_rate == 0.0:
+        raise SchedulingError(
+            "admission regression is vacuous: fifo missed no deadlines "
+            "on the deadline-classed canonical workload"
+        )
+    if not edf_classed.deadline_miss_rate < fifo_classed.deadline_miss_rate:
+        raise SchedulingError(
+            f"edf did not strictly reduce the deadline-miss rate: "
+            f"{edf_classed.deadline_miss_rate:.4f} vs fifo "
+            f"{fifo_classed.deadline_miss_rate:.4f}"
+        )
+    fifo_mixed = QueryScheduler(admission="fifo").run(mixed_workload(64))
+    sjf_mixed = QueryScheduler(admission="sjf").run(mixed_workload(64))
+    if sjf_mixed.mean_latency > fifo_mixed.mean_latency * (1 + 1e-9):
+        raise SchedulingError(
+            f"sjf worsened mean latency on the canonical 64-client "
+            f"workload: {sjf_mixed.mean_latency:.6f} s vs fifo "
+            f"{fifo_mixed.mean_latency:.6f} s"
+        )
+    return [
+        f"admission[{len(seeds)} seeds + {len(registered_admission_policies())} "
+        f"policies]: fifo bit-identical to golden schedules; online == "
+        f"batch under every policy on classed workloads; edf miss rate "
+        f"{edf_classed.deadline_miss_rate:.3f} < fifo "
+        f"{fifo_classed.deadline_miss_rate:.3f}; sjf mean latency "
+        f"{sjf_mixed.mean_latency:.3f} s <= fifo "
+        f"{fifo_mixed.mean_latency:.3f} s  ok"
+    ]
+
+
 def main() -> int:
     rows = run_regression()
     print(render(rows))
@@ -599,6 +714,12 @@ def main() -> int:
     print(
         "fault injection: empty plans inert, crashes recovered with "
         "exact conservation"
+    )
+    for line in run_admission_regression():
+        print(line)
+    print(
+        "admission policies: fifo inert against the golden schedules, "
+        "reordering policies keep online == batch and win their metrics"
     )
     return 0
 

@@ -48,6 +48,18 @@ serial-baseline assertion (the baseline assumes the default
 calibration) and merge ``serve_hetero_*`` / ``serve_steal_*`` series
 into ``BENCH_perf.json``.
 
+Admission policies: ``--admission`` picks the wait-queue ordering
+policy (:mod:`repro.serve.admission`; default ``fifo``, bit-identical
+to the historical scheduler), ``--classes`` stamps the workload with
+the canonical deadline-bearing service classes
+(:data:`~repro.serve.workload.DEADLINE_CLASSES` cycled across three
+tenants) and ``--deadline-scale`` stretches or squeezes their
+deadlines.  Classed runs report per-class/per-tenant latency and
+deadline-miss rates and merge ``serve_admission_*`` series (p50/p99
+latency and deadline-miss rate per policy) into ``BENCH_perf.json``;
+the serial-baseline assertion only applies to unclassed FIFO runs
+(reordering trades makespan for latency/deadline goals by design).
+
 Fault injection: ``--faults`` derives a deterministic
 :class:`~repro.serve.faults.FaultPlan` from ``--fault-seed`` (device
 crashes over the run's horizon, never the whole fleet, plus transient
@@ -84,10 +96,16 @@ from repro.gpusim.calibration import (
     Calibration,
     calibration_preset,
 )
+from repro.serve.admission import FIFO, registered_admission_policies
 from repro.serve.faults import FaultPlan
 from repro.serve.placement import LEAST_LOADED, registered_placement_policies
 from repro.serve.scheduler import QueryScheduler, ServeReport, StreamReport
-from repro.serve.workload import mixed_workload, stream_workload
+from repro.serve.workload import (
+    DEADLINE_CLASSES,
+    classed_workload,
+    mixed_workload,
+    stream_workload,
+)
 
 #: Default offered-concurrency ladder for the sweep.
 DEFAULT_CLIENTS = (1, 2, 4, 8, 16, 32, 64)
@@ -228,6 +246,9 @@ def run_serve(
     steal: bool = False,
     faults: FaultPlan | None = None,
     max_retries: int = 3,
+    admission: str = FIFO,
+    classes: bool = False,
+    deadline_scale: float = 1.0,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
@@ -246,8 +267,27 @@ def run_serve(
     fault-injection path (also skipping the serial baseline — losing a
     device mid-run may cost makespan); faulted runs are still
     deterministic, so the re-run check holds for them too.
+    ``admission`` picks the wait-queue ordering policy and ``classes``
+    swaps in the deadline-classed canonical workload
+    (:func:`~repro.serve.workload.classed_workload`, deadlines scaled
+    by ``deadline_scale``); reordering policies and classed workloads
+    skip the serial-baseline assertion — admission order trades
+    makespan for latency/deadline goals on purpose.
     """
-    requests = mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds)
+
+    def workload():
+        if classes:
+            return classed_workload(
+                clients,
+                scale=scale,
+                spacing_seconds=spacing_seconds,
+                deadline_scale=deadline_scale,
+            )
+        return mixed_workload(
+            clients, scale=scale, spacing_seconds=spacing_seconds
+        )
+
+    requests = workload()
     scheduler = scheduler or QueryScheduler(
         devices=devices,
         placement=placement,
@@ -255,6 +295,7 @@ def run_serve(
         device_calibrations=device_calibrations,
         steal=steal,
         max_retries=max_retries,
+        admission=admission,
     )
     faulted = faults is not None and not faults.is_empty
     run = scheduler.run_online if online else scheduler.run
@@ -266,6 +307,8 @@ def run_serve(
         and scheduler.device_calibrations is None
         and not scheduler.steal
         and not faulted
+        and scheduler.admission == FIFO
+        and not classes
     )
     verify_report(report, clients=clients, check_serial=canonical)
     if check_determinism:
@@ -277,12 +320,10 @@ def run_serve(
             device_calibrations=scheduler.device_calibrations,
             steal=scheduler.steal,
             max_retries=scheduler.max_retries,
+            admission=scheduler.admission,
         )
         rerun_fn = fresh.run_online if online else fresh.run
-        rerun = rerun_fn(
-            mixed_workload(clients, scale=scale, spacing_seconds=spacing_seconds),
-            faults=faults,
-        )
+        rerun = rerun_fn(workload(), faults=faults)
         if fingerprint_sharded(rerun) != fingerprint_sharded(report):
             raise SchedulingError(
                 f"serve schedule is non-deterministic at {clients} clients "
@@ -307,6 +348,9 @@ def sweep(
     device_capacities: list[int] | None = None,
     device_calibrations: "list[Calibration | None] | None" = None,
     steal: bool = False,
+    admission: str = FIFO,
+    classes: bool = False,
+    deadline_scale: float = 1.0,
     check_determinism: bool = True,
 ) -> list[ServePoint]:
     """Throughput/latency versus offered concurrency."""
@@ -322,6 +366,9 @@ def sweep(
             device_capacities=device_capacities,
             device_calibrations=device_calibrations,
             steal=steal,
+            admission=admission,
+            classes=classes,
+            deadline_scale=deadline_scale,
             check_determinism=check_determinism,
         )
         points.append(
@@ -440,6 +487,9 @@ def run_stream_bench(
     steal: bool = False,
     faults: FaultPlan | None = None,
     max_retries: int = 3,
+    admission: str = FIFO,
+    classes: bool = False,
+    deadline_scale: float = 1.0,
     seed: int = 0,
 ) -> tuple[StreamReport, float]:
     """Run the steady-state streaming benchmark; returns (verified
@@ -448,7 +498,10 @@ def run_stream_bench(
     at 10^5+ arrivals.  ``faults`` injects the plan's device crashes
     mid-stream; verification then checks the three-way conservation
     (``completed + shed + failed == arrivals``) instead of the two-way
-    one."""
+    one.  ``admission`` picks the wait-queue ordering policy;
+    ``classes`` stamps arrivals with the canonical deadline classes
+    (same specs and arrival times — only the service contracts change),
+    enabling deadline-expiry shedding and per-class reporting."""
     scheduler = QueryScheduler(
         devices=devices,
         placement=placement,
@@ -456,10 +509,17 @@ def run_stream_bench(
         device_calibrations=device_calibrations,
         steal=steal,
         max_retries=max_retries,
+        admission=admission,
     )
     start = time.perf_counter()
     report = scheduler.run_stream(
-        stream_workload(arrivals, arrival_rate=arrival_rate, seed=seed),
+        stream_workload(
+            arrivals,
+            arrival_rate=arrival_rate,
+            seed=seed,
+            classes=DEADLINE_CLASSES if classes else None,
+            deadline_scale=deadline_scale,
+        ),
         max_queue_depth=max_queue_depth,
         slo_wait_seconds=slo_wait_seconds,
         compact_every=compact_every,
@@ -514,6 +574,52 @@ def stream_perf_entries(
         ),
         f"serve_stream_queue_p99{tag}": entry(
             report.queue_depth_percentile(0.99), 0.0, report.arrivals
+        ),
+    }
+
+
+def admission_perf_entries(
+    report: "ServeReport | StreamReport",
+    *,
+    policy: str,
+    clients: int,
+    devices: int,
+) -> dict[str, PerfEntry]:
+    """``serve_admission_*`` records for policy-classed serve runs, in
+    ``BENCH_perf.json``'s uniform ``{wall_seconds, ops_per_sec, n}``
+    schema.  Per policy: ``*_p50``/``*_p99`` carry the latency
+    percentiles (rate form: completions per second at that latency) and
+    ``*_miss_rate`` the deadline-miss rate — misses (plus streaming
+    deadline-expiry sheds) over every deadline-bearing query that
+    reached a terminal state.  Duck-typed over batch and stream
+    reports."""
+    tag = f"[{clients}x{devices}]"
+    completed = max(len(report.outcomes), 1)
+    p50 = report.p50_latency
+    p99 = report.p99_latency
+    miss = report.deadline_miss_rate
+    deadline_total = report.deadline_count + getattr(
+        report, "deadline_expired_count", 0
+    )
+    return {
+        f"serve_admission_{policy}_p50{tag}": PerfEntry(
+            wall_seconds=p50,
+            ops_per_sec=1.0 / p50 if p50 > 0 else 0.0,
+            n=completed,
+        ),
+        f"serve_admission_{policy}_p99{tag}": PerfEntry(
+            wall_seconds=p99,
+            ops_per_sec=1.0 / p99 if p99 > 0 else 0.0,
+            n=completed,
+        ),
+        f"serve_admission_{policy}_miss_rate{tag}": PerfEntry(
+            wall_seconds=miss,
+            ops_per_sec=(
+                miss * deadline_total / report.makespan
+                if report.makespan > 0
+                else 0.0
+            ),
+            n=max(deadline_total, 1),
         ),
     }
 
@@ -750,6 +856,30 @@ def serve_main(argv: list[str] | None = None) -> int:
         "pull the best waiting query past a blocked FIFO head",
     )
     parser.add_argument(
+        "--admission",
+        default=FIFO,
+        choices=registered_admission_policies(),
+        help="wait-queue admission policy "
+        f"(default {FIFO}, bit-identical to the historical scheduler)",
+    )
+    parser.add_argument(
+        "--classes",
+        action="store_true",
+        help="stamp the workload with the canonical deadline-bearing "
+        "service classes (interactive/standard/batch across three "
+        "tenants): per-class latency and deadline-miss reporting, "
+        "streaming deadline-expiry shedding, and serve_admission_* "
+        "series in BENCH_perf.json",
+    )
+    parser.add_argument(
+        "--deadline-scale",
+        type=float,
+        default=1.0,
+        metavar="FACTOR",
+        help="multiply every class deadline by this factor "
+        "(default 1.0; smaller = tighter SLOs)",
+    )
+    parser.add_argument(
         "--stream",
         action="store_true",
         help="steady-state streaming harness: bounded-queue admission "
@@ -865,6 +995,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             "--faults needs --devices >= 2: at least one device must "
             "survive the crash plan"
         )
+    if args.deadline_scale <= 0:
+        parser.error("--deadline-scale must be positive")
     if args.arrival_rate is not None:
         if args.arrival_rate <= 0:
             parser.error("--arrival-rate must be positive")
@@ -910,11 +1042,20 @@ def serve_main(argv: list[str] | None = None) -> int:
             steal=args.steal,
             faults=fault_plan,
             max_retries=args.max_retries,
+            admission=args.admission,
+            classes=args.classes,
+            deadline_scale=args.deadline_scale,
             seed=args.seed,
+        )
+        classed_note = (
+            f", {args.admission} admission over classed arrivals"
+            if args.classes or args.admission != FIFO
+            else ""
         )
         print(
             f"streaming admission: {args.arrivals} arrivals at {rate:g}/s "
-            f"on {args.devices} device(s) ({args.placement} placement)"
+            f"on {args.devices} device(s) ({args.placement} placement"
+            f"{classed_note})"
         )
         if fault_plan is not None:
             crashes = ", ".join(
@@ -947,16 +1088,25 @@ def serve_main(argv: list[str] | None = None) -> int:
             entries = stream_perf_entries(
                 report, wall, arrivals=args.arrivals, devices=args.devices
             )
+            merged = "serve_stream_*"
             if fault_plan is not None:
                 entries.update(
                     fault_perf_entries(
                         report, arrivals=args.arrivals, devices=args.devices
                     )
                 )
-            merge_perf_json(entries, args.out)
-            merged = "serve_stream_*"
-            if fault_plan is not None:
                 merged += " and serve_faults_*"
+            if args.classes:
+                entries.update(
+                    admission_perf_entries(
+                        report,
+                        policy=args.admission,
+                        clients=args.arrivals,
+                        devices=args.devices,
+                    )
+                )
+                merged += " and serve_admission_*"
+            merge_perf_json(entries, args.out)
             print(f"{merged} series merged into {args.out}")
         failed = False
         if args.max_wall is not None and wall > args.max_wall:
@@ -991,10 +1141,18 @@ def serve_main(argv: list[str] | None = None) -> int:
         and not hetero
         and not args.steal
         and not args.faults
+        and args.admission == FIFO
+        and not args.classes
     )
     mode = "online (incremental extension)" if args.online else "batch"
     if args.devices > 1:
         mode += f", {args.devices} devices ({args.placement} placement)"
+    if args.admission != FIFO:
+        mode += f", {args.admission} admission"
+    if args.classes:
+        mode += (
+            f", deadline-classed workload (scale {args.deadline_scale:g})"
+        )
     if args.device_calib:
         mode += f", calibrations {args.device_calib}"
     if args.device_caps:
@@ -1019,6 +1177,9 @@ def serve_main(argv: list[str] | None = None) -> int:
                 device_capacities=device_capacities,
                 device_calibrations=device_calibrations,
                 steal=args.steal,
+                admission=args.admission,
+                classes=args.classes,
+                deadline_scale=args.deadline_scale,
                 check_determinism=False,
             )
             fault_plan = FaultPlan.random(
@@ -1042,6 +1203,9 @@ def serve_main(argv: list[str] | None = None) -> int:
             steal=args.steal,
             faults=fault_plan,
             max_retries=args.max_retries,
+            admission=args.admission,
+            classes=args.classes,
+            deadline_scale=args.deadline_scale,
         )
         wall = time.perf_counter() - start
         print(f"admission mode: {mode}")
@@ -1074,6 +1238,17 @@ def serve_main(argv: list[str] | None = None) -> int:
                 args.out,
             )
             print(f"serve_faults_* series merged into {args.out}")
+        if args.classes and args.out != "-":
+            merge_perf_json(
+                admission_perf_entries(
+                    report,
+                    policy=args.admission,
+                    clients=args.clients,
+                    devices=args.devices,
+                ),
+                args.out,
+            )
+            print(f"serve_admission_* series merged into {args.out}")
         if (
             fault_plan is not None
             and args.max_failed_rate is not None
@@ -1114,6 +1289,9 @@ def serve_main(argv: list[str] | None = None) -> int:
         device_capacities=device_capacities,
         device_calibrations=device_calibrations,
         steal=args.steal,
+        admission=args.admission,
+        classes=args.classes,
+        deadline_scale=args.deadline_scale,
     )
     print(f"admission mode: {mode}")
     print(render_sweep(points))

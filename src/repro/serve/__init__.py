@@ -7,8 +7,14 @@ queries against a simulated GPU fleet: every device gets its own
 share device memory honestly, the
 :class:`~repro.serve.placement.DeviceFleet` and its
 :class:`~repro.serve.placement.PlacementPolicy` decide *which* device
-hosts each admission, and the
-:class:`~repro.serve.scheduler.QueryScheduler` admits queries FIFO,
+hosts each admission, an
+:class:`~repro.serve.admission.AdmissionPolicy` decides *which queued
+query* each admission attempt tries (``fifo`` — the default, pinned
+bit-identical to the historical head-of-line scheduler — ``sjf``,
+``edf``, or ``weighted_fair`` over per-query
+:class:`~repro.serve.admission.QueryClass` service classes), and the
+:class:`~repro.serve.scheduler.QueryScheduler` admits queries in that
+order,
 re-planning each one against the memory actually free at admission and
 lowering all admitted plans into the placed device's pipeline-engine
 run — per wave in batch mode (``run``), incrementally per arrival
@@ -39,6 +45,12 @@ from repro.gpusim.calibration import (
     Calibration,
     calibration_preset,
 )
+from repro.serve.admission import (
+    AdmissionPolicy,
+    QueryClass,
+    create_admission_policy,
+    registered_admission_policies,
+)
 from repro.serve.faults import (
     DeviceCrash,
     FailedOutcome,
@@ -55,6 +67,7 @@ from repro.serve.placement import (
     validate_fleet_events,
 )
 from repro.serve.scheduler import (
+    ClassStats,
     QueryOutcome,
     QueryRequest,
     QueryScheduler,
@@ -64,14 +77,20 @@ from repro.serve.scheduler import (
     percentile,
 )
 from repro.serve.workload import (
+    DEADLINE_CLASSES,
+    classed_workload,
     mixed_workload,
     random_workload,
     stream_workload,
+    with_classes,
 )
 
 __all__ = [
+    "AdmissionPolicy",
     "CALIBRATION_PRESETS",
     "Calibration",
+    "ClassStats",
+    "DEADLINE_CLASSES",
     "DeviceCrash",
     "DeviceFleet",
     "FailedOutcome",
@@ -79,6 +98,7 @@ __all__ = [
     "FleetEvent",
     "PlacementCandidate",
     "PlacementPolicy",
+    "QueryClass",
     "QueryOutcome",
     "QueryRequest",
     "QueryScheduler",
@@ -87,11 +107,15 @@ __all__ = [
     "StreamReport",
     "calibration_preset",
     "check_fault_invariants",
+    "classed_workload",
+    "create_admission_policy",
     "create_placement_policy",
     "percentile",
+    "registered_admission_policies",
     "registered_placement_policies",
     "validate_fleet_events",
     "mixed_workload",
     "random_workload",
     "stream_workload",
+    "with_classes",
 ]

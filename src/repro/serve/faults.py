@@ -43,6 +43,7 @@ schedules.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from collections import deque
 from dataclasses import dataclass, field
@@ -405,7 +406,12 @@ def check_fault_invariants(
       and (when a merged schedule is present) no surviving task on a
       crashed device finishes past the crash;
     * **retry budgets** — no outcome records more retries than
-      ``max_retries`` and no failure more attempts than that.
+      ``max_retries`` and no failure more attempts than that;
+    * **deadline recording** — no outcome finishes after its hard
+      deadline (``deadline_at``, from its
+      :class:`~repro.serve.admission.QueryClass`) unless it is recorded
+      as a miss (``deadline_missed``), and nothing is recorded as a
+      miss that finished in time.
     """
     completed = list(report.outcomes)
     failed = list(getattr(report, "failed", ()) or ())
@@ -444,6 +450,20 @@ def check_fault_invariants(
             raise FaultInvariantError(
                 f"{outcome.qid!r} recorded {retries} retries, over the "
                 f"budget of {max_retries}"
+            )
+        deadline_at = getattr(outcome, "deadline_at", math.inf)
+        missed = bool(getattr(outcome, "deadline_missed", False))
+        if outcome.finish_at > deadline_at and not missed:
+            raise FaultInvariantError(
+                f"{outcome.qid!r} finished at t={outcome.finish_at}, "
+                f"past its hard deadline t={deadline_at}, but was not "
+                "recorded as a deadline miss"
+            )
+        if missed and outcome.finish_at <= deadline_at:
+            raise FaultInvariantError(
+                f"{outcome.qid!r} is recorded as a deadline miss but "
+                f"finished at t={outcome.finish_at}, within its "
+                f"deadline t={deadline_at}"
             )
     for failure in failed:
         if failure.attempts > max_retries:

@@ -99,6 +99,16 @@ from repro.gpusim.calibration import Calibration
 from repro.gpusim.spec import SystemSpec
 from repro.pipeline.engine import PipelineEngine
 from repro.pipeline.tasks import Schedule, Task
+from repro.serve.admission import (
+    AdmissionContext,
+    AdmissionPolicy,
+    FIFO,
+    QueryClass,
+    class_name_of,
+    create_admission_policy,
+    hard_deadline,
+    tenant_of,
+)
 from repro.serve.faults import (
     FailedOutcome,
     FaultPlan,
@@ -133,6 +143,77 @@ def percentile(values: "Iterable[float]", q: float) -> float:
 
 
 @dataclass(frozen=True)
+class ClassStats:
+    """Latency and deadline aggregates for one service class or tenant.
+
+    Latencies are **simulated seconds** over the completed queries in
+    the group (percentiles via :func:`percentile`, the serving layer's
+    one nearest-rank helper).  ``deadline_count`` is the completed
+    queries carrying a finite hard deadline, ``deadline_missed`` how
+    many of those finished past it, and ``deadline_expired`` the queued
+    queries streaming shed at deadline expiry (always 0 for batch /
+    online runs, which never shed).
+    """
+
+    count: int
+    mean_latency: float
+    p50_latency: float
+    p99_latency: float
+    deadline_count: int
+    deadline_missed: int
+    deadline_expired: int = 0
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed-plus-expired over every deadline-bearing query that
+        reached a terminal state (0.0 when the group has no deadlines).
+        An expired shed counts as a miss: the query never ran, which is
+        the worst way to miss a deadline."""
+        total = self.deadline_count + self.deadline_expired
+        if total == 0:
+            return 0.0
+        return (self.deadline_missed + self.deadline_expired) / total
+
+
+def _group_class_stats(
+    outcomes: "Iterable[QueryOutcome]",
+    key: str,
+    shed: "Iterable[ShedOutcome] | None" = None,
+) -> dict[str, ClassStats]:
+    """Group by ``key`` (``"class_name"`` or ``"tenant"``) into
+    :class:`ClassStats`, labels sorted.  ``shed`` (stream reports) adds
+    ``deadline_expired`` sheds to the label they were admitted under —
+    conservation audits can then attribute every shed per class."""
+    groups: dict[str, list[QueryOutcome]] = {}
+    for outcome in outcomes:
+        groups.setdefault(getattr(outcome, key), []).append(outcome)
+    expired: dict[str, int] = {}
+    for item in shed or ():
+        if item.reason == "deadline_expired":
+            label = getattr(item, key)
+            expired[label] = expired.get(label, 0) + 1
+            groups.setdefault(label, [])
+    stats: dict[str, ClassStats] = {}
+    for label in sorted(groups):
+        members = groups[label]
+        latencies = [o.latency_seconds for o in members]
+        stats[label] = ClassStats(
+            count=len(members),
+            mean_latency=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            p50_latency=percentile(latencies, 0.50),
+            p99_latency=percentile(latencies, 0.99),
+            deadline_count=sum(
+                1 for o in members if o.deadline_at != math.inf
+            ),
+            deadline_missed=sum(1 for o in members if o.deadline_missed),
+            deadline_expired=expired.get(label, 0),
+        )
+    return stats
+
+
+@dataclass(frozen=True)
 class QueryRequest:
     """One client query: a join workload submitted at a point in time.
 
@@ -153,6 +234,13 @@ class QueryRequest:
     #: Per-query SLO on estimated admission wait (simulated seconds);
     #: ``None`` defers to ``run_stream``'s fleet-wide default.
     slo_wait_seconds: float | None = None
+    #: Service class (:class:`~repro.serve.admission.QueryClass`):
+    #: priority/tenant for the admission policies, hard deadline for
+    #: miss accounting and streaming deadline expiry, and an optional
+    #: per-class degrade-vs-wait override.  ``None`` = the default
+    #: class (no deadline, tenant ``"default"``).  A fault-retried
+    #: query re-enters the queue carrying this same class.
+    query_class: QueryClass | None = None
 
     def __post_init__(self) -> None:
         if not self.qid:
@@ -162,6 +250,13 @@ class QueryRequest:
         if self.slo_wait_seconds is not None and self.slo_wait_seconds < 0:
             raise InvalidConfigError(
                 f"{self.qid}: negative slo_wait_seconds"
+            )
+        if self.query_class is not None and not isinstance(
+            self.query_class, QueryClass
+        ):
+            raise InvalidConfigError(
+                f"{self.qid}: query_class must be a QueryClass, got "
+                f"{type(self.query_class).__name__}"
             )
 
 
@@ -194,6 +289,16 @@ class QueryOutcome:
     #: or transient admission failure before completing (0 on the
     #: fault-free path; never exceeds the scheduler's ``max_retries``).
     retries: int = 0
+    #: Service-class label and tenant the query was admitted under
+    #: (``"default"`` for unclassed queries).
+    class_name: str = "default"
+    tenant: str = "default"
+    #: Absolute hard deadline in simulated seconds (``inf`` = none).
+    deadline_at: float = math.inf
+    #: Recorded at release: did the query finish past ``deadline_at``?
+    #: Stored rather than derived so :func:`check_fault_invariants` can
+    #: audit the recording itself.
+    deadline_missed: bool = False
 
     @property
     def wait_seconds(self) -> float:
@@ -308,6 +413,41 @@ class ServeReport:
     def stolen_count(self) -> int:
         return sum(1 for o in self.outcomes if o.stolen)
 
+    @property
+    def deadline_count(self) -> int:
+        """Completed queries carrying a finite hard deadline."""
+        return sum(1 for o in self.outcomes if o.deadline_at != math.inf)
+
+    @property
+    def deadline_missed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.deadline_missed)
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Misses over deadline-bearing completions (0.0 if none)."""
+        total = self.deadline_count
+        return self.deadline_missed_count / total if total else 0.0
+
+    def per_class_stats(self) -> dict[str, ClassStats]:
+        """Per-service-class p50/p99 latency and deadline-miss rate."""
+        return _group_class_stats(self.outcomes, "class_name")
+
+    def per_tenant_stats(self) -> dict[str, ClassStats]:
+        """Per-tenant p50/p99 latency and deadline-miss rate."""
+        return _group_class_stats(self.outcomes, "tenant")
+
+    @property
+    def _classed(self) -> bool:
+        """Any non-default class or deadline present?  Gates the render
+        additions so unclassed reports stay byte-identical to the
+        historical format."""
+        return any(
+            o.class_name != "default"
+            or o.tenant != "default"
+            or o.deadline_at != math.inf
+            for o in self.outcomes
+        )
+
     def render(self) -> str:
         """Aligned per-query table plus the summary line."""
         sharded = self.devices > 1
@@ -340,6 +480,16 @@ class ServeReport:
             f"{self.peak_reserved_bytes / 1e9:.2f} of "
             f"{self.capacity_bytes / 1e9:.2f} GB{fleet}"
         )
+        if self._classed:
+            # Classed runs only, so unclassed renders stay byte-
+            # identical to the historical format.
+            for label, stats in self.per_class_stats().items():
+                lines.append(
+                    f"class {label}: {stats.count} completed, p50/p99 "
+                    f"{stats.p50_latency:.3f}/{stats.p99_latency:.3f} s, "
+                    f"deadline miss {stats.deadline_miss_rate * 100:.1f}% "
+                    f"({stats.deadline_missed}/{stats.deadline_count})"
+                )
         if self.failed:
             # Only faulted runs ever reach here, so fault-free renders
             # stay byte-identical to the historical format.
@@ -357,14 +507,23 @@ class ServeReport:
 
 @dataclass(frozen=True)
 class ShedOutcome:
-    """One load-shed query: rejected at ingestion, never admitted.
+    """One load-shed query: rejected or expired, never completed.
 
     ``reason`` is ``"queue_full"`` (wait-queue depth was at the cap
-    when the query arrived) or ``"slo_wait"`` (the fleet-wide estimated
-    wait exceeded the query's SLO).  ``estimated_wait_seconds`` is the
-    optimistic work-based wait estimate the verdict saw (simulated
-    seconds, referenced to the query's own ``submit_at``) and
-    ``queue_depth`` the number of queries already waiting at ingestion.
+    when the query arrived), ``"slo_wait"`` (the fleet-wide estimated
+    wait exceeded the query's SLO at ingestion), or
+    ``"deadline_expired"`` (the query's hard deadline — from its
+    :class:`~repro.serve.admission.QueryClass` — passed while it sat in
+    the wait queue; distinct from ``"slo_wait"`` so conservation audits
+    can attribute deadline sheds per class).  The first two verdicts
+    fire at ingestion; deadline expiry is checked against every queued
+    query as the clock advances.  ``estimated_wait_seconds`` is the
+    optimistic work-based wait estimate the verdict saw (for
+    ``"deadline_expired"``: the wait actually endured, ``shed time -
+    submit_at``; simulated seconds, referenced to the query's own
+    ``submit_at``) and ``queue_depth`` the number of queries waiting at
+    the verdict.  ``class_name`` / ``tenant`` carry the query's service
+    class for per-class attribution (``"default"`` when unclassed).
     Verdicts are deterministic: identical streams and limits shed
     identical queries.
     """
@@ -374,6 +533,8 @@ class ShedOutcome:
     reason: str
     queue_depth: int
     estimated_wait_seconds: float
+    class_name: str = "default"
+    tenant: str = "default"
 
 
 @dataclass
@@ -476,6 +637,56 @@ class StreamReport:
         return sum(1 for o in self.outcomes if o.stolen)
 
     @property
+    def deadline_count(self) -> int:
+        """Completed queries carrying a finite hard deadline."""
+        return sum(1 for o in self.outcomes if o.deadline_at != math.inf)
+
+    @property
+    def deadline_missed_count(self) -> int:
+        return sum(1 for o in self.outcomes if o.deadline_missed)
+
+    @property
+    def deadline_expired_count(self) -> int:
+        """Queued queries shed because their hard deadline passed."""
+        return sum(1 for s in self.shed if s.reason == "deadline_expired")
+
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Missed completions plus expired sheds, over every
+        deadline-bearing query that reached a terminal state (0.0 when
+        none carried a deadline).  An expired shed counts as a miss —
+        the query never ran at all."""
+        total = self.deadline_count + self.deadline_expired_count
+        if total == 0:
+            return 0.0
+        return (
+            self.deadline_missed_count + self.deadline_expired_count
+        ) / total
+
+    def per_class_stats(self) -> dict[str, ClassStats]:
+        """Per-service-class p50/p99 latency and deadline-miss rate
+        (expired sheds attributed to their class)."""
+        return _group_class_stats(self.outcomes, "class_name", self.shed)
+
+    def per_tenant_stats(self) -> dict[str, ClassStats]:
+        """Per-tenant p50/p99 latency and deadline-miss rate."""
+        return _group_class_stats(self.outcomes, "tenant", self.shed)
+
+    @property
+    def _classed(self) -> bool:
+        """Any non-default class or deadline present?  Gates the render
+        additions so unclassed reports stay byte-identical."""
+        return any(
+            o.class_name != "default"
+            or o.tenant != "default"
+            or o.deadline_at != math.inf
+            for o in self.outcomes
+        ) or any(
+            s.class_name != "default" or s.tenant != "default"
+            for s in self.shed
+        )
+
+    @property
     def peak_queue_depth(self) -> int:
         return max(self.queue_depths, default=0)
 
@@ -501,6 +712,18 @@ class StreamReport:
             f"(in-flight peak {self.peak_inflight_tasks}); "
             f"{self.retired_tasks} retired in {self.compactions} sweeps",
         ]
+        if self._classed:
+            # Classed runs only, so unclassed renders stay byte-
+            # identical to the historical format.
+            for label, stats in self.per_class_stats().items():
+                lines.append(
+                    f"class {label}: {stats.count} completed, p50/p99 "
+                    f"{stats.p50_latency:.3f}/{stats.p99_latency:.3f} s, "
+                    f"deadline miss {stats.deadline_miss_rate * 100:.1f}% "
+                    f"({stats.deadline_missed} late + "
+                    f"{stats.deadline_expired} expired / "
+                    f"{stats.deadline_count + stats.deadline_expired})"
+                )
         if self.failed:
             # Faulted runs only, so fault-free renders are unchanged.
             lines.append(
@@ -531,6 +754,18 @@ class QueryScheduler:
     device per admission.  ``devices=1`` — the default — reduces every
     policy to "device 0" and is pinned bit-identical to the historical
     single-device scheduler.
+
+    ``admission`` (a registry key from :mod:`repro.serve.admission`,
+    or a policy instance) picks which *arrived* queued query each
+    admission attempt tries to place: ``fifo`` (the default) is pinned
+    bit-identical to the historical head-of-line scheduler; ``sjf``,
+    ``edf`` and ``weighted_fair`` reorder the queue by cached solo
+    estimate, hard deadline, or tenant fairness.  Head-of-line blocking
+    applies to the policy's *chosen* head — when it cannot be placed,
+    the scheduler waits rather than skipping past it — and composes
+    unchanged with placement, stealing, fleet events and fault recovery
+    (a retried query re-enters under its original
+    :class:`~repro.serve.admission.QueryClass`).
 
     ``device_capacities`` / ``device_calibrations`` make the fleet
     heterogeneous: one entry per device (capacities in **bytes**;
@@ -574,6 +809,7 @@ class QueryScheduler:
         max_degradation: float | None = 2.0,
         devices: int = 1,
         placement: str | PlacementPolicy = LEAST_LOADED,
+        admission: str | AdmissionPolicy = FIFO,
         device_capacities: list[int] | None = None,
         device_calibrations: "list[Calibration | None] | None" = None,
         steal: bool = False,
@@ -622,6 +858,7 @@ class QueryScheduler:
             if device_calibrations is not None
             else None
         )
+        self.admission = admission
         self.steal = steal
         #: Fault recovery (used only when a run gets a non-empty
         #: ``faults=`` plan): how many times one query may be
@@ -633,6 +870,8 @@ class QueryScheduler:
         self.retry_backoff_seconds = retry_backoff_seconds
         if isinstance(placement, str):
             create_placement_policy(placement)  # validate the key eagerly
+        if isinstance(admission, str):
+            create_admission_policy(admission)  # validate the key eagerly
         #: Solo-placement cache; workloads repeat spec templates and the
         #: baseline is a pure function of (spec, materialize, pin,
         #: calibration).  The makespans themselves are memoized
@@ -673,6 +912,54 @@ class QueryScheduler:
         if key in (COPROCESSING, COPROCESSING_ADAPTIVE):
             return {"device_budget": reserved_bytes}
         return {}
+
+    def _max_degradation_for(self, request: QueryRequest) -> float | None:
+        """The degrade-vs-wait bound this query is admitted under: its
+        service class's ``max_degradation`` override when set, the
+        scheduler-wide setting otherwise — an interactive class can
+        accept a worse placement to start sooner without loosening the
+        bound for everyone."""
+        qc = request.query_class
+        if qc is not None and qc.max_degradation is not None:
+            return qc.max_degradation
+        return self.max_degradation
+
+    def _admission_pos(
+        self,
+        policy: AdmissionPolicy,
+        queue: "deque[QueryRequest]",
+        ctx: AdmissionContext,
+        clock: float,
+    ) -> int:
+        """Queue index of the admission policy's chosen candidate.
+
+        Builds the arrived-prefix view — every entry with ``submit_at
+        <= clock``; fault retries re-enter at the front with past
+        submit times and the tail stays submit-sorted, so arrivals are
+        always a contiguous prefix — asks the policy, and validates the
+        answer so a buggy policy raises *before* any queue or arena
+        mutation: an exception mid-pop leaves the run's books exactly
+        as they were.  FIFO never reaches here (``reorders=False``
+        short-circuits to index 0 at the call sites), keeping the
+        default path bit-identical to the pre-registry scheduler.
+        """
+        ctx.clock = clock
+        arrived: list[QueryRequest] = []
+        for request in queue:
+            if request.submit_at > clock:
+                break
+            arrived.append(request)
+        pos = policy.select(arrived, ctx)
+        if (
+            not isinstance(pos, int)
+            or isinstance(pos, bool)
+            or not 0 <= pos < len(arrived)
+        ):
+            raise SchedulingError(
+                f"admission policy {policy.key!r} selected {pos!r}; "
+                f"expected an index in [0, {len(arrived)})"
+            )
+        return pos
 
     def _solo(
         self,
@@ -965,7 +1252,8 @@ class QueryScheduler:
         # its device's calibration; ties break toward the lowest device
         # index.
         best = min(feasible, key=lambda c: (c.est_seconds, c.device))
-        if self.max_degradation is not None and fleet.any_running():
+        max_degradation = self._max_degradation_for(request)
+        if max_degradation is not None and fleet.any_running():
             degraded_alone = best.est_seconds
             solo_on_best = self._solo(
                 request, fleet[best.device].calibration
@@ -995,7 +1283,7 @@ class QueryScheduler:
                 for device in active
             )
             if (
-                degraded_alone > self.max_degradation * solo_on_best
+                degraded_alone > max_degradation * solo_on_best
                 or degraded_alone >= wait_then_solo
             ):
                 # Starting now with the cheaper placement is estimated
@@ -1084,6 +1372,9 @@ class QueryScheduler:
             device=device.index,
             stolen=stolen,
             retries=attempt,
+            class_name=class_name_of(request),
+            tenant=tenant_of(request),
+            deadline_at=hard_deadline(request),
         )
         device.running.add(request.qid)
         owner[request.qid] = device
@@ -1147,9 +1438,10 @@ class QueryScheduler:
                 est = self._offer_estimate(
                     request, key, need, device.calibration, solo_key
                 )
-                if key != solo_key and self.max_degradation is not None:
+                max_degradation = self._max_degradation_for(request)
+                if key != solo_key and max_degradation is not None:
                     solo_here = self._solo(request, device.calibration)[1]
-                    if est > self.max_degradation * solo_here:
+                    if est > max_degradation * solo_here:
                         continue
                 if best is None or (est, pos) < best[:2]:
                     best = (est, pos, key, need)
@@ -1289,6 +1581,11 @@ class QueryScheduler:
         capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
+        admission = create_admission_policy(self.admission)
+        admission.reset()
+        admission_ctx = AdmissionContext(
+            clock=0.0, solo_seconds=lambda r: self._solo(r)[1]
+        )
         if not requests:
             return ServeReport(
                 outcomes=[], makespan=0.0, capacity_bytes=capacity,
@@ -1371,17 +1668,27 @@ class QueryScheduler:
                 # draining on a retiring device finish normally.
                 fault_run.fail_stranded(pending)
 
-            # Admit in FIFO order while the head can be placed somewhere;
-            # head-of-line blocking keeps admission starvation-free.
+            # Admit while the admission policy's chosen head can be
+            # placed somewhere; head-of-line blocking — on the *chosen*
+            # head — keeps admission starvation-free.  FIFO (the
+            # default) always chooses index 0, reproducing the
+            # historical popleft loop exactly.
             while pending and pending[0].submit_at <= clock:
-                request = pending[0]
+                pos = (
+                    self._admission_pos(
+                        admission, pending, admission_ctx, clock
+                    )
+                    if admission.reorders
+                    else 0
+                )
+                request = pending[pos]
                 if fault_run is not None and fault_run.take_admission_fault(
                     request.qid
                 ):
                     # Planned transient admission failure: the refusal
                     # charges the same retry budget a crash does, and
                     # the query re-queues after its backoff.
-                    pending.popleft()
+                    del pending[pos]
                     fault_run.record_failure(request, clock)
                     continue
                 placed = self._place(
@@ -1390,11 +1697,12 @@ class QueryScheduler:
                 )
                 if placed is None:
                     break
-                pending.popleft()
+                del pending[pos]
                 self._admit(
                     request, placed, outcomes, task_names, owner, clock,
                     incremental=incremental, fault_run=fault_run,
                 )
+                admission.record_admit(request, admission_ctx)
 
             if self.steal and pending:
                 self._steal(
@@ -1495,6 +1803,9 @@ class QueryScheduler:
             clock = min(times)
             for qid in sorted(q for q in finishes if finishes[q] <= clock):
                 outcomes[qid].finish_at = finishes[qid]
+                outcomes[qid].deadline_missed = (
+                    finishes[qid] > outcomes[qid].deadline_at
+                )
                 device = owner[qid]
                 device.arena.release(qid, at=clock)
                 device.running.remove(qid)
@@ -1614,7 +1925,13 @@ class QueryScheduler:
           ``submit_at``) exceeds its SLO is shed with reason
           ``"slo_wait"``.  Estimates reuse the cached solo makespans
           and predicted finishes, so the verdict is O(running+queued)
-          with no new planning work.
+          with no new planning work;
+        * **deadline expiry** — a queued query whose hard deadline
+          (:class:`~repro.serve.admission.QueryClass`) passes before it
+          is admitted is shed with reason ``"deadline_expired"``
+          (checked at every clock stop, before admission, so an
+          expired query is never started).  Streams with no
+          deadline-bearing class run the exact historical path.
 
         ``compact_every=None`` disables compaction (the run then
         retains every task ever scheduled — only sensible for
@@ -1646,6 +1963,15 @@ class QueryScheduler:
         capacity = max(fleet.device_capacities())
         policy = create_placement_policy(self.placement)
         policy.reset()
+        admission = create_admission_policy(self.admission)
+        admission.reset()
+        admission_ctx = AdmissionContext(
+            clock=0.0, solo_seconds=lambda r: self._solo(r)[1]
+        )
+        #: Set the first time a deadline-bearing query is ingested;
+        #: gates the per-wave expiry sweep so deadline-free streams run
+        #: the exact historical path.
+        any_deadlines = False
 
         arrivals = iter(requests)
         next_req: QueryRequest | None = next(arrivals, None)
@@ -1691,6 +2017,8 @@ class QueryScheduler:
                     estimated_wait_seconds=self._stream_wait_estimate(
                         fleet, wait_queue, request.submit_at
                     ),
+                    class_name=class_name_of(request),
+                    tenant=tenant_of(request),
                 ))
                 return
             slo = (
@@ -1709,6 +2037,8 @@ class QueryScheduler:
                         reason="slo_wait",
                         queue_depth=depth,
                         estimated_wait_seconds=wait,
+                        class_name=class_name_of(request),
+                        tenant=tenant_of(request),
                     ))
                     return
             wait_queue.append(request)
@@ -1812,19 +2142,63 @@ class QueryScheduler:
                     raise InvalidConfigError("query ids must be unique")
                 seen.add(request.qid)
                 arrived += 1
+                if not any_deadlines and hard_deadline(request) != math.inf:
+                    any_deadlines = True
                 ingest(request)
                 next_req = next(arrivals, None)
 
-            # Admit in FIFO order while the head can be placed somewhere
-            # — identical policy and head-of-line blocking to `_serve`.
+            if any_deadlines and wait_queue:
+                # Shed queued queries whose hard deadline has already
+                # passed — they can no longer finish in time, and
+                # admitting them would burn fleet time a live query
+                # needs.  Verdict "deadline_expired" (distinct from the
+                # ingestion-time "slo_wait") so audits can attribute
+                # deadline sheds per class.  Runs before admission so an
+                # expired query is never admitted at or past its
+                # deadline; a fault-retried query carries its original
+                # class and is swept by the same rule.
+                expired = [
+                    r for r in wait_queue if hard_deadline(r) <= clock
+                ]
+                if expired:
+                    depth = len(wait_queue)
+                    gone = {r.qid for r in expired}
+                    for request in expired:
+                        shed.append(ShedOutcome(
+                            qid=request.qid,
+                            submit_at=request.submit_at,
+                            reason="deadline_expired",
+                            queue_depth=depth,
+                            estimated_wait_seconds=(
+                                clock - request.submit_at
+                            ),
+                            class_name=class_name_of(request),
+                            tenant=tenant_of(request),
+                        ))
+                    for pos in range(len(wait_queue) - 1, -1, -1):
+                        if wait_queue[pos].qid in gone:
+                            del wait_queue[pos]
+
+            # Admit while the admission policy's chosen head can be
+            # placed somewhere — identical head-of-line blocking to
+            # `_serve` (the stream's wait queue only ever holds arrived
+            # queries, so the whole queue is the policy's candidate
+            # view).
             while wait_queue:
-                request = wait_queue[0]
+                pos = (
+                    self._admission_pos(
+                        admission, wait_queue, admission_ctx, clock
+                    )
+                    if admission.reorders
+                    else 0
+                )
+                request = wait_queue[pos]
                 if fault_run is not None and fault_run.take_admission_fault(
                     request.qid
                 ):
                     # Transient admission failure — same budget and
                     # backoff as a crash loss (see `_serve`).
-                    wait_queue.popleft()
+                    del wait_queue[pos]
                     fault_run.record_failure(request, clock)
                     continue
                 placed = self._place(
@@ -1833,12 +2207,13 @@ class QueryScheduler:
                 )
                 if placed is None:
                     break
-                wait_queue.popleft()
+                del wait_queue[pos]
                 device = self._admit(
                     request, placed, outcomes, task_names, owner, clock,
                     incremental=True, keep_tasks=False,
                     fault_run=fault_run,
                 )
+                admission.record_admit(request, admission_ctx)
                 ntasks = len(task_names[request.qid])
                 inflight_tasks += ntasks
                 if ntasks > max_tasks_per_query:
@@ -1902,6 +2277,9 @@ class QueryScheduler:
                     for name in task_names[qid]
                 )
                 outcomes[qid].finish_at = finish
+                outcomes[qid].deadline_missed = (
+                    finish > outcomes[qid].deadline_at
+                )
                 device.predicted_finish[qid] = finish
                 generation = (
                     fault_run.generation(qid) if fault_run is not None else 0

@@ -27,13 +27,101 @@ planning work is all cache hits.
 from __future__ import annotations
 
 import random
+from dataclasses import replace
 from typing import Iterator
 
 from repro.data.spec import Distribution, JoinSpec, RelationSpec, unique_pair
 from repro.errors import InvalidConfigError
+from repro.serve.admission import QueryClass
 from repro.serve.scheduler import QueryRequest
 
 M = 1_000_000
+
+#: The three canonical service classes (see
+#: :class:`~repro.serve.admission.QueryClass`).  Deadlines are relative
+#: to submission, in simulated seconds; ``INTERACTIVE`` is tight enough
+#: that FIFO admission misses it behind heavy queries while
+#: deadline-aware admission does not, ``BATCH`` has none at all.
+INTERACTIVE = QueryClass(
+    name="interactive", priority=4, deadline_seconds=3.0
+)
+STANDARD = QueryClass(name="standard", priority=2, deadline_seconds=12.0)
+BATCH = QueryClass(name="batch", priority=1, deadline_seconds=None)
+
+#: The canonical class cycle, aligned with :func:`mixed_workload`'s
+#: four-regime cycle so the *small, fast* queries (kind 0) carry the
+#: tight interactive deadline, the mid-size residents (kind 2) the
+#: standard one, and the heavy streaming/co-processing queries (kinds
+#: 1, 3) run as deadline-free batch — the deadline-skewed mix the
+#: admission bench measures policies on.
+DEADLINE_CLASSES: tuple[QueryClass, ...] = (
+    INTERACTIVE, BATCH, STANDARD, BATCH
+)
+
+#: Default tenant cycle for classed workloads.  Length 3 against the
+#: length-4 class cycle, so every (class, tenant) pair occurs and the
+#: weighted-fair ledger sees real cross-tenant contention.
+TENANTS: tuple[str, ...] = ("tenant-a", "tenant-b", "tenant-c")
+
+
+def _scaled_class(
+    template: QueryClass,
+    tenant: "str | None",
+    deadline_scale: float,
+    cache: dict,
+) -> QueryClass:
+    """One stamped (template, tenant, scale) class instance, interned
+    so a 10^5-arrival classed stream allocates O(classes x tenants)
+    QueryClass objects, not one per request."""
+    key = (id(template), tenant, deadline_scale)
+    stamped = cache.get(key)
+    if stamped is None:
+        stamped = replace(
+            template,
+            tenant=tenant if tenant is not None else template.tenant,
+            deadline_seconds=(
+                None
+                if template.deadline_seconds is None
+                else template.deadline_seconds * deadline_scale
+            ),
+        )
+        cache[key] = stamped
+    return stamped
+
+
+def with_classes(
+    requests: "list[QueryRequest]",
+    *,
+    classes: tuple[QueryClass, ...] = DEADLINE_CLASSES,
+    deadline_scale: float = 1.0,
+    tenants: "tuple[str, ...] | None" = TENANTS,
+) -> "list[QueryRequest]":
+    """Stamp service classes onto a request list, deterministically.
+
+    Request ``i`` gets ``classes[i % len(classes)]`` with its deadline
+    multiplied by ``deadline_scale`` and (when ``tenants`` is given)
+    its tenant replaced by ``tenants[i % len(tenants)]``.  Purely a
+    re-stamping — qids, specs and submit times are untouched, so a
+    classed workload schedules identically to its unclassed original
+    under FIFO admission (classes only change *reporting* there).
+    """
+    if not classes:
+        raise InvalidConfigError("classes must be non-empty")
+    if deadline_scale <= 0:
+        raise InvalidConfigError("deadline_scale must be positive")
+    cache: dict = {}
+    return [
+        replace(
+            request,
+            query_class=_scaled_class(
+                classes[i % len(classes)],
+                tenants[i % len(tenants)] if tenants else None,
+                deadline_scale,
+                cache,
+            ),
+        )
+        for i, request in enumerate(requests)
+    ]
 
 #: Size wobble applied per cycle position so repeated templates differ.
 _WOBBLE = (1.0, 0.75, 1.25)
@@ -93,6 +181,32 @@ def mixed_workload(
             )
         )
     return requests
+
+
+def classed_workload(
+    n_queries: int,
+    *,
+    scale: float = 1.0,
+    spacing_seconds: float = 0.0,
+    deadline_scale: float = 1.0,
+) -> "list[QueryRequest]":
+    """The canonical deadline-skewed serving workload: the
+    :func:`mixed_workload` request list stamped with the
+    :data:`DEADLINE_CLASSES` cycle and the :data:`TENANTS` rotation.
+
+    Small resident queries carry the tight interactive deadline while
+    the heavy regimes run as deadline-free batch, so FIFO admission
+    strands interactive queries behind co-processing joins and misses
+    their deadlines — the skew the admission bench (``bench serve
+    --classes``) measures ``edf`` against.  ``deadline_scale``
+    multiplies every deadline (smaller = harsher).
+    """
+    return with_classes(
+        mixed_workload(
+            n_queries, scale=scale, spacing_seconds=spacing_seconds
+        ),
+        deadline_scale=deadline_scale,
+    )
 
 
 #: Cardinality grids (millions of tuples) the randomized workloads draw
@@ -184,6 +298,8 @@ def stream_workload(
     arrival_rate: float = 200.0,
     seed: int = 0,
     slo_wait_seconds: float | None = None,
+    classes: "tuple[QueryClass, ...] | None" = None,
+    deadline_scale: float = 1.0,
 ) -> Iterator[QueryRequest]:
     """Lazily generate an open arrival stream for
     :meth:`~repro.serve.scheduler.QueryScheduler.run_stream`.
@@ -196,13 +312,23 @@ def stream_workload(
     stream allocates no per-query spec objects and every admission
     decision is served from warm caches.  ``slo_wait_seconds``, when
     given, stamps each request's own admission-wait SLO (simulated
-    seconds), driving per-query load shedding.
+    seconds), driving per-query load shedding.  ``classes`` (e.g.
+    :data:`DEADLINE_CLASSES`) stamps service classes in the same
+    deterministic rotation :func:`with_classes` uses, deadlines scaled
+    by ``deadline_scale`` — the RNG draws are untouched, so a classed
+    stream's specs and arrival times match the unclassed stream
+    exactly.
     """
     if n_queries <= 0:
         raise InvalidConfigError("n_queries must be positive")
     if arrival_rate <= 0:
         raise InvalidConfigError("arrival_rate must be positive")
+    if classes is not None and not classes:
+        raise InvalidConfigError("classes must be non-empty (or None)")
+    if deadline_scale <= 0:
+        raise InvalidConfigError("deadline_scale must be positive")
     rng = random.Random(seed)
+    cache: dict = {}
     clock = 0.0
     for i in range(n_queries):
         draw = rng.random()
@@ -212,10 +338,19 @@ def stream_workload(
         spec, materialize = _STREAM_TEMPLATES[index]
         if i:
             clock += rng.expovariate(arrival_rate)
+        query_class = None
+        if classes is not None:
+            query_class = _scaled_class(
+                classes[i % len(classes)],
+                TENANTS[i % len(TENANTS)],
+                deadline_scale,
+                cache,
+            )
         yield QueryRequest(
             qid=f"s{i:06d}",
             spec=spec,
             submit_at=clock,
             materialize=materialize,
             slo_wait_seconds=slo_wait_seconds,
+            query_class=query_class,
         )
