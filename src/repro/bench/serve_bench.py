@@ -90,7 +90,10 @@ import time
 from dataclasses import asdict, dataclass
 
 from repro.bench.perf_bench import PerfEntry
-from repro.errors import SchedulingError
+from repro.core import estimate_cache, learned_cost, sample_store
+from repro.core.learned_cost import LearnedCostModel
+from repro.core.sample_store import SampleStore
+from repro.errors import SampleStoreError, SchedulingError
 from repro.gpusim.calibration import (
     CALIBRATION_PRESETS,
     Calibration,
@@ -249,6 +252,7 @@ def run_serve(
     admission: str = FIFO,
     classes: bool = False,
     deadline_scale: float = 1.0,
+    learned: bool = False,
     scheduler: QueryScheduler | None = None,
     check_determinism: bool = True,
 ) -> ServeReport:
@@ -272,7 +276,12 @@ def run_serve(
     (:func:`~repro.serve.workload.classed_workload`, deadlines scaled
     by ``deadline_scale``); reordering policies and classed workloads
     skip the serial-baseline assertion — admission order trades
-    makespan for latency/deadline goals on purpose.
+    makespan for latency/deadline goals on purpose.  ``learned=True``
+    serves under the opt-in learned cost-model fast path (a fitted
+    model must be installed via ``learned_cost.set_model``); learned
+    runs skip the serial-baseline assertion — the learned planner may
+    pick a different rung than solo analytic planning — but are still
+    deterministic and arena-verified.
     """
 
     def workload():
@@ -296,6 +305,7 @@ def run_serve(
         steal=steal,
         max_retries=max_retries,
         admission=admission,
+        learned=learned,
     )
     faulted = faults is not None and not faults.is_empty
     run = scheduler.run_online if online else scheduler.run
@@ -309,6 +319,7 @@ def run_serve(
         and not faulted
         and scheduler.admission == FIFO
         and not classes
+        and not scheduler.learned
     )
     verify_report(report, clients=clients, check_serial=canonical)
     if check_determinism:
@@ -321,6 +332,7 @@ def run_serve(
             steal=scheduler.steal,
             max_retries=scheduler.max_retries,
             admission=scheduler.admission,
+            learned=scheduler.learned,
         )
         rerun_fn = fresh.run_online if online else fresh.run
         rerun = rerun_fn(workload(), faults=faults)
@@ -351,6 +363,7 @@ def sweep(
     admission: str = FIFO,
     classes: bool = False,
     deadline_scale: float = 1.0,
+    learned: bool = False,
     check_determinism: bool = True,
 ) -> list[ServePoint]:
     """Throughput/latency versus offered concurrency."""
@@ -369,6 +382,7 @@ def sweep(
             admission=admission,
             classes=classes,
             deadline_scale=deadline_scale,
+            learned=learned,
             check_determinism=check_determinism,
         )
         points.append(
@@ -490,6 +504,7 @@ def run_stream_bench(
     admission: str = FIFO,
     classes: bool = False,
     deadline_scale: float = 1.0,
+    learned: bool = False,
     seed: int = 0,
 ) -> tuple[StreamReport, float]:
     """Run the steady-state streaming benchmark; returns (verified
@@ -510,6 +525,7 @@ def run_stream_bench(
         steal=steal,
         max_retries=max_retries,
         admission=admission,
+        learned=learned,
     )
     start = time.perf_counter()
     report = scheduler.run_stream(
@@ -969,6 +985,24 @@ def serve_main(argv: list[str] | None = None) -> int:
         help="fail when the --stream shed rate exceeds this fraction",
     )
     parser.add_argument(
+        "--sample-store",
+        default=None,
+        metavar="PATH",
+        help="persistent kernel-sample store: record every estimate of "
+        "this run into PATH (append-only JSONL, created on first use) "
+        "and warm-start the estimate/plan/ladder caches from it — "
+        "warm runs make bit-identical decisions to cold ones",
+    )
+    parser.add_argument(
+        "--learned",
+        action="store_true",
+        help="serve under the learned cost-model fast path: fit a "
+        "per-strategy regression from --sample-store and let the "
+        "planner rank feasible ladder rungs by predicted runtime "
+        "(approximate by design; skips the serial-baseline assertion, "
+        "keeps determinism and every arena invariant)",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_perf.json",
         help="JSON path the --stream series merge into "
@@ -1013,7 +1047,54 @@ def serve_main(argv: list[str] | None = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
     hetero = device_capacities is not None or device_calibrations is not None
+    if args.learned and not args.sample_store:
+        parser.error(
+            "--learned needs --sample-store: the regression is fit from "
+            "recorded kernel samples"
+        )
 
+    store = None
+    if args.sample_store:
+        try:
+            store = SampleStore.open(args.sample_store)
+        except SampleStoreError as exc:
+            parser.error(str(exc))
+    try:
+        if store is not None:
+            # Record every estimate of this run, and serve cache misses
+            # from entries earlier processes persisted.
+            sample_store.attach(store)
+            estimate_cache.attach_store(store)
+            print(f"sample store: {store.summary()}")
+        if args.learned:
+            model = LearnedCostModel.fit(store)
+            learned_cost.set_model(model)
+            print(model.summary())
+        return _serve_dispatch(
+            parser, args, spacing, device_capacities, device_calibrations,
+            hetero,
+        )
+    finally:
+        if args.learned:
+            learned_cost.clear_model()
+        if store is not None:
+            sample_store.detach()
+            estimate_cache.detach_store()
+            written = store.flush()
+            print(
+                f"sample store {args.sample_store}: {written} new "
+                f"record(s) appended"
+            )
+
+
+def _serve_dispatch(
+    parser: argparse.ArgumentParser,
+    args: argparse.Namespace,
+    spacing: float,
+    device_capacities: list[int] | None,
+    device_calibrations: "list[Calibration | None] | None",
+    hetero: bool,
+) -> int:
     if args.stream:
         rate = args.arrival_rate if args.arrival_rate else DEFAULT_STREAM_RATE
         max_queue = args.max_queue if args.max_queue > 0 else None
@@ -1045,6 +1126,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             admission=args.admission,
             classes=args.classes,
             deadline_scale=args.deadline_scale,
+            learned=args.learned,
             seed=args.seed,
         )
         classed_note = (
@@ -1143,6 +1225,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         and not args.faults
         and args.admission == FIFO
         and not args.classes
+        and not args.learned
     )
     mode = "online (incremental extension)" if args.online else "batch"
     if args.devices > 1:
@@ -1161,6 +1244,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         mode += ", work stealing"
     if args.faults:
         mode += f", fault injection (seed {args.fault_seed})"
+    if args.learned:
+        mode += ", learned cost model"
 
     if args.clients is not None:
         fault_plan = None
@@ -1180,6 +1265,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                 admission=args.admission,
                 classes=args.classes,
                 deadline_scale=args.deadline_scale,
+                learned=args.learned,
                 check_determinism=False,
             )
             fault_plan = FaultPlan.random(
@@ -1206,6 +1292,7 @@ def serve_main(argv: list[str] | None = None) -> int:
             admission=args.admission,
             classes=args.classes,
             deadline_scale=args.deadline_scale,
+            learned=args.learned,
         )
         wall = time.perf_counter() - start
         print(f"admission mode: {mode}")
@@ -1292,6 +1379,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         admission=args.admission,
         classes=args.classes,
         deadline_scale=args.deadline_scale,
+        learned=args.learned,
     )
     print(f"admission mode: {mode}")
     print(render_sweep(points))

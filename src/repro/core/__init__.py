@@ -1,6 +1,6 @@
 """The paper's contribution: the hardware-conscious GPU join family."""
 
-from repro.core import estimate_cache
+from repro.core import estimate_cache, learned_cost, sample_store
 from repro.core.adaptive import (
     AdaptiveCoProcessingJoin,
     recommend_partition_threads,
@@ -15,6 +15,8 @@ from repro.core.config import (
 )
 from repro.core.coprocessing import CoProcessingJoin, CoProcessingPlan
 from repro.core.gpu_nonpartitioned import GpuNonPartitionedJoin, GpuPerfectHashJoin
+from repro.core.learned_cost import LearnedCostModel, StrategyModel
+from repro.core.sample_store import KernelSample, SampleStore
 from repro.core.gpu_partitioned import GpuPartitionedJoin
 from repro.core.planner import (
     PLANNER_LADDER,
@@ -63,10 +65,14 @@ __all__ = [
     "JoinPlan",
     "JoinRunResult",
     "JoinStrategy",
+    "KernelSample",
+    "LearnedCostModel",
     "NLJ_PROBE",
     "PLANNER_LADDER",
     "PipelinedJoinStrategy",
     "STREAMING",
+    "SampleStore",
+    "StrategyModel",
     "StreamingProbeJoin",
     "WorkingSet",
     "choose_strategy_name",
@@ -75,6 +81,7 @@ __all__ = [
     "estimate_cache",
     "estimate_with_planner",
     "fig5_config",
+    "learned_cost",
     "knapsack_first_working_set",
     "pack_working_sets",
     "plan_join",
@@ -82,5 +89,6 @@ __all__ = [
     "recommend_staging_threads",
     "register_strategy",
     "registered_strategies",
+    "sample_store",
     "strategy_factory",
 ]

@@ -46,7 +46,16 @@ counted per cache (``stats().evictions`` / ``plan_evictions`` /
 ``ladder_evictions``) so a thrashing cache shows up in the
 ``bench perf`` accounting instead of hiding as slow estimates.
 Eviction never affects results — an evicted entry is simply recomputed
-on its next use.
+on its next use.  All three insertion sites evict *before* inserting
+when ``len(cache) >= max_entries`` — the ``>=`` (not ``>``) comparison
+is what guarantees no cache ever holds ``max_entries + 1`` entries;
+``tests/core/test_estimate_cache.py`` pins the bound for each cache.
+
+The caches can optionally be **persisted across processes** through a
+:class:`repro.core.sample_store.SampleStore` (:func:`attach_store`):
+misses consult the store before recomputing and new entries are
+written through, so a warm-started process makes bit-identical
+decisions to a cold one without re-estimating.
 
 Per-device memory budgets are part of every key already: a strategy's
 fingerprint includes its constructor extras (co-processing's
@@ -102,13 +111,24 @@ _plan_evictions = 0
 _ladder_hits = 0
 _ladder_misses = 0
 _ladder_evictions = 0
+#: Optional persistence backend (see :func:`attach_store`): an object
+#: with the duck-typed ``estimate_for_key`` / ``remember_estimate`` /
+#: ``ladder_for_key`` / ``remember_ladder`` / ``plan_for_key`` /
+#: ``remember_plan`` methods — in practice a
+#: :class:`repro.core.sample_store.SampleStore`.
+_store: Any = None
+_store_hits = 0
+_plan_store_hits = 0
+_ladder_store_hits = 0
 
 
 @dataclass(frozen=True)
 class CacheStats:
     """Hit/miss/eviction counters of the estimate cache (plan and
     ladder caches tracked separately so estimate-path accounting stays
-    comparable across releases)."""
+    comparable across releases).  ``store_hits`` counters record misses
+    answered by an attached persistent store instead of recomputation —
+    such a miss increments both ``misses`` and the store counter."""
 
     hits: int
     misses: int
@@ -122,6 +142,9 @@ class CacheStats:
     ladder_misses: int = 0
     ladder_evictions: int = 0
     ladder_entries: int = 0
+    store_hits: int = 0
+    plan_store_hits: int = 0
+    ladder_store_hits: int = 0
     max_entries: int = DEFAULT_MAX_ENTRIES
 
     @property
@@ -133,9 +156,17 @@ class CacheStats:
 def configure(*, enabled: bool, max_entries: int | None = None) -> None:
     """Enable/disable the cache (disabling also clears it) and, when
     ``max_entries`` is given, re-bound each cache's LRU capacity.
-    Shrinking below the current population evicts oldest-first."""
+    Shrinking below the current population evicts oldest-first.
+
+    Reconfiguring starts a fresh accounting epoch: counters are reset
+    via :func:`reset_stats` *before* any trimming, so hit-rates
+    measured after a ``configure`` reflect only that configuration
+    (evictions caused by the shrink itself are counted in the new
+    epoch).  Cached entries survive unless the cache is disabled.
+    """
     global _enabled, _max_entries
     _enabled = enabled
+    reset_stats()
     if max_entries is not None:
         if max_entries < 1:
             raise ValueError(f"max_entries must be >= 1, got {max_entries}")
@@ -162,11 +193,23 @@ def max_entries() -> int:
 
 def clear() -> None:
     """Drop every cached estimate and reset the counters."""
-    global _hits, _misses, _evictions, _plan_hits, _plan_misses
-    global _plan_evictions, _ladder_hits, _ladder_misses, _ladder_evictions
     _cache.clear()
     _ladder_cache.clear()
     _plan_cache.clear()
+    reset_stats()
+
+
+def reset_stats() -> None:
+    """Zero every hit/miss/eviction counter without touching entries.
+
+    Called by :func:`configure` so reconfigurations don't pollute
+    ``bench perf`` hit-rates with counts from a previous configuration;
+    also available directly for benchmarks that want per-phase
+    accounting over a warm cache.
+    """
+    global _hits, _misses, _evictions, _plan_hits, _plan_misses
+    global _plan_evictions, _ladder_hits, _ladder_misses, _ladder_evictions
+    global _store_hits, _plan_store_hits, _ladder_store_hits
     _hits = 0
     _misses = 0
     _evictions = 0
@@ -176,6 +219,9 @@ def clear() -> None:
     _ladder_hits = 0
     _ladder_misses = 0
     _ladder_evictions = 0
+    _store_hits = 0
+    _plan_store_hits = 0
+    _ladder_store_hits = 0
 
 
 def stats() -> CacheStats:
@@ -192,8 +238,40 @@ def stats() -> CacheStats:
         ladder_misses=_ladder_misses,
         ladder_evictions=_ladder_evictions,
         ladder_entries=len(_ladder_cache),
+        store_hits=_store_hits,
+        plan_store_hits=_plan_store_hits,
+        ladder_store_hits=_ladder_store_hits,
         max_entries=_max_entries,
     )
+
+
+# ---------------------------------------------------------------------------
+# Cross-process persistence (opt-in; see repro.core.sample_store)
+# ---------------------------------------------------------------------------
+def attach_store(store: Any) -> None:
+    """Back the caches with a persistent store.
+
+    ``store`` is duck-typed (``estimate_for_key`` / ``remember_estimate``
+    and the ladder/plan analogues) — in practice a
+    :class:`repro.core.sample_store.SampleStore`.  While attached, a
+    cache miss consults the store before recomputing (a hit there is
+    counted in ``stats().store_hits`` *in addition to* the miss, and
+    promoted into the in-memory LRU), and every newly computed entry is
+    written through so a later process can warm-start.  Stored values
+    are exact JSON round-trips of recomputation, so attaching a store
+    never changes results — only where they come from.
+    """
+    global _store
+    _store = store
+
+
+def detach_store() -> None:
+    global _store
+    _store = None
+
+
+def attached_store() -> Any:
+    return _store
 
 
 def make_key(
@@ -211,13 +289,20 @@ def make_key(
 
 def lookup(key: Hashable | None) -> "JoinMetrics | None":
     """A defensive copy of the cached metrics, or ``None`` on a miss.
-    A hit refreshes the entry's LRU recency."""
-    global _hits, _misses
+    A hit refreshes the entry's LRU recency; with a persistent store
+    attached, a miss consults the store and promotes its answer."""
+    global _hits, _misses, _store_hits
     if not _enabled or key is None:
         return None
     cached = _cache.get(key)
     if cached is None:
         _misses += 1
+        if _store is not None:
+            persisted = _store.estimate_for_key(key)
+            if persisted is not None:
+                _store_hits += 1
+                _insert(key, persisted)
+                return _copy(persisted)
         return None
     _cache.move_to_end(key)
     _hits += 1
@@ -225,9 +310,15 @@ def lookup(key: Hashable | None) -> "JoinMetrics | None":
 
 
 def store(key: Hashable | None, metrics: "JoinMetrics") -> None:
-    global _evictions
     if not _enabled or key is None:
         return
+    _insert(key, metrics)
+    if _store is not None:
+        _store.remember_estimate(key, metrics)
+
+
+def _insert(key: Hashable, metrics: "JoinMetrics") -> None:
+    global _evictions
     if key in _cache:
         _cache.move_to_end(key)
     elif len(_cache) >= _max_entries:
@@ -252,7 +343,7 @@ def cached_ladder_choice(
     available_bytes); admission control re-runs it on every scheduling
     event and the determinism re-run repeats the whole sequence.
     """
-    global _ladder_hits, _ladder_misses, _ladder_evictions
+    global _ladder_hits, _ladder_misses, _ladder_evictions, _ladder_store_hits
     if not _enabled:
         return compute()
     try:
@@ -262,7 +353,14 @@ def cached_ladder_choice(
     choice = _ladder_cache.get(key)
     if choice is None:
         _ladder_misses += 1
-        choice = compute()
+        persisted = _store.ladder_for_key(key) if _store is not None else None
+        if persisted is not None:
+            _ladder_store_hits += 1
+            choice = persisted
+        else:
+            choice = compute()
+            if _store is not None:
+                _store.remember_ladder(key, choice)
         if len(_ladder_cache) >= _max_entries:
             _ladder_cache.popitem(last=False)
             _ladder_evictions += 1
@@ -294,13 +392,20 @@ def cached_plan(
     key mismatch that silently stops the cache from hitting shows up
     in the accounting.
     """
-    global _plan_hits, _plan_misses, _plan_evictions
+    global _plan_hits, _plan_misses, _plan_evictions, _plan_store_hits
     if not _enabled or key is None:
         return compute()
     plan = _plan_cache.get(key)
     if plan is None:
         _plan_misses += 1
-        plan = compute()
+        persisted = _store.plan_for_key(key) if _store is not None else None
+        if persisted is not None:
+            _plan_store_hits += 1
+            plan = persisted
+        else:
+            plan = compute()
+            if _store is not None:
+                _store.remember_plan(key, plan)
         if len(_plan_cache) >= _max_entries:
             _plan_cache.popitem(last=False)
             _plan_evictions += 1

@@ -1,0 +1,304 @@
+"""Learned cost model: a regression fast path in front of the analytic model.
+
+The analytic cost model of :mod:`repro.core.cost` is exact but not
+free — estimating a strategy means building its phase plan and walking
+the kernel evaluators.  Once a fleet has served a few thousand queries,
+the :mod:`~repro.core.sample_store` holds enough ``(working-set
+features, simulated seconds)`` pairs to fit a closed-form least-squares
+regression *per strategy fingerprint*, and that regression can answer
+"roughly how long will this run?" in a dozen float multiplies.
+
+Two opt-in hooks consume the fitted model (both inert unless a model is
+installed via :func:`set_model` **and** activated via
+:func:`activation` — the ``learned=True`` / ``--learned`` flag):
+
+* :func:`fast_estimate` — consulted by
+  ``PipelinedJoinStrategy.estimate`` *before* the estimate cache; when
+  the model covers the strategy's fingerprint it answers from the
+  regression and the analytic model never runs.  Learned metrics are
+  **never written to the estimate cache**, so disabling the flag
+  instantly restores bit-identical analytic behaviour.
+* :func:`filter_ladder` — a first-pass filter for the planner ladder:
+  among the rungs whose capacity check passes, pick the one the model
+  predicts fastest instead of the first feasible rung.
+
+Determinism: the fit itself is deterministic (pure-Python normal
+equations, stable sample order from the store), so two processes
+fitting the same store produce the same coefficients, and a learned run
+is reproducible end-to-end.  What the learned path does *not* promise
+is agreement with the analytic model: predictions are approximations,
+so ladder choices may diverge — ``bench/regress.py`` bounds that
+divergence and asserts learned-on serving still satisfies every
+conservation/arena invariant.  See ``docs/cost_model.md``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
+
+from repro.core.sample_store import (
+    FEATURE_NAMES,
+    SampleStore,
+    stable_digest,
+    working_set_features,
+)
+
+if TYPE_CHECKING:
+    from repro.data.spec import JoinSpec
+
+#: Fewer samples than this for a fingerprint → no regression is fit for
+#: it (normal equations would be rank-deficient and extrapolation wild).
+MIN_SAMPLES = 8
+
+#: Ridge damping, scaled by the Gram matrix diagonal: enough to keep
+#: collinear features (tuple counts vs byte sizes) solvable, far too
+#: small to bias well-conditioned fits.
+RIDGE = 1e-8
+
+
+def _solve(matrix: list[list[float]], rhs: list[float]) -> list[float] | None:
+    """Gaussian elimination with partial pivoting; None if singular."""
+    n = len(rhs)
+    aug = [row[:] + [rhs[i]] for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = max(range(col, n), key=lambda r: abs(aug[r][col]))
+        if abs(aug[pivot][col]) < 1e-30:
+            return None
+        if pivot != col:
+            aug[col], aug[pivot] = aug[pivot], aug[col]
+        inv = 1.0 / aug[col][col]
+        for row in range(n):
+            if row == col:
+                continue
+            factor = aug[row][col] * inv
+            if factor == 0.0:
+                continue
+            for k in range(col, n + 1):
+                aug[row][k] -= factor * aug[col][k]
+    return [aug[i][n] / aug[i][i] for i in range(n)]
+
+
+def fit_least_squares(
+    rows: Sequence[Sequence[float]], targets: Sequence[float]
+) -> list[float] | None:
+    """Closed-form ridge least squares: solve ``(XᵀX + λI)β = Xᵀy``.
+
+    Pure Python on the 6×6 normal equations — no numpy dependency, and
+    deterministic across platforms for the sample counts a store holds.
+    """
+    if not rows:
+        return None
+    k = len(rows[0])
+    gram = [[0.0] * k for _ in range(k)]
+    moment = [0.0] * k
+    for row, y in zip(rows, targets):
+        for i in range(k):
+            xi = row[i]
+            if xi == 0.0:
+                continue
+            moment[i] += xi * y
+            for j in range(i, k):
+                gram[i][j] += xi * row[j]
+    for i in range(k):
+        for j in range(i):
+            gram[i][j] = gram[j][i]
+    scale = max(gram[i][i] for i in range(k)) or 1.0
+    for i in range(k):
+        gram[i][i] += RIDGE * scale
+    return _solve(gram, moment)
+
+
+@dataclass(frozen=True)
+class StrategyModel:
+    """Fitted regression for one strategy fingerprint."""
+
+    fingerprint: str
+    strategy: str
+    coefficients: tuple[float, ...]
+    n_samples: int
+
+    def predict(self, features: Sequence[float]) -> float:
+        total = 0.0
+        for coef, x in zip(self.coefficients, features):
+            total += coef * x
+        # Simulated time is positive; a wild extrapolation below zero
+        # would invert every downstream comparison.
+        return max(total, 1e-9)
+
+
+class LearnedCostModel:
+    """Per-strategy-fingerprint regressions fit from a sample store."""
+
+    def __init__(self, models: dict[str, StrategyModel]):
+        self._models = dict(models)
+
+    @classmethod
+    def fit(cls, store: SampleStore, *, min_samples: int = MIN_SAMPLES) -> "LearnedCostModel":
+        """Fit one regression per fingerprint with ``>= min_samples``
+        observations; under-sampled fingerprints are left uncovered (the
+        analytic model serves them)."""
+        models: dict[str, StrategyModel] = {}
+        for fingerprint, samples in store.samples_by_fingerprint().items():
+            if len(samples) < min_samples:
+                continue
+            rows = [list(s.features) for s in samples]
+            targets = [s.seconds for s in samples]
+            coefficients = fit_least_squares(rows, targets)
+            if coefficients is None:
+                continue
+            models[fingerprint] = StrategyModel(
+                fingerprint=fingerprint,
+                strategy=samples[0].strategy,
+                coefficients=tuple(coefficients),
+                n_samples=len(samples),
+            )
+        return cls(models)
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def covers(self, fingerprint: str | None) -> bool:
+        return fingerprint is not None and fingerprint in self._models
+
+    def model_for(self, fingerprint: str | None) -> StrategyModel | None:
+        if fingerprint is None:
+            return None
+        return self._models.get(fingerprint)
+
+    def predict(self, fingerprint: str | None, features: Sequence[float]) -> float | None:
+        model = self.model_for(fingerprint)
+        return None if model is None else model.predict(features)
+
+    def predict_for(
+        self, strategy: Any, spec: "JoinSpec", materialize: bool
+    ) -> float | None:
+        """Predicted seconds for one strategy instance, or None when the
+        model does not cover its fingerprint."""
+        fingerprint = stable_digest(strategy.cache_fingerprint())
+        model = self.model_for(fingerprint)
+        if model is None:
+            return None
+        return model.predict(working_set_features(spec, materialize))
+
+    def summary(self) -> str:
+        if not self._models:
+            return "learned cost model: no fingerprint has enough samples"
+        parts = ", ".join(
+            f"{m.strategy}[{m.fingerprint[:8]}]:{m.n_samples}"
+            for m in sorted(self._models.values(), key=lambda m: m.fingerprint)
+        )
+        return (
+            f"learned cost model: {len(self._models)} fingerprint(s) over "
+            f"features {FEATURE_NAMES} — {parts}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide installation + activation
+# ---------------------------------------------------------------------------
+# Installation (set_model) and activation (the `learned` flag) are
+# deliberately separate: a scheduler constructed with learned=False must
+# stay bit-identical to golden even when some other component in the
+# same process installed a model.  Only code inside an activation(True)
+# scope sees the fast path.
+_model: LearnedCostModel | None = None
+_active: bool = False
+
+
+def set_model(model: LearnedCostModel | None) -> None:
+    global _model
+    _model = model
+
+
+def get_model() -> LearnedCostModel | None:
+    return _model
+
+
+def clear_model() -> None:
+    global _model, _active
+    _model = None
+    _active = False
+
+
+def active() -> LearnedCostModel | None:
+    """The installed model iff the learned path is activated, else None."""
+    return _model if _active else None
+
+
+@contextlib.contextmanager
+def activation(on: bool) -> Iterator[None]:
+    """Force the learned path on or off for the duration of the scope.
+
+    Force-set (not merely nested) in both directions, so a
+    ``learned=False`` scheduler running inside some enclosing learned
+    scope still gets pure analytic behaviour.
+    """
+    global _active
+    previous = _active
+    _active = bool(on)
+    try:
+        yield
+    finally:
+        _active = previous
+
+
+def fast_estimate(strategy: Any, spec: "JoinSpec", materialize: bool):
+    """Learned prediction for an estimate call, or None to fall through
+    to the analytic model.  Returns a JoinMetrics whose note marks it as
+    learned; callers must NOT store it in the estimate cache."""
+    model = active()
+    if model is None:
+        return None
+    fingerprint = stable_digest(strategy.cache_fingerprint())
+    strategy_model = model.model_for(fingerprint)
+    if strategy_model is None:
+        return None
+    from repro.core.results import JoinMetrics
+
+    seconds = strategy_model.predict(working_set_features(spec, materialize))
+    return JoinMetrics(
+        strategy=getattr(strategy, "key", type(strategy).__name__),
+        seconds=seconds,
+        total_tuples=spec.total_tuples,
+        output_tuples=0.0,
+        phases={},
+        notes={"learned": 1.0},
+    )
+
+
+def filter_ladder(
+    spec: "JoinSpec",
+    system: Any,
+    rungs: Sequence[str],
+    feasible: Sequence[str],
+    *,
+    calibration: Any = None,
+    config: Any = None,
+) -> str | None:
+    """Pick the feasible rung the learned model predicts fastest.
+
+    ``feasible`` is the subset of ``rungs`` that passed the analytic
+    capacity check (capacity is never learned — admitting a plan that
+    cannot fit would break the arena invariants).  Returns None when the
+    learned path is inactive or covers none of the feasible rungs, in
+    which case the caller falls back to the analytic first-fit walk.
+    """
+    model = active()
+    if model is None or not feasible:
+        return None
+    from repro.core.strategy import create_strategy
+
+    best: tuple[float, int, str] | None = None
+    for name in feasible:
+        strategy = create_strategy(name, system, calibration, config)
+        predicted = model.predict_for(strategy, spec, materialize=False)
+        if predicted is None:
+            continue
+        # Tie-break on ladder order so equal predictions keep the
+        # analytic preference for earlier (more GPU-resident) rungs.
+        rank = (predicted, rungs.index(name) if name in rungs else len(rungs), name)
+        if best is None or rank < best:
+            best = rank
+    return None if best is None else best[2]

@@ -1,0 +1,571 @@
+"""Persistent kernel-sample store: the on-disk memory of the cost model.
+
+The analytic cost model re-derives every estimate from scratch in each
+process; restart-heavy serving fleets and parallel bench workers pay
+that cost again and again for workloads the system has already sized.
+This module mirrors the ``ElementaryOpCache`` shape of
+``joapolarbear/byteprofile-analysis`` (SNIPPETS.md snippet 3): every
+bench/serve run can append ``(spec fingerprint, strategy fingerprint,
+calibration, simulated-time)`` samples into one append-only file, and
+later processes load it to
+
+* fit the cheap per-strategy-fingerprint regression of
+  :mod:`repro.core.learned_cost` (the ``--learned`` fast path), and
+* warm-start the process-wide estimate/plan/ladder caches of
+  :mod:`repro.core.estimate_cache` (``attach_store``), so a fresh
+  process skips re-estimation for every key an earlier process already
+  computed — with **bit-identical** results, because cached values are
+  exact JSON round-trips of what recomputation would produce.
+
+File format (version |VERSION|): UTF-8 JSON lines.  The first line is a
+versioned header ``{"format": "repro-kernel-sample-store",
+"version": 1}``; every further line is one record tagged by ``kind`` —
+``"sample"`` (a kernel-cost observation), ``"estimate"`` /
+``"ladder"`` / ``"plan"`` (persisted cache entries keyed by a stable
+digest of the in-memory cache key).  Appends write whole lines in a
+single ``write`` call and new files are created via a temp file +
+``os.replace``, so readers never observe a half-written header.  A
+writer killed mid-append can still leave a truncated final line;
+:meth:`SampleStore.load` therefore *skips* undecodable record lines
+(counted in :attr:`SampleStore.skipped_records`) and only raises
+:class:`~repro.errors.SampleStoreError` when the header itself is
+missing, unparsable, or from an unknown format version.
+
+Keys and digests: the estimate/plan/ladder cache keys are tuples of
+frozen dataclasses (specs, system, calibration, config) whose ``repr``
+is deterministic across processes, so ``sha256(repr(key))`` is a stable
+cross-process identity.  Keys whose repr embeds a memory address
+(exotic custom strategy components) are refused — those entries simply
+stay process-local, exactly like unhashable keys bypass the in-memory
+cache.
+
+Determinism: persistence never changes decisions.  A warm-started
+process (store attached) returns byte-identical metrics, plans and
+ladder choices to a cold one, because floats survive the JSON
+round-trip exactly; ``tests/core/test_sample_store.py`` proves the
+cross-process round-trip and ``bench/regress.py`` the decision
+identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Hashable, Iterable
+
+from repro.core.results import JoinMetrics
+from repro.data.spec import Distribution, JoinSpec, RelationSpec
+from repro.errors import SampleStoreError
+from repro.pipeline.tasks import Task
+
+if TYPE_CHECKING:
+    from repro.core.strategy import JoinPlan
+
+#: Format tag and version of the store header line.
+FORMAT = "repro-kernel-sample-store"
+VERSION = 1
+
+#: Record kinds a store file may contain.
+RECORD_KINDS = ("sample", "estimate", "ladder", "plan")
+
+#: Names of the working-set feature vector, in order.  The learned
+#: regression (:mod:`repro.core.learned_cost`) fits simulated seconds as
+#: a linear function of these; keep them cheap (no planning, no kernel
+#: evaluation) and derivable from the spec alone.
+FEATURE_NAMES = (
+    "bias",
+    "build_mtuples",
+    "probe_mtuples",
+    "build_gb",
+    "probe_gb",
+    "materialize",
+)
+
+
+def working_set_features(spec: JoinSpec, materialize: bool) -> tuple[float, ...]:
+    """The working-set feature vector of one estimate (see
+    :data:`FEATURE_NAMES`).  Counts are in millions of tuples and sizes
+    in GB so the least-squares normal equations stay well-conditioned
+    at paper scale (up to 2048 M tuples)."""
+    return (
+        1.0,
+        spec.build.n / 1e6,
+        spec.probe.n / 1e6,
+        spec.build.nbytes / 1e9,
+        spec.probe.nbytes / 1e9,
+        1.0 if materialize else 0.0,
+    )
+
+
+def stable_digest(key: Hashable) -> str | None:
+    """A cross-process identity for a cache key, or ``None`` when the
+    key has no stable one.
+
+    The digest is ``sha256(repr(key))``: every component of the
+    registry strategies' keys is a frozen dataclass, enum, string or
+    number, all of which repr deterministically.  A repr that embeds a
+    memory address (``<object at 0x...>`` — default object repr of an
+    exotic custom component) is process-specific and is refused.
+    """
+    text = repr(key)
+    if " at 0x" in text:
+        return None
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()[:32]
+
+
+@dataclass(frozen=True)
+class KernelSample:
+    """One kernel-cost observation: what a strategy's analytic model
+    said one workload costs.
+
+    ``fingerprint`` is the stable digest of the strategy's cache
+    fingerprint (class, registry key, system, config, calibration,
+    constructor extras) — samples regress per fingerprint, so a fast
+    device's timings never train a slow device's predictor.
+    ``calibration`` is digested separately too, purely so operators can
+    group a store's samples by device speed.  ``seconds`` is simulated
+    time in the cost model's native units.
+    """
+
+    strategy: str
+    fingerprint: str
+    spec: str
+    calibration: str
+    features: tuple[float, ...]
+    seconds: float
+    materialize: bool = False
+
+    def to_record(self) -> dict[str, Any]:
+        return {
+            "kind": "sample",
+            "strategy": self.strategy,
+            "fingerprint": self.fingerprint,
+            "spec": self.spec,
+            "calibration": self.calibration,
+            "features": list(self.features),
+            "seconds": self.seconds,
+            "materialize": self.materialize,
+        }
+
+    @classmethod
+    def from_record(cls, record: dict[str, Any]) -> "KernelSample":
+        return cls(
+            strategy=str(record["strategy"]),
+            fingerprint=str(record["fingerprint"]),
+            spec=str(record["spec"]),
+            calibration=str(record["calibration"]),
+            features=tuple(float(x) for x in record["features"]),
+            seconds=float(record["seconds"]),
+            materialize=bool(record.get("materialize", False)),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Value (de)serialization — exact JSON round-trips of the cached objects
+# ---------------------------------------------------------------------------
+def _relation_to_dict(rel: RelationSpec) -> dict[str, Any]:
+    return {
+        "n": rel.n,
+        "distinct": rel.distinct,
+        "distribution": rel.distribution.value,
+        "zipf_s": rel.zipf_s,
+        "payload_bytes": rel.payload_bytes,
+        "late_payload_bytes": rel.late_payload_bytes,
+    }
+
+
+def _relation_from_dict(data: dict[str, Any]) -> RelationSpec:
+    return RelationSpec(
+        n=int(data["n"]),
+        distinct=None if data["distinct"] is None else int(data["distinct"]),
+        distribution=Distribution(data["distribution"]),
+        zipf_s=float(data["zipf_s"]),
+        payload_bytes=int(data["payload_bytes"]),
+        late_payload_bytes=int(data["late_payload_bytes"]),
+    )
+
+
+def spec_to_dict(spec: JoinSpec) -> dict[str, Any]:
+    """JSON form of a :class:`~repro.data.spec.JoinSpec` (for plan
+    persistence; the frozen dataclass reconstructs equal-by-value)."""
+    return {
+        "build": _relation_to_dict(spec.build),
+        "probe": _relation_to_dict(spec.probe),
+        "shared_domain": spec.shared_domain,
+        "identical_skew": spec.identical_skew,
+    }
+
+
+def spec_from_dict(data: dict[str, Any]) -> JoinSpec:
+    return JoinSpec(
+        build=_relation_from_dict(data["build"]),
+        probe=_relation_from_dict(data["probe"]),
+        shared_domain=bool(data["shared_domain"]),
+        identical_skew=bool(data["identical_skew"]),
+    )
+
+
+def metrics_to_dict(metrics: JoinMetrics) -> dict[str, Any]:
+    return {
+        "strategy": metrics.strategy,
+        "seconds": metrics.seconds,
+        "total_tuples": metrics.total_tuples,
+        "output_tuples": metrics.output_tuples,
+        "phases": dict(metrics.phases),
+        "pcie_h2d_bytes": metrics.pcie_h2d_bytes,
+        "pcie_d2h_bytes": metrics.pcie_d2h_bytes,
+        "notes": dict(metrics.notes),
+    }
+
+
+def metrics_from_dict(data: dict[str, Any]) -> JoinMetrics:
+    return JoinMetrics(
+        strategy=str(data["strategy"]),
+        seconds=float(data["seconds"]),
+        total_tuples=int(data["total_tuples"]),
+        output_tuples=float(data["output_tuples"]),
+        phases={str(k): float(v) for k, v in data["phases"].items()},
+        pcie_h2d_bytes=float(data["pcie_h2d_bytes"]),
+        pcie_d2h_bytes=float(data["pcie_d2h_bytes"]),
+        notes={str(k): float(v) for k, v in data["notes"].items()},
+    )
+
+
+def plan_to_dict(plan: "JoinPlan") -> dict[str, Any]:
+    return {
+        "strategy": plan.strategy,
+        "spec": spec_to_dict(plan.spec),
+        "tasks": [
+            {
+                "name": task.name,
+                "resource": task.resource,
+                "duration": task.duration,
+                "deps": list(task.deps),
+                "phase": task.phase,
+                "available_at": task.available_at,
+                "device": task.device,
+            }
+            for task in plan.tasks
+        ],
+        "resources": dict(plan.resources),
+        "phases": list(plan.phases),
+        "matches": plan.matches,
+        "materialize": plan.materialize,
+        "pcie_h2d_bytes": plan.pcie_h2d_bytes,
+        "pcie_d2h_bytes": plan.pcie_d2h_bytes,
+        "notes": dict(plan.notes),
+    }
+
+
+def plan_from_dict(data: dict[str, Any]) -> "JoinPlan":
+    from repro.core.strategy import JoinPlan  # local: strategy imports us
+
+    return JoinPlan(
+        strategy=str(data["strategy"]),
+        spec=spec_from_dict(data["spec"]),
+        tasks=[
+            Task(
+                name=str(t["name"]),
+                resource=str(t["resource"]),
+                duration=float(t["duration"]),
+                deps=tuple(str(d) for d in t["deps"]),
+                phase=None if t["phase"] is None else str(t["phase"]),
+                available_at=float(t["available_at"]),
+                device=int(t["device"]),
+            )
+            for t in data["tasks"]
+        ],
+        resources={str(k): int(v) for k, v in data["resources"].items()},
+        phases=tuple(str(p) for p in data["phases"]),
+        matches=float(data["matches"]),
+        materialize=bool(data["materialize"]),
+        pcie_h2d_bytes=float(data["pcie_h2d_bytes"]),
+        pcie_d2h_bytes=float(data["pcie_d2h_bytes"]),
+        notes={str(k): float(v) for k, v in data["notes"].items()},
+    )
+
+
+# ---------------------------------------------------------------------------
+# The store
+# ---------------------------------------------------------------------------
+@dataclass
+class SampleStore:
+    """Append-only store of kernel samples and persisted cache entries.
+
+    ``path=None`` keeps the store purely in memory (``flush`` is then a
+    no-op) — used by tests and the perf bench.  With a path, records
+    accumulate in memory and :meth:`flush` appends the new ones to the
+    file; use :meth:`load` / :meth:`open` to read an existing file.
+    Entries are deduplicated (an identical sample or an already-known
+    cache digest is not re-appended), so attaching the same store to
+    every run keeps the file's growth proportional to *new* knowledge.
+    """
+
+    path: str | None = None
+    samples: list[KernelSample] = field(default_factory=list)
+    #: Record lines skipped at load: truncated tails, undecodable or
+    #: unknown-kind lines.  Never raises — see the module docstring.
+    skipped_records: int = 0
+    _estimates: dict[str, dict[str, Any]] = field(default_factory=dict)
+    _ladder: dict[str, str] = field(default_factory=dict)
+    _plans: dict[str, dict[str, Any]] = field(default_factory=dict)
+    _pending: list[dict[str, Any]] = field(default_factory=list)
+    _seen_samples: "set[tuple]" = field(default_factory=set)
+
+    # -- loading -------------------------------------------------------
+    @classmethod
+    def load(cls, path: str) -> "SampleStore":
+        """Read an existing store file.
+
+        Raises :class:`~repro.errors.SampleStoreError` for a missing
+        file or a corrupt/unknown header; skips (and counts) truncated
+        or otherwise undecodable record lines.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                lines = handle.read().split("\n")
+        except OSError as exc:
+            raise SampleStoreError(f"cannot read sample store {path!r}: {exc}")
+        if not lines or not lines[0].strip():
+            raise SampleStoreError(f"sample store {path!r} has no header line")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise SampleStoreError(
+                f"sample store {path!r} header is not valid JSON: {exc}"
+            )
+        if not isinstance(header, dict) or header.get("format") != FORMAT:
+            raise SampleStoreError(
+                f"sample store {path!r} header does not declare format "
+                f"{FORMAT!r}: {header!r}"
+            )
+        if header.get("version") != VERSION:
+            raise SampleStoreError(
+                f"sample store {path!r} is format version "
+                f"{header.get('version')!r}; this build reads version "
+                f"{VERSION}"
+            )
+        store = cls(path=path)
+        for line in lines[1:]:
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                store._ingest(record)
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                # A crashed writer's truncated tail, or a corrupted
+                # line: skip it — the rest of the store stays usable.
+                store.skipped_records += 1
+        return store
+
+    @classmethod
+    def open(cls, path: str) -> "SampleStore":
+        """Load ``path`` if it exists, else an empty store bound to it."""
+        if os.path.exists(path):
+            return cls.load(path)
+        return cls(path=path)
+
+    def _ingest(self, record: dict[str, Any]) -> None:
+        """Add one decoded record to the in-memory state (no pending
+        write — used while loading).  Raises on malformed records; the
+        caller turns that into a skip."""
+        kind = record["kind"]
+        if kind == "sample":
+            sample = KernelSample.from_record(record)
+            dedup = (
+                sample.fingerprint,
+                sample.spec,
+                sample.materialize,
+                sample.seconds,
+            )
+            if dedup not in self._seen_samples:
+                self._seen_samples.add(dedup)
+                self.samples.append(sample)
+        elif kind == "estimate":
+            self._estimates[str(record["key"])] = dict(record["metrics"])
+        elif kind == "ladder":
+            self._ladder[str(record["key"])] = str(record["choice"])
+        elif kind == "plan":
+            self._plans[str(record["key"])] = dict(record["plan"])
+        else:
+            raise ValueError(f"unknown record kind {kind!r}")
+
+    # -- recording -----------------------------------------------------
+    def record_sample(self, sample: KernelSample) -> bool:
+        """Add a sample; returns whether it was new (duplicates of an
+        already-held observation are dropped)."""
+        dedup = (
+            sample.fingerprint,
+            sample.spec,
+            sample.materialize,
+            sample.seconds,
+        )
+        if dedup in self._seen_samples:
+            return False
+        self._seen_samples.add(dedup)
+        self.samples.append(sample)
+        self._pending.append(sample.to_record())
+        return True
+
+    # -- persisted caches (duck-typed by estimate_cache) ---------------
+    def digest_key(self, key: Hashable) -> str | None:
+        return stable_digest(key)
+
+    def estimate_for_key(self, key: Hashable) -> JoinMetrics | None:
+        digest = stable_digest(key)
+        if digest is None:
+            return None
+        data = self._estimates.get(digest)
+        return None if data is None else metrics_from_dict(data)
+
+    def remember_estimate(self, key: Hashable, metrics: JoinMetrics) -> None:
+        digest = stable_digest(key)
+        if digest is None or digest in self._estimates:
+            return
+        data = metrics_to_dict(metrics)
+        self._estimates[digest] = data
+        self._pending.append({"kind": "estimate", "key": digest, "metrics": data})
+
+    def ladder_for_key(self, key: Hashable) -> str | None:
+        digest = stable_digest(key)
+        if digest is None:
+            return None
+        return self._ladder.get(digest)
+
+    def remember_ladder(self, key: Hashable, choice: str) -> None:
+        digest = stable_digest(key)
+        if digest is None or digest in self._ladder:
+            return
+        self._ladder[digest] = choice
+        self._pending.append({"kind": "ladder", "key": digest, "choice": choice})
+
+    def plan_for_key(self, key: Hashable) -> "JoinPlan | None":
+        digest = stable_digest(key)
+        if digest is None:
+            return None
+        data = self._plans.get(digest)
+        return None if data is None else plan_from_dict(data)
+
+    def remember_plan(self, key: Hashable, plan: "JoinPlan") -> None:
+        digest = stable_digest(key)
+        if digest is None or digest in self._plans:
+            return
+        data = plan_to_dict(plan)
+        self._plans[digest] = data
+        self._pending.append({"kind": "plan", "key": digest, "plan": data})
+
+    # -- persistence ---------------------------------------------------
+    @property
+    def pending_records(self) -> int:
+        """Records recorded since the last :meth:`flush`."""
+        return len(self._pending)
+
+    @property
+    def cached_entries(self) -> tuple[int, int, int]:
+        """(estimate, ladder, plan) persisted-cache entry counts."""
+        return (len(self._estimates), len(self._ladder), len(self._plans))
+
+    def flush(self) -> int:
+        """Append pending records to the file; returns how many were
+        written.  Creating a fresh file goes through a temp file +
+        ``os.replace`` so a reader never sees a header-less store;
+        appends to an existing file write all lines in one call."""
+        if self.path is None or not self._pending:
+            self._pending.clear()
+            return 0
+        blob = "".join(
+            json.dumps(record, sort_keys=True) + "\n"
+            for record in self._pending
+        )
+        written = len(self._pending)
+        if not os.path.exists(self.path):
+            header = json.dumps({"format": FORMAT, "version": VERSION})
+            tmp = f"{self.path}.tmp.{os.getpid()}"
+            with open(tmp, "w", encoding="utf-8") as handle:
+                handle.write(header + "\n" + blob)
+            os.replace(tmp, self.path)
+        else:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(blob)
+        self._pending.clear()
+        return written
+
+    # -- queries -------------------------------------------------------
+    def samples_by_fingerprint(self) -> dict[str, list[KernelSample]]:
+        grouped: dict[str, list[KernelSample]] = {}
+        for sample in self.samples:
+            grouped.setdefault(sample.fingerprint, []).append(sample)
+        return grouped
+
+    def summary(self) -> str:
+        est, lad, plans = self.cached_entries
+        fingerprints = len({s.fingerprint for s in self.samples})
+        where = self.path if self.path is not None else "<memory>"
+        skipped = (
+            f", {self.skipped_records} corrupt record(s) skipped"
+            if self.skipped_records
+            else ""
+        )
+        return (
+            f"{where}: {len(self.samples)} samples over {fingerprints} "
+            f"strategy fingerprint(s); cached {est} estimates, {lad} "
+            f"ladder choices, {plans} plans{skipped}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Process-wide recording hook (consulted by PipelinedJoinStrategy.estimate)
+# ---------------------------------------------------------------------------
+_recording: SampleStore | None = None
+
+
+def attach(store: SampleStore) -> None:
+    """Record every subsequent estimate into ``store`` (bench/serve
+    recording hook; also see ``estimate_cache.attach_store`` for cache
+    persistence through the same store)."""
+    global _recording
+    _recording = store
+
+
+def detach() -> None:
+    global _recording
+    _recording = None
+
+
+def attached() -> SampleStore | None:
+    return _recording
+
+
+def record_estimate_sample(
+    strategy: Any, spec: JoinSpec, materialize: bool, metrics: JoinMetrics
+) -> None:
+    """Record one estimate into the attached store (no-op when none is
+    attached or the strategy has no stable fingerprint).  Called on
+    *every* estimate — cache hits included — so a warm process still
+    contributes its working set; the store deduplicates."""
+    if _recording is None:
+        return
+    fingerprint = stable_digest(strategy.cache_fingerprint())
+    spec_digest = stable_digest(spec)
+    if fingerprint is None or spec_digest is None:
+        return
+    cost_model = getattr(strategy, "cost_model", None)
+    calibration = stable_digest(getattr(cost_model, "calib", None)) or "none"
+    _recording.record_sample(
+        KernelSample(
+            strategy=getattr(strategy, "key", type(strategy).__name__),
+            fingerprint=fingerprint,
+            spec=spec_digest,
+            calibration=calibration,
+            features=working_set_features(spec, materialize),
+            seconds=metrics.seconds,
+            materialize=materialize,
+        )
+    )
+
+
+def snapshot_iter(samples: Iterable[KernelSample]) -> list[dict[str, Any]]:
+    """JSON-ready records of ``samples`` (diagnostics/tests helper)."""
+    return [sample.to_record() for sample in samples]

@@ -82,7 +82,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.core import estimate_cache
+from repro.core import estimate_cache, learned_cost
 from repro.core.config import GpuJoinConfig
 from repro.core.planner import choose_strategy_name
 from repro.core.strategy import (
@@ -127,19 +127,30 @@ from repro.serve.placement import (
 )
 
 
-def percentile(values: "Iterable[float]", q: float) -> float:
+def percentile(
+    values: "Iterable[float]", q: float, *, empty: float | None = 0.0
+) -> float | None:
     """Nearest-rank percentile: the smallest value with at least ``q``
     of the population at or below it (``rank = ceil(q*n) - 1`` into the
     sorted list, clamped).  This is the convention
     :attr:`ServeReport.p95_latency` has always used — every latency /
     queue-depth percentile in the serving layer goes through this one
-    helper so reports and benches can't drift apart.  Returns 0.0 for
-    an empty population."""
+    helper so reports and benches can't drift apart.  Returns ``empty``
+    for an empty population — 0.0 by default (the report-level
+    convention, pinned by the stream property suite), but group-level
+    stats pass ``empty=None`` so a class with zero completed queries
+    reports *no* latency rather than a fake 0.0 one."""
     ordered = sorted(values)
     if not ordered:
-        return 0.0
+        return empty
     rank = math.ceil(q * len(ordered)) - 1
     return ordered[max(0, min(len(ordered) - 1, rank))]
+
+
+def _fmt_secs(value: float | None) -> str:
+    """Render a possibly-absent latency: ``n/a`` when the group it
+    aggregates is empty (None), else seconds to ms precision."""
+    return "n/a" if value is None else f"{value:.3f}"
 
 
 @dataclass(frozen=True)
@@ -148,17 +159,20 @@ class ClassStats:
 
     Latencies are **simulated seconds** over the completed queries in
     the group (percentiles via :func:`percentile`, the serving layer's
-    one nearest-rank helper).  ``deadline_count`` is the completed
-    queries carrying a finite hard deadline, ``deadline_missed`` how
-    many of those finished past it, and ``deadline_expired`` the queued
-    queries streaming shed at deadline expiry (always 0 for batch /
-    online runs, which never shed).
+    one nearest-rank helper) — or ``None`` when the group completed
+    nothing (e.g. a class whose every query was shed at deadline
+    expiry), rendered as ``n/a``: an explicit absence, never a fake 0.0
+    latency.  ``deadline_count`` is the completed queries carrying a
+    finite hard deadline, ``deadline_missed`` how many of those
+    finished past it, and ``deadline_expired`` the queued queries
+    streaming shed at deadline expiry (always 0 for batch / online
+    runs, which never shed).
     """
 
     count: int
-    mean_latency: float
-    p50_latency: float
-    p99_latency: float
+    mean_latency: float | None
+    p50_latency: float | None
+    p99_latency: float | None
     deadline_count: int
     deadline_missed: int
     deadline_expired: int = 0
@@ -200,10 +214,10 @@ def _group_class_stats(
         stats[label] = ClassStats(
             count=len(members),
             mean_latency=(
-                sum(latencies) / len(latencies) if latencies else 0.0
+                sum(latencies) / len(latencies) if latencies else None
             ),
-            p50_latency=percentile(latencies, 0.50),
-            p99_latency=percentile(latencies, 0.99),
+            p50_latency=percentile(latencies, 0.50, empty=None),
+            p99_latency=percentile(latencies, 0.99, empty=None),
             deadline_count=sum(
                 1 for o in members if o.deadline_at != math.inf
             ),
@@ -486,7 +500,8 @@ class ServeReport:
             for label, stats in self.per_class_stats().items():
                 lines.append(
                     f"class {label}: {stats.count} completed, p50/p99 "
-                    f"{stats.p50_latency:.3f}/{stats.p99_latency:.3f} s, "
+                    f"{_fmt_secs(stats.p50_latency)}/"
+                    f"{_fmt_secs(stats.p99_latency)} s, "
                     f"deadline miss {stats.deadline_miss_rate * 100:.1f}% "
                     f"({stats.deadline_missed}/{stats.deadline_count})"
                 )
@@ -718,7 +733,8 @@ class StreamReport:
             for label, stats in self.per_class_stats().items():
                 lines.append(
                     f"class {label}: {stats.count} completed, p50/p99 "
-                    f"{stats.p50_latency:.3f}/{stats.p99_latency:.3f} s, "
+                    f"{_fmt_secs(stats.p50_latency)}/"
+                    f"{_fmt_secs(stats.p99_latency)} s, "
                     f"deadline miss {stats.deadline_miss_rate * 100:.1f}% "
                     f"({stats.deadline_missed} late + "
                     f"{stats.deadline_expired} expired / "
@@ -815,6 +831,7 @@ class QueryScheduler:
         steal: bool = False,
         max_retries: int = 3,
         retry_backoff_seconds: float = 0.05,
+        learned: bool = False,
     ):
         if max_degradation is not None and max_degradation < 1.0:
             raise InvalidConfigError("max_degradation must be >= 1.0")
@@ -860,6 +877,16 @@ class QueryScheduler:
         )
         self.admission = admission
         self.steal = steal
+        #: Opt-in learned cost-model fast path: every run of this
+        #: scheduler executes inside
+        #: ``learned_cost.activation(self.learned)`` — a force-set in
+        #: both directions, so ``learned=False`` (the default) keeps
+        #: runs bit-identical to golden even when some other component
+        #: in the process has installed a fitted model.  ``learned=True``
+        #: additionally requires a model (``learned_cost.set_model``) to
+        #: actually change anything; without one every estimate falls
+        #: through to the analytic path.
+        self.learned = learned
         #: Fault recovery (used only when a run gets a non-empty
         #: ``faults=`` plan): how many times one query may be
         #: re-admitted after a crash or transient admission failure,
@@ -903,8 +930,15 @@ class QueryScheduler:
     def _choose(self, request: QueryRequest, available_bytes: int) -> str:
         if request.strategy is not None:
             return request.strategy
+        # calibration/config only matter to the opt-in learned ladder
+        # filter (they pick which fingerprints it predicts under); the
+        # analytic walk ignores them, so learned=False is unchanged.
         return choose_strategy_name(
-            request.spec, self.system, available_bytes=available_bytes
+            request.spec,
+            self.system,
+            available_bytes=available_bytes,
+            calibration=self.calibration,
+            config=self.config,
         )
 
     def _strategy_kwargs(self, key: str, reserved_bytes: int) -> dict[str, Any]:
@@ -979,7 +1013,9 @@ class QueryScheduler:
         cached = self._solo_cache.get(cache_key)
         if cached is not None:
             return cached
-        key = request.strategy or choose_strategy_name(request.spec, self.system)
+        key = request.strategy or choose_strategy_name(
+            request.spec, self.system, calibration=calib, config=self.config
+        )
         strategy = create_strategy(key, self.system, calib, self.config)
         metrics = strategy.estimate(request.spec, materialize=request.materialize)
         self._solo_cache[cache_key] = (key, metrics.seconds)
@@ -1573,6 +1609,24 @@ class QueryScheduler:
         fleet_events: "Iterable[FleetEvent] | None" = None,
         faults: "FaultPlan | None" = None,
     ) -> ServeReport:
+        # Every batch/online run executes under this scheduler's learned
+        # setting — a force-set in both directions, so learned=False
+        # runs are bit-identical to golden even when another component
+        # in the process has installed and activated a model.
+        with learned_cost.activation(self.learned):
+            return self._serve_impl(
+                requests, incremental=incremental,
+                fleet_events=fleet_events, faults=faults,
+            )
+
+    def _serve_impl(
+        self,
+        requests: list[QueryRequest],
+        *,
+        incremental: bool,
+        fleet_events: "Iterable[FleetEvent] | None" = None,
+        faults: "FaultPlan | None" = None,
+    ) -> ServeReport:
         if len({r.qid for r in requests}) != len(requests):
             raise InvalidConfigError("query ids must be unique")
         fleet = self._build_fleet()
@@ -1951,6 +2005,26 @@ class QueryScheduler:
         ``completed + shed + failed == arrivals``.  An empty plan runs
         the exact fault-free path.
         """
+        with learned_cost.activation(self.learned):
+            return self._run_stream_impl(
+                requests,
+                max_queue_depth=max_queue_depth,
+                slo_wait_seconds=slo_wait_seconds,
+                compact_every=compact_every,
+                fleet_events=fleet_events,
+                faults=faults,
+            )
+
+    def _run_stream_impl(
+        self,
+        requests: "Iterable[QueryRequest]",
+        *,
+        max_queue_depth: int | None,
+        slo_wait_seconds: float | None,
+        compact_every: int | None,
+        fleet_events: "Iterable[FleetEvent] | None",
+        faults: "FaultPlan | None",
+    ) -> StreamReport:
         if max_queue_depth is not None and max_queue_depth < 1:
             raise InvalidConfigError("max_queue_depth must be >= 1")
         if slo_wait_seconds is not None and slo_wait_seconds < 0:

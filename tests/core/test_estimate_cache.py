@@ -235,6 +235,68 @@ def test_configure_rejects_nonpositive_max_entries():
         estimate_cache.configure(enabled=True, max_entries=0)
 
 
+def test_configure_resets_counters_but_keeps_entries():
+    """configure() starts a fresh accounting epoch: counters zero, the
+    cached entries survive (so reconfiguring stats tracking mid-process
+    doesn't throw away warm state)."""
+    strategy = create_strategy("gpu_resident")
+    strategy.estimate(SPEC)
+    strategy.estimate(SPEC)
+    assert estimate_cache.stats().hits == 1
+    estimate_cache.configure(enabled=True)
+    stats = estimate_cache.stats()
+    assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+    assert stats.entries == 1  # the entry itself survived
+    strategy.estimate(SPEC)
+    assert estimate_cache.stats().hits == 1  # ...and still hits
+
+
+def test_configure_shrink_evictions_count_in_new_epoch():
+    """Evictions caused by a configure() shrink land in the epoch the
+    shrink begins, not the one it ends."""
+    strategy = create_strategy("gpu_resident")
+    for n in (4, 8, 16):
+        strategy.estimate(unique_pair(n * 1_000_000))
+    estimate_cache.configure(enabled=True, max_entries=1)
+    stats = estimate_cache.stats()
+    assert stats.evictions == 2
+    assert (stats.hits, stats.misses) == (0, 0)
+
+
+def test_reset_stats_zeroes_every_counter():
+    strategy = create_strategy("gpu_resident")
+    strategy.estimate(SPEC)
+    strategy.estimate(SPEC)
+    estimate_cache.cached_plan(("p",), lambda: 1)
+    estimate_cache.cached_ladder_choice(("l",), lambda: "x")
+    estimate_cache.reset_stats()
+    stats = estimate_cache.stats()
+    assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+    assert (stats.plan_hits, stats.plan_misses) == (0, 0)
+    assert (stats.ladder_hits, stats.ladder_misses) == (0, 0)
+    assert (stats.store_hits, stats.plan_store_hits,
+            stats.ladder_store_hits) == (0, 0, 0)
+    assert stats.entries == 1  # entries are not stats
+
+
+def test_attached_store_serves_misses_and_takes_writes():
+    from repro.core.sample_store import SampleStore
+
+    store = SampleStore()
+    estimate_cache.attach_store(store)
+    try:
+        first = create_strategy("gpu_resident").estimate(SPEC)
+        assert store.cached_entries[0] == 1  # write-through on compute
+        estimate_cache.clear()  # drop the LRU, keep the store
+        second = create_strategy("gpu_resident").estimate(SPEC)
+        assert second == first
+        stats = estimate_cache.stats()
+        assert stats.store_hits == 1
+        assert stats.misses == 1  # a store hit still counts the miss
+    finally:
+        estimate_cache.detach_store()
+
+
 def test_eviction_never_changes_results():
     """A thrashing one-entry cache must produce the same numbers as a
     generous one — eviction only costs recomputation."""

@@ -1,0 +1,235 @@
+"""The learned cost model: fit correctness, gating, and cache hygiene.
+
+* the closed-form ridge fit recovers exact coefficients on synthetic
+  linear data (the ridge damping is negligible by construction);
+* fingerprints below ``MIN_SAMPLES`` stay uncovered — the analytic
+  model serves them;
+* installation (:func:`~repro.core.learned_cost.set_model`) and
+  activation (:func:`~repro.core.learned_cost.activation`) are
+  separate gates, force-set in both directions;
+* the fast path answers before the estimate cache and never writes to
+  it, so switching ``learned`` off restores analytic behaviour
+  bit-for-bit.
+"""
+
+import pytest
+
+from repro.core import create_strategy, estimate_cache, learned_cost, sample_store
+from repro.core.learned_cost import (
+    MIN_SAMPLES,
+    LearnedCostModel,
+    StrategyModel,
+    fit_least_squares,
+)
+from repro.core.sample_store import (
+    KernelSample,
+    SampleStore,
+    stable_digest,
+    working_set_features,
+)
+from repro.data import unique_pair
+
+SPEC = unique_pair(32_000_000)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    learned_cost.clear_model()
+    sample_store.detach()
+    estimate_cache.clear()
+    yield
+    learned_cost.clear_model()
+    sample_store.detach()
+    estimate_cache.clear()
+
+
+def _recorded_store(steps=range(1, 13)) -> SampleStore:
+    """Record gpu_resident estimates over a size sweep."""
+    store = SampleStore()
+    sample_store.attach(store)
+    try:
+        for step in steps:
+            create_strategy("gpu_resident").estimate(
+                unique_pair(step * 1_000_000, step * 8_000_000)
+            )
+    finally:
+        sample_store.detach()
+    return store
+
+
+# ---------------------------------------------------------------------------
+# The fit
+# ---------------------------------------------------------------------------
+def test_least_squares_recovers_synthetic_coefficients():
+    true = [0.5, 2.0, -0.25]
+    rows = [
+        [1.0, float(i), float(i * i % 7)]
+        for i in range(12)
+    ]
+    targets = [sum(c * x for c, x in zip(true, row)) for row in rows]
+    fitted = fit_least_squares(rows, targets)
+    assert fitted is not None
+    for got, want in zip(fitted, true):
+        assert got == pytest.approx(want, abs=1e-6)
+
+
+def test_least_squares_handles_degenerate_inputs():
+    assert fit_least_squares([], []) is None
+    # A constant column alone is solvable (ridge keeps it conditioned).
+    fitted = fit_least_squares([[1.0]] * 4, [3.0] * 4)
+    assert fitted is not None
+    assert fitted[0] == pytest.approx(3.0, rel=1e-6)
+
+
+def test_fit_predicts_close_to_analytic_in_sample():
+    store = _recorded_store()
+    model = LearnedCostModel.fit(store)
+    assert len(model) == 1
+    spec = unique_pair(6_000_000, 48_000_000)
+    strategy = create_strategy("gpu_resident")
+    predicted = model.predict_for(strategy, spec, materialize=False)
+    analytic = strategy.estimate(spec).seconds
+    assert predicted == pytest.approx(analytic, rel=0.25)
+
+
+def test_min_samples_gates_coverage():
+    store = _recorded_store(steps=range(1, MIN_SAMPLES))  # one short
+    assert len(store.samples) == MIN_SAMPLES - 1
+    assert len(LearnedCostModel.fit(store)) == 0
+    assert len(LearnedCostModel.fit(store, min_samples=2)) == 1
+
+
+def test_fit_is_deterministic():
+    first = LearnedCostModel.fit(_recorded_store())
+    second = LearnedCostModel.fit(_recorded_store())
+    fp = next(iter(first._models))
+    assert first._models[fp].coefficients == second._models[fp].coefficients
+
+
+def test_predict_clamps_to_positive():
+    model = StrategyModel(
+        fingerprint="fp", strategy="s", coefficients=(-5.0, 0.0), n_samples=9
+    )
+    assert model.predict([1.0, 100.0]) > 0.0
+
+
+# ---------------------------------------------------------------------------
+# Installation vs activation
+# ---------------------------------------------------------------------------
+def test_installation_alone_is_inert():
+    learned_cost.set_model(LearnedCostModel.fit(_recorded_store()))
+    assert learned_cost.active() is None
+    assert learned_cost.fast_estimate(
+        create_strategy("gpu_resident"), SPEC, False
+    ) is None
+
+
+def test_activation_is_forced_in_both_directions():
+    model = LearnedCostModel.fit(_recorded_store())
+    learned_cost.set_model(model)
+    with learned_cost.activation(True):
+        assert learned_cost.active() is model
+        with learned_cost.activation(False):  # nested analytic scope
+            assert learned_cost.active() is None
+        assert learned_cost.active() is model
+    assert learned_cost.active() is None  # restored on exit
+
+
+def test_activation_without_model_is_a_no_op():
+    with learned_cost.activation(True):
+        assert learned_cost.active() is None
+        analytic = create_strategy("gpu_resident").estimate(SPEC)
+    assert "learned" not in analytic.notes
+
+
+# ---------------------------------------------------------------------------
+# The fast path and cache hygiene
+# ---------------------------------------------------------------------------
+def test_fast_path_answers_and_never_pollutes_the_cache():
+    learned_cost.set_model(LearnedCostModel.fit(_recorded_store()))
+    estimate_cache.clear()
+    with learned_cost.activation(True):
+        metrics = create_strategy("gpu_resident").estimate(SPEC)
+    assert metrics.notes.get("learned") == 1.0
+    stats = estimate_cache.stats()
+    assert (stats.entries, stats.hits, stats.misses) == (0, 0, 0)
+    # Learned off again: the analytic answer, computed fresh.
+    analytic = create_strategy("gpu_resident").estimate(SPEC)
+    assert "learned" not in analytic.notes
+    assert analytic.seconds != metrics.seconds or analytic.phases
+
+
+def test_uncovered_strategy_falls_through_to_analytic():
+    learned_cost.set_model(LearnedCostModel.fit(_recorded_store()))
+    with learned_cost.activation(True):
+        metrics = create_strategy("coprocessing").estimate(
+            unique_pair(512_000_000)
+        )
+    assert "learned" not in metrics.notes
+
+
+def test_kwarg_estimates_bypass_the_fast_path():
+    """Constructor-kwarg estimates aren't captured by the feature
+    vector; they must stay analytic even when the model covers the
+    fingerprint-free portion of the key."""
+    store = SampleStore()
+    sample_store.attach(store)
+    try:
+        with learned_cost.activation(True):
+            create_strategy("coprocessing").estimate(
+                unique_pair(512_000_000), threads=4
+            )
+    finally:
+        sample_store.detach()
+    assert store.samples == []  # kwarg estimates are not recorded either
+
+
+def test_filter_ladder_prefers_predicted_fastest():
+    fp_a = stable_digest(create_strategy("gpu_resident").cache_fingerprint())
+    fp_b = stable_digest(create_strategy("streaming").cache_fingerprint())
+    fast = StrategyModel(
+        fingerprint=fp_b, strategy="streaming",
+        coefficients=(0.001, 0.0, 0.0, 0.0, 0.0, 0.0), n_samples=9,
+    )
+    slow = StrategyModel(
+        fingerprint=fp_a, strategy="gpu_resident",
+        coefficients=(9.0, 0.0, 0.0, 0.0, 0.0, 0.0), n_samples=9,
+    )
+    learned_cost.set_model(LearnedCostModel({fp_a: slow, fp_b: fast}))
+    rungs = ("gpu_resident", "streaming", "coprocessing")
+    with learned_cost.activation(True):
+        choice = learned_cost.filter_ladder(
+            SPEC, None, rungs, ("gpu_resident", "streaming")
+        )
+        assert choice == "streaming"
+        # Coverage restricted to an uncovered feasible set: fall through.
+        assert learned_cost.filter_ladder(
+            SPEC, None, rungs, ("coprocessing",)
+        ) is None
+    # Inactive: the filter never engages.
+    assert learned_cost.filter_ladder(
+        SPEC, None, rungs, ("gpu_resident", "streaming")
+    ) is None
+
+
+def test_planner_uses_filter_only_when_active():
+    from repro.core import choose_strategy_name
+    from repro.gpusim.spec import SystemSpec
+
+    system = SystemSpec()
+    baseline = choose_strategy_name(SPEC, system)
+    assert baseline == "gpu_resident"
+    fp = stable_digest(
+        create_strategy("streaming", system).cache_fingerprint()
+    )
+    # A model claiming streaming is instant for everything.
+    learned_cost.set_model(LearnedCostModel({
+        fp: StrategyModel(
+            fingerprint=fp, strategy="streaming",
+            coefficients=(1e-6, 0.0, 0.0, 0.0, 0.0, 0.0), n_samples=9,
+        )
+    }))
+    with learned_cost.activation(True):
+        assert choose_strategy_name(SPEC, system) == "streaming"
+    # Off again: analytic walk, unchanged by the installed model.
+    assert choose_strategy_name(SPEC, system) == "gpu_resident"

@@ -1,0 +1,281 @@
+"""Persistence contracts of the kernel-sample store.
+
+Three anchor properties, matching ``docs/cost_model.md``:
+
+* **Round-trip fidelity** — samples and persisted cache entries
+  survive ``flush()`` + ``load()`` exactly, including across a real
+  process boundary (a subprocess writes, this process reads);
+* **Corruption tolerance** — a truncated or garbled record line (a
+  crashed writer's tail) is *skipped* and counted, never fatal, while
+  a missing/corrupt/unknown-version header raises the named
+  :class:`~repro.errors.SampleStoreError`;
+* **Decision identity** — a warm-started process (store attached to
+  the estimate cache) returns bit-identical metrics to a cold one,
+  and its store hits are visible in ``stats()``.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.core import create_strategy, estimate_cache, sample_store
+from repro.core.sample_store import (
+    FORMAT,
+    VERSION,
+    KernelSample,
+    SampleStore,
+    plan_from_dict,
+    plan_to_dict,
+    stable_digest,
+    working_set_features,
+)
+from repro.data import unique_pair
+from repro.errors import SampleStoreError
+
+SPEC = unique_pair(32_000_000)
+
+
+@pytest.fixture(autouse=True)
+def detached():
+    """Every test starts and ends with no store attached anywhere."""
+    sample_store.detach()
+    estimate_cache.detach_store()
+    estimate_cache.clear()
+    yield
+    sample_store.detach()
+    estimate_cache.detach_store()
+    estimate_cache.clear()
+
+
+def _sample(seconds: float = 1.25, spec: str = "spec-a") -> KernelSample:
+    return KernelSample(
+        strategy="gpu_resident",
+        fingerprint="fp-1",
+        spec=spec,
+        calibration="none",
+        features=working_set_features(SPEC, False),
+        seconds=seconds,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Round trips
+# ---------------------------------------------------------------------------
+def test_sample_record_round_trip():
+    sample = _sample()
+    assert KernelSample.from_record(sample.to_record()) == sample
+
+
+def test_record_sample_deduplicates():
+    store = SampleStore()
+    assert store.record_sample(_sample()) is True
+    assert store.record_sample(_sample()) is False
+    assert store.record_sample(_sample(seconds=2.5)) is True
+    assert len(store.samples) == 2
+
+
+def test_flush_load_round_trip(tmp_path):
+    path = str(tmp_path / "store.jsonl")
+    store = SampleStore(path=path)
+    store.record_sample(_sample())
+    store.record_sample(_sample(spec="spec-b"))
+    strategy = create_strategy("gpu_resident")
+    key = estimate_cache.make_key(strategy.cache_fingerprint(), SPEC, False, {})
+    store.remember_estimate(key, strategy.estimate(SPEC))
+    store.remember_ladder(("ladder", "k"), "gpu_resident")
+    store.remember_plan(("plan", "k"), strategy.prepare(SPEC))
+    assert store.flush() == 5
+    assert store.pending_records == 0
+    assert store.flush() == 0  # nothing new
+
+    loaded = SampleStore.load(path)
+    assert loaded.samples == store.samples
+    assert loaded.skipped_records == 0
+    assert loaded.cached_entries == (1, 1, 1)
+    assert loaded.estimate_for_key(key) == strategy.estimate(SPEC)
+    assert loaded.ladder_for_key(("ladder", "k")) == "gpu_resident"
+    assert loaded.plan_for_key(("plan", "k")) == strategy.prepare(SPEC)
+
+
+def test_plan_serialization_round_trip():
+    plan = create_strategy("coprocessing").prepare(
+        unique_pair(512_000_000), materialize=True
+    )
+    restored = plan_from_dict(json.loads(json.dumps(plan_to_dict(plan))))
+    assert restored == plan
+
+
+def test_cross_process_round_trip(tmp_path):
+    """A store written by another interpreter loads here with identical
+    samples and cache entries — the digests really are cross-process."""
+    path = tmp_path / "store.jsonl"
+    src = Path(__file__).resolve().parents[2] / "src"
+    script = (
+        "from repro.core import create_strategy, estimate_cache, sample_store\n"
+        "from repro.core.sample_store import SampleStore\n"
+        "from repro.data import unique_pair\n"
+        f"store = SampleStore(path={str(path)!r})\n"
+        "sample_store.attach(store)\n"
+        "estimate_cache.attach_store(store)\n"
+        "spec = unique_pair(32_000_000)\n"
+        "metrics = create_strategy('gpu_resident').estimate(spec)\n"
+        "sample_store.detach()\n"
+        "estimate_cache.detach_store()\n"
+        "store.flush()\n"
+        "print(repr(metrics.seconds))\n"
+    )
+    result = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(src)},
+        check=True,
+    )
+    child_seconds = float(result.stdout.strip())
+
+    loaded = SampleStore.load(str(path))
+    assert loaded.skipped_records == 0
+    assert len(loaded.samples) == 1
+    assert loaded.samples[0].seconds == child_seconds
+    strategy = create_strategy("gpu_resident")
+    key = estimate_cache.make_key(strategy.cache_fingerprint(), SPEC, False, {})
+    persisted = loaded.estimate_for_key(key)
+    assert persisted is not None
+    assert persisted.seconds == child_seconds
+    # And it agrees bit-for-bit with recomputation in this process.
+    assert persisted == strategy.estimate(SPEC)
+
+
+def test_warm_process_makes_identical_decisions(tmp_path):
+    """Cold process records; a simulated warm process (fresh cache,
+    loaded store) returns bit-identical metrics while hitting the store."""
+    path = str(tmp_path / "store.jsonl")
+    store = SampleStore(path=path)
+    estimate_cache.attach_store(store)
+    cold = create_strategy("coprocessing").estimate(SPEC)
+    estimate_cache.detach_store()
+    store.flush()
+
+    estimate_cache.clear()  # simulate a fresh process: empty LRU
+    estimate_cache.attach_store(SampleStore.load(path))
+    warm = create_strategy("coprocessing").estimate(SPEC)
+    stats = estimate_cache.stats()
+    assert warm == cold
+    assert stats.store_hits == 1
+    # The store answer was promoted into the LRU: next lookup is a hit.
+    create_strategy("coprocessing").estimate(SPEC)
+    assert estimate_cache.stats().hits == stats.hits + 1
+
+
+def test_recording_fires_on_cache_hits_too():
+    """A warm process (every estimate a cache hit) still contributes
+    samples — recording is not gated on the miss path."""
+    create_strategy("gpu_resident").estimate(SPEC)  # warm the cache
+    store = SampleStore()
+    sample_store.attach(store)
+    create_strategy("gpu_resident").estimate(SPEC)  # pure cache hit
+    sample_store.detach()
+    assert len(store.samples) == 1
+
+
+# ---------------------------------------------------------------------------
+# Corruption tolerance and the error taxonomy
+# ---------------------------------------------------------------------------
+def _write_store(tmp_path, *lines: str) -> str:
+    path = tmp_path / "store.jsonl"
+    header = json.dumps({"format": FORMAT, "version": VERSION})
+    path.write_text("\n".join((header,) + lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def test_truncated_tail_is_skipped_not_fatal(tmp_path):
+    good = json.dumps(_sample().to_record())
+    truncated = json.dumps(_sample(spec="spec-b").to_record())[:-9]
+    store = SampleStore.load(_write_store(tmp_path, good, truncated))
+    assert len(store.samples) == 1
+    assert store.skipped_records == 1
+    assert "skipped" in store.summary()
+
+
+def test_garbled_and_unknown_kind_records_are_skipped(tmp_path):
+    store = SampleStore.load(
+        _write_store(
+            tmp_path,
+            "not json at all {{{",
+            json.dumps({"kind": "hologram", "x": 1}),
+            json.dumps({"kind": "sample"}),  # missing required fields
+            json.dumps(_sample().to_record()),
+        )
+    )
+    assert len(store.samples) == 1
+    assert store.skipped_records == 3
+
+
+def test_missing_file_raises_sample_store_error(tmp_path):
+    with pytest.raises(SampleStoreError):
+        SampleStore.load(str(tmp_path / "absent.jsonl"))
+    # open() tolerates absence: an empty store bound to the path.
+    store = SampleStore.open(str(tmp_path / "absent.jsonl"))
+    assert store.samples == [] and store.path is not None
+
+
+@pytest.mark.parametrize(
+    "header",
+    [
+        "",  # empty file
+        "{broken",  # unparsable header
+        json.dumps({"format": "something-else", "version": 1}),
+        json.dumps({"format": FORMAT, "version": VERSION + 1}),
+        json.dumps(["not", "a", "dict"]),
+    ],
+)
+def test_bad_headers_raise_sample_store_error(tmp_path, header):
+    path = tmp_path / "store.jsonl"
+    path.write_text(header + "\n" if header else "", encoding="utf-8")
+    with pytest.raises(SampleStoreError):
+        SampleStore.load(str(path))
+
+
+def test_flush_creates_file_with_header_atomically(tmp_path):
+    path = str(tmp_path / "fresh.jsonl")
+    store = SampleStore(path=path)
+    store.record_sample(_sample())
+    store.flush()
+    lines = Path(path).read_text(encoding="utf-8").splitlines()
+    assert json.loads(lines[0]) == {"format": FORMAT, "version": VERSION}
+    assert len(lines) == 2
+    assert not list(Path(path).parent.glob("*.tmp.*"))  # temp cleaned up
+
+
+def test_in_memory_store_never_touches_disk():
+    store = SampleStore()
+    store.record_sample(_sample())
+    assert store.flush() == 0
+    assert store.pending_records == 0
+
+
+# ---------------------------------------------------------------------------
+# Digest stability
+# ---------------------------------------------------------------------------
+def test_stable_digest_refuses_address_bearing_reprs():
+    assert stable_digest(object()) is None  # repr embeds " at 0x..."
+    assert stable_digest(("a", 1, 2.5)) is not None
+    # Strategy fingerprints are digestible — the whole scheme rests on it.
+    assert stable_digest(create_strategy("gpu_resident").cache_fingerprint())
+
+
+def test_digests_distinguish_specs_and_materialize():
+    strategy = create_strategy("gpu_resident")
+    keys = {
+        stable_digest(
+            estimate_cache.make_key(
+                strategy.cache_fingerprint(), spec, materialize, {}
+            )
+        )
+        for spec in (SPEC, unique_pair(16_000_000))
+        for materialize in (False, True)
+    }
+    assert len(keys) == 4

@@ -224,3 +224,36 @@ def test_percentile_helper_matches_pinned_convention():
         assert percentile(values, q) == expected
     assert percentile([], 0.5) == 0.0
     assert percentile([7.0], 0.99) == 7.0
+
+
+def test_percentile_empty_kwarg_reports_absence():
+    """Report-level percentiles keep the historical 0.0-for-empty
+    convention (pinned above); group-level stats pass ``empty=None`` so
+    an empty class reports *no* latency instead of a fake 0.0 one."""
+    assert percentile([], 0.5, empty=None) is None
+    assert percentile([], 0.99, empty=0.0) == 0.0
+    assert percentile([3.0], 0.5, empty=None) == 3.0
+
+
+def test_empty_class_group_reports_na_not_zero():
+    """A class whose every query was shed at deadline expiry has no
+    completions: its latencies are None and render as ``n/a`` — not as
+    an impossibly perfect 0.000 s."""
+    from types import SimpleNamespace
+
+    from repro.serve.scheduler import _fmt_secs, _group_class_stats
+
+    shed = [
+        SimpleNamespace(reason="deadline_expired", class_name="batch"),
+        SimpleNamespace(reason="queue_full", class_name="ignored"),
+    ]
+    stats = _group_class_stats([], "class_name", shed)
+    assert set(stats) == {"batch"}  # queue_full sheds don't make groups
+    group = stats["batch"]
+    assert group.count == 0
+    assert group.mean_latency is None
+    assert group.p50_latency is None
+    assert group.p99_latency is None
+    assert group.deadline_miss_rate == 1.0  # expired sheds are misses
+    assert _fmt_secs(group.p50_latency) == "n/a"
+    assert _fmt_secs(1.5) == "1.500"
